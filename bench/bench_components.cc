@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): throughput of the
+ * hardware-model hot paths — HPD accesses, RPT cache lookups/updates,
+ * STT feeding + three-tier training, LLC accesses, the event queue,
+ * and Leap's stride detector. These bound the simulator's speed and
+ * sanity-check that per-access costs stay O(1).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "hopp/algorithms.hh"
+#include "hopp/hpd.hh"
+#include "hopp/rpt.hh"
+#include "hopp/stt.hh"
+#include "mem/llc.hh"
+#include "sim/event_queue.hh"
+
+using namespace hopp;
+
+static void
+BM_HpdStreamingAccess(benchmark::State &state)
+{
+    core::Hpd hpd(core::HpdConfig{});
+    PhysAddr pa = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hpd.access(pa, false));
+        pa += lineBytes;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HpdStreamingAccess);
+
+static void
+BM_HpdHotSetAccess(benchmark::State &state)
+{
+    // Pathological reuse: every access hits the same tracked page.
+    core::Hpd hpd(core::HpdConfig{});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hpd.access(0x1000, false));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HpdHotSetAccess);
+
+static void
+BM_RptCacheLookupHit(benchmark::State &state)
+{
+    mem::Dram dram(16);
+    core::Rpt rpt;
+    core::RptCache cache(rpt, dram);
+    for (Ppn p = 0; p < 1024; ++p)
+        cache.update(p, core::RptEntry{1, p});
+    Ppn p = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(p));
+        p = (p + 1) & 1023;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RptCacheLookupHit);
+
+static void
+BM_RptCacheUpdate(benchmark::State &state)
+{
+    mem::Dram dram(16);
+    core::Rpt rpt;
+    core::RptCache cache(rpt, dram);
+    Ppn p = 0;
+    for (auto _ : state) {
+        cache.update(p, core::RptEntry{1, p});
+        p = (p + 1) & ((1 << 16) - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RptCacheUpdate);
+
+static void
+BM_SttFeedSequential(benchmark::State &state)
+{
+    core::Stt stt;
+    Vpn v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stt.feed(1, v++));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SttFeedSequential);
+
+static void
+BM_ThreeTierOnFullStream(benchmark::State &state)
+{
+    core::Stt stt;
+    core::StreamView view{};
+    Vpn v = 0;
+    // Prime one stream to full.
+    for (int i = 0; i < 16; ++i) {
+        if (auto r = stt.feed(1, v++))
+            view = *r;
+    }
+    for (auto _ : state) {
+        auto r = stt.feed(1, v++);
+        if (r)
+            benchmark::DoNotOptimize(core::runThreeTier(*r));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThreeTierOnFullStream);
+
+static void
+BM_LspWorstCase(benchmark::State &state)
+{
+    // LSP runs only when SSP fails: cross-stream ladder history.
+    std::vector<Vpn> vpns;
+    static const unsigned off[3] = {0, 2, 1};
+    for (unsigned i = 0; i < 16; ++i)
+        vpns.push_back((i / 3) * 16 + off[i % 3]);
+    std::vector<std::int64_t> strides;
+    for (std::size_t i = 1; i < vpns.size(); ++i)
+        strides.push_back(static_cast<std::int64_t>(vpns[i]) -
+                          static_cast<std::int64_t>(vpns[i - 1]));
+    core::StreamView view{1, 1, 100, &vpns, &strides};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::runLsp(view));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LspWorstCase);
+
+static void
+BM_LlcStreamingAccess(benchmark::State &state)
+{
+    mem::Llc llc(mem::LlcConfig{});
+    PhysAddr pa = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(llc.access(pa));
+        pa += lineBytes;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LlcStreamingAccess);
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    for (auto _ : state) {
+        eq.schedule(eq.now() + 1, [] {});
+        eq.runOne();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_Pcg32Next(benchmark::State &state)
+{
+    Pcg32 rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Pcg32Next);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figures 10 and 11 reproduction: prefetching accuracy and coverage of
+ * Fastswap's readahead vs HoPP on the non-JVM programs at 50% local
+ * memory. HoPP's coverage is split as in Fig 11: the swapcache-hit
+ * part (pages prefetched during faults) and the DRAM-hit part (pages
+ * injected by the HoPP framework, which never fault).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+
+int
+main()
+{
+    bench::RunCache cache;
+    auto names = workloads::nonJvmWorkloadNames();
+
+    stats::Table acc("Figure 10: prefetch accuracy, non-JVM @50%");
+    acc.header({"Workload", "Fastswap", "HoPP"});
+    stats::Table cov("Figure 11: prefetch coverage, non-JVM @50%");
+    cov.header({"Workload", "Fastswap", "HoPP", "HoPP(swapcache part)",
+                "HoPP(DRAM-hit part)"});
+
+    double fs_acc = 0, hp_acc = 0, fs_cov = 0, hp_cov = 0;
+    for (const auto &w : names) {
+        const auto &fs = cache.run(w, SystemKind::Fastswap, 0.5);
+        const auto &hp = cache.run(w, SystemKind::Hopp, 0.5);
+        fs_acc += fs.accuracy;
+        hp_acc += hp.systemAccuracy;
+        fs_cov += fs.coverage;
+        hp_cov += hp.coverage;
+        acc.row({w, stats::Table::num(fs.accuracy, 3),
+                 stats::Table::num(hp.systemAccuracy, 3)});
+        cov.row({w, stats::Table::num(fs.coverage, 3),
+                 stats::Table::num(hp.coverage, 3),
+                 stats::Table::num(hp.coverage - hp.dramHitCoverage, 3),
+                 stats::Table::num(hp.dramHitCoverage, 3)});
+    }
+    double n = static_cast<double>(names.size());
+    acc.row({"Average", stats::Table::num(fs_acc / n, 3),
+             stats::Table::num(hp_acc / n, 3)});
+    cov.row({"Average", stats::Table::num(fs_cov / n, 3),
+             stats::Table::num(hp_cov / n, 3), "", ""});
+    acc.print();
+    cov.print();
+    std::puts("Paper (for comparison): HoPP accuracy > 0.9 everywhere,"
+              " ~18% above Fastswap on average; HoPP coverage > 0.99"
+              " on QuickSort/K-means with zero page faults observed.");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figures 19 and 20 reproduction: per-tier accuracy and per-tier
+ * coverage contribution of the adaptive three-tier prefetcher
+ * (§VI-D). Every tier's accuracy stays high; SSP contributes most of
+ * the coverage, with LSP and RSP adding more on ladder-heavy (HPL)
+ * and ripple-heavy (NPB-MG) programs.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace hopp;
+using namespace hopp::core;
+using namespace hopp::runner;
+
+int
+main()
+{
+    const char *names[] = {"hpl", "npb-mg", "npb-lu", "kmeans-omp",
+                           "quicksort", "npb-cg", "npb-ft", "npb-is"};
+
+    stats::Table acc("Figure 19: per-tier prefetch accuracy");
+    acc.header({"Workload", "SSP", "LSP", "RSP"});
+    stats::Table cov("Figure 20: per-tier coverage contribution");
+    cov.header({"Workload", "SSP", "LSP", "RSP", "total(DRAM-hit)"});
+
+    for (const auto &w : names) {
+        MachineConfig cfg;
+        cfg.system = SystemKind::Hopp;
+        cfg.localMemRatio = 0.5;
+        Machine m(cfg);
+        m.addWorkload(workloads::makeWorkload(w, bench::benchScale()));
+        auto r = m.run();
+        auto *h = m.hoppSystem();
+        std::vector<std::string> acells{w};
+        std::vector<std::string> ccells{w};
+        std::uint64_t denom = r.demandRemote;
+        std::uint64_t total_hits = 0;
+        for (auto t : {Tier::Ssp, Tier::Lsp, Tier::Rsp})
+            total_hits += h->exec().tierStats(t).hits;
+        denom += total_hits +
+                 (r.vms.swapCacheHits + r.vms.inflightWaits);
+        for (auto t : {Tier::Ssp, Tier::Lsp, Tier::Rsp}) {
+            const auto &ts = h->exec().tierStats(t);
+            acells.push_back(ts.completed
+                                 ? stats::Table::num(ts.accuracy(), 3)
+                                 : "-");
+            double c = denom ? static_cast<double>(ts.hits) /
+                                   static_cast<double>(denom)
+                             : 0.0;
+            ccells.push_back(stats::Table::num(c, 3));
+        }
+        ccells.push_back(stats::Table::num(
+            denom ? static_cast<double>(total_hits) /
+                        static_cast<double>(denom)
+                  : 0.0,
+            3));
+        acc.row(std::move(acells));
+        cov.row(std::move(ccells));
+    }
+    acc.print();
+    cov.print();
+    std::puts("Paper (for comparison): every tier's accuracy > 0.9;"
+              " on HPL and NPB-MG, LSP adds ~9.1% coverage and RSP"
+              " ~10% on top of SSP (§VI-D).");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 22 reproduction — design sensitivity on the §VI-E
+ * microbenchmark (2 threads, each read-summing every 8-byte block of
+ * its array; 50% local memory):
+ *
+ *  - Leap (two concurrent streams confuse its global stride detector),
+ *  - VMA-based readahead (slightly better than Fastswap),
+ *  - HoPP with fixed offset i=1 and i=20K,
+ *  - HoPP with the adaptive offset (the shipped configuration).
+ *
+ * All reported as speedup over Fastswap, plus the local scenario.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+
+namespace
+{
+
+RunResult
+runMicro(const MachineConfig &cfg)
+{
+    Machine m(cfg);
+    m.addWorkload(
+        workloads::makeWorkload("microbench", hopp::bench::benchScale()));
+    return m.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    MachineConfig fs;
+    fs.system = SystemKind::Fastswap;
+    fs.localMemRatio = 0.5;
+    auto fs_result = runMicro(fs);
+    double ct_fs = static_cast<double>(fs_result.makespan);
+
+    MachineConfig local = fs;
+    local.system = SystemKind::Local;
+    auto local_result = runMicro(local);
+
+    stats::Table table(
+        "Figure 22: design sensitivity, speedup over Fastswap"
+        " (microbenchmark)");
+    table.header({"System", "CT (ms)", "Speedup vs Fastswap"});
+
+    auto report = [&](const std::string &label, const RunResult &r) {
+        double speedup = 1.0 - static_cast<double>(r.makespan) / ct_fs;
+        table.row({label,
+                   stats::Table::num(
+                       static_cast<double>(r.makespan) / 1e6, 2),
+                   stats::Table::pct(speedup, 1)});
+    };
+
+    report("local (upper bound)", local_result);
+    report("fastswap (baseline)", fs_result);
+
+    MachineConfig leap = fs;
+    leap.system = SystemKind::Leap;
+    report("leap", runMicro(leap));
+
+    MachineConfig vma = fs;
+    vma.system = SystemKind::Vma;
+    report("vma-readahead", runMicro(vma));
+
+    MachineConfig h1 = fs;
+    h1.system = SystemKind::Hopp;
+    h1.hopp.policy.adaptive = false;
+    h1.hopp.policy.offsetInit = 1.0;
+    report("hopp (offset=1 fixed)", runMicro(h1));
+
+    MachineConfig h20k = h1;
+    h20k.hopp.policy.offsetInit = 20'000.0;
+    h20k.hopp.policy.offsetMax = 20'000.0;
+    report("hopp (offset=20K fixed)", runMicro(h20k));
+
+    MachineConfig hdyn = fs;
+    hdyn.system = SystemKind::Hopp;
+    report("hopp (adaptive offset)", runMicro(hdyn));
+
+    table.print();
+    std::puts("Paper Fig 22 (for comparison): Leap below Fastswap (two"
+              " streams confuse its stride detection); VMA ~3.6% above"
+              " Fastswap; HoPP ~40% above VMA (early PTE injection"
+              " removes all prefetch-hit faults); adaptive offset beats"
+              " both fixed offsets.");
+    return 0;
+}

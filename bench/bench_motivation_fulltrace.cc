@@ -1,0 +1,88 @@
+/**
+ * @file
+ * §II-B motivation study: feeding the majority-based prefetcher with
+ * the *full* memory trace (HoPP's hot pages, with page clustering and
+ * the large per-stream window) versus the fault-address-only view
+ * Leap gets. The paper measures +10.6% accuracy and +13.9% coverage
+ * from the full trace alone.
+ *
+ * Here: "leap" = majority prefetching on fault addresses;
+ * "hopp-ssp" = the same majority detection on the full hot-page
+ * trace, clustered into per-stream windows by the STT (LSP/RSP
+ * disabled so only the revamped majority algorithm runs).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+
+int
+main()
+{
+    // Interference-heavy workloads where fault-only history suffers
+    // from the paper's limitations (1)-(3); "microbench" is exactly
+    // the Fig. 1 scenario (two concurrent streams whose faults
+    // interleave in the global history).
+    const char *names[] = {"microbench", "npb-ft", "npb-is", "npb-cg",
+                           "graphx-bfs", "kmeans-omp", "quicksort"};
+
+    stats::Table table(
+        "Motivation (§II-B): majority prefetching, fault-only vs full"
+        " trace");
+    table.header({"Workload", "Leap acc", "SSP-full acc", "Leap cov",
+                  "SSP-full cov", "Leap CT(ms)", "SSP CT(ms)",
+                  "CT ratio"});
+
+    double la = 0, ha = 0, lc = 0, hc = 0, ct_ratio = 0;
+    for (const auto &w : names) {
+        auto leap = runOne(w, SystemKind::Leap, 0.5,
+                           hopp::bench::benchScale());
+        MachineConfig cfg;
+        cfg.system = SystemKind::HoppOnly;
+        cfg.localMemRatio = 0.5;
+        cfg.hopp.tierMask = core::tiers::ssp;
+        Machine m(cfg);
+        m.addWorkload(
+            workloads::makeWorkload(w, hopp::bench::benchScale()));
+        auto ssp = m.run();
+        la += leap.accuracy;
+        ha += ssp.accuracy;
+        lc += leap.coverage;
+        hc += ssp.coverage;
+        double ratio = static_cast<double>(leap.makespan) /
+                       static_cast<double>(ssp.makespan);
+        ct_ratio += ratio;
+        table.row({w, stats::Table::num(leap.accuracy, 3),
+                   stats::Table::num(ssp.accuracy, 3),
+                   stats::Table::num(leap.coverage, 3),
+                   stats::Table::num(ssp.coverage, 3),
+                   stats::Table::num(
+                       static_cast<double>(leap.makespan) / 1e6, 2),
+                   stats::Table::num(
+                       static_cast<double>(ssp.makespan) / 1e6, 2),
+                   stats::Table::num(ratio, 2)});
+    }
+    double n = static_cast<double>(std::size(names));
+    table.row({"Average", stats::Table::num(la / n, 3),
+               stats::Table::num(ha / n, 3),
+               stats::Table::num(lc / n, 3),
+               stats::Table::num(hc / n, 3), "", "",
+               stats::Table::num(ct_ratio / n, 2)});
+    table.print();
+    std::printf("Full trace vs fault-only: %+.1f%% accuracy,"
+                " %+.1f%% coverage (absolute, averaged);"
+                " full-trace majority is %.2fx faster on average.\n",
+                100.0 * (ha - la) / n, 100.0 * (hc - lc) / n,
+                ct_ratio / n);
+    std::puts("Paper §II-B (for comparison): full memory access"
+              " improves the majority prefetcher by +10.6% accuracy"
+              " and +13.9% coverage. In our cyclically-reused scaled"
+              " workloads even mispredicted fetches are eventually"
+              " 'hit', so the quality gap surfaces as completion time"
+              " (timeliness + per-stream training) rather than as the"
+              " nominal hit ratios.");
+    return 0;
+}

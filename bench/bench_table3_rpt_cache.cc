@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table III reproduction: RPT cache hit rate as the cache size sweeps
+ * 1..64 KB (§III-C), for K-means and PageRank under 50% local memory
+ * (hit rates are high because a hot page's PTE was usually just
+ * established, leaving its entry in the cache).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+
+int
+main()
+{
+    const char *workloads[] = {"kmeans-omp", "graphx-pr"};
+    const char *rows[] = {"K-means", "PgRank"};
+    const std::uint64_t sizes_kb[] = {1, 2, 4, 8, 16, 32, 64};
+
+    stats::Table table("Table III: RPT cache hit rate vs size (KB)");
+    std::vector<std::string> header{"Workload"};
+    for (auto kb : sizes_kb)
+        header.push_back(std::to_string(kb) + "KB");
+    table.header(std::move(header));
+
+    for (std::size_t w = 0; w < std::size(workloads); ++w) {
+        std::vector<std::string> cells{rows[w]};
+        for (auto kb : sizes_kb) {
+            MachineConfig cfg;
+            cfg.system = SystemKind::HoppOnly;
+            cfg.localMemRatio = 0.5;
+            cfg.hopp.rptCache.capacityBytes = kb << 10;
+            Machine m(cfg);
+            m.addWorkload(workloads::makeWorkload(
+                workloads[w], bench::benchScale()));
+            m.run();
+            double rate =
+                m.hoppSystem()->rptCache().stats().hitRate();
+            cells.push_back(stats::Table::num(rate, 3));
+        }
+        table.row(std::move(cells));
+    }
+    table.print();
+    std::puts("Paper Table III (for comparison): K-means 0.92 -> 0.998,"
+              " PgRank 0.85 -> 0.997 (1 KB -> 64 KB).");
+    return 0;
+}

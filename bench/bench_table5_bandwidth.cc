@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Table V reproduction: extra DRAM bandwidth consumed by (a) HPD
+ * writing hot-page records and (b) RPT-cache queries to the DRAM RPT,
+ * as a percentage of application DRAM traffic (§VI-F).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+
+int
+main()
+{
+    struct Row
+    {
+        const char *workload;
+        const char *label;
+    };
+    const Row rows[] = {
+        {"kmeans-omp", "Kmeans"},   {"quicksort", "quicksort"},
+        {"hpl", "HPL"},             {"npb-cg", "CG"},
+        {"npb-ft", "FT"},           {"npb-lu", "LU"},
+        {"npb-mg", "MG"},           {"npb-is", "IS"},
+        {"graphx-pr", "PR"},        {"graphx-cc", "CC"},
+        {"graphx-bfs", "BFS"},      {"graphx-lp", "LP"},
+        {"spark-kmeans", "Kmeans(S)"}, {"spark-bayes", "Bayes(S)"},
+    };
+
+    stats::Table table("Table V: extra bandwidth of HPD / RPT (%)");
+    table.header({"Program", "HPD %", "RPT %", "RPT % (scaled cache)"});
+    double hpd_sum = 0.0, rpt_sum = 0.0, rpt_small_sum = 0.0;
+
+    auto measure = [](const char *workload,
+                      std::uint64_t rpt_cache_bytes) {
+        MachineConfig cfg;
+        cfg.system = SystemKind::HoppOnly;
+        cfg.localMemRatio = 0.5;
+        cfg.hopp.rptCache.capacityBytes = rpt_cache_bytes;
+        Machine m(cfg);
+        m.addWorkload(
+            workloads::makeWorkload(workload, bench::benchScale()));
+        m.run();
+        auto &dram = m.dram();
+        using mem::TrafficSource;
+        double app =
+            static_cast<double>(dram.traffic(TrafficSource::AppRead) +
+                                dram.traffic(TrafficSource::AppWrite));
+        double hpd = 100.0 *
+                     static_cast<double>(
+                         dram.traffic(TrafficSource::HotPageWrite)) /
+                     app;
+        double rpt = 100.0 *
+                     static_cast<double>(
+                         dram.traffic(TrafficSource::RptQuery)) /
+                     app;
+        return std::pair{hpd, rpt};
+    };
+
+    for (const auto &row : rows) {
+        // Default 64 KB cache, plus an 8 KB cache whose entry count
+        // relative to the scaled footprints approximates the paper's
+        // 8K-entry cache vs GB-class footprints.
+        auto [hpd, rpt] = measure(row.workload, 64 << 10);
+        auto [hpd2, rpt_small] = measure(row.workload, 8 << 10);
+        (void)hpd2;
+        hpd_sum += hpd;
+        rpt_sum += rpt;
+        rpt_small_sum += rpt_small;
+        table.row({row.label, stats::Table::num(hpd, 3),
+                   stats::Table::num(rpt, 4),
+                   stats::Table::num(rpt_small, 4)});
+    }
+    double n = static_cast<double>(std::size(rows));
+    table.row({"Average", stats::Table::num(hpd_sum / n, 3),
+               stats::Table::num(rpt_sum / n, 4),
+               stats::Table::num(rpt_small_sum / n, 4)});
+    table.print();
+    std::puts("Paper Table V (for comparison): HPD average 0.16%"
+              " (0.09-0.30%), RPT average 0.004%. Our scaled"
+              " footprints fit inside the default 64 KB cache, so the"
+              " scaled-cache column restores the paper's"
+              " cache-to-footprint ratio.");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries: scale
+ * control via HOPP_BENCH_SCALE, cached local-baseline completion
+ * times, and run shorthands.
+ */
+
+#ifndef HOPP_BENCH_HARNESS_HH
+#define HOPP_BENCH_HARNESS_HH
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "runner/machine.hh"
+#include "stats/table.hh"
+#include "workloads/apps.hh"
+
+namespace hopp::bench
+{
+
+/** Workload scale, overridable with HOPP_BENCH_SCALE (default 1.0). */
+inline workloads::WorkloadScale
+benchScale()
+{
+    workloads::WorkloadScale s;
+    if (const char *env = std::getenv("HOPP_BENCH_SCALE")) {
+        double v = std::atof(env);
+        if (v > 0) {
+            s.footprint = v;
+            s.iterations = v < 1.0 ? v : 1.0;
+        }
+    }
+    return s;
+}
+
+/**
+ * Run cache: local baselines are shared across figures within one
+ * binary, and identical (workload, system, ratio) runs reuse results.
+ */
+class RunCache
+{
+  public:
+    explicit RunCache(runner::MachineConfig base = {})
+        : base_(std::move(base))
+    {
+    }
+
+    /** Run (or fetch) one configuration. */
+    const runner::RunResult &
+    run(const std::string &workload, runner::SystemKind system,
+        double ratio)
+    {
+        std::string key = workload + "/" +
+                          runner::systemName(system) + "/" +
+                          stats::Table::num(ratio, 3);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+        auto result =
+            runner::runOne(workload, system, ratio, benchScale(), base_);
+        return cache_.emplace(key, std::move(result)).first->second;
+    }
+
+    /** CT_local of a workload. */
+    Tick
+    localTime(const std::string &workload)
+    {
+        return run(workload, runner::SystemKind::Local, 1.0).makespan;
+    }
+
+    /** Normalized performance of one run (paper §VI-A). */
+    double
+    normPerf(const std::string &workload, runner::SystemKind system,
+             double ratio)
+    {
+        return runner::normalizedPerformance(
+            localTime(workload), run(workload, system, ratio).makespan);
+    }
+
+    /** Mutable base config (set before the first run). */
+    runner::MachineConfig &base() { return base_; }
+
+  private:
+    runner::MachineConfig base_;
+    std::map<std::string, runner::RunResult> cache_;
+};
+
+} // namespace hopp::bench
+
+#endif // HOPP_BENCH_HARNESS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Datacenter consolidation scenario (the paper's Fig. 15 setting):
+ * three applications share one compute node, each cgroup-limited to
+ * half its footprint, with remote memory backing the rest. Because
+ * the hot-page trace carries PIDs, HoPP trains prefetchers per
+ * application even under co-location — fault-driven prefetchers see
+ * one interleaved fault stream instead.
+ */
+
+#include <cstdio>
+
+#include "runner/machine.hh"
+#include "stats/table.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+
+namespace
+{
+
+RunResult
+runTrio(SystemKind system)
+{
+    MachineConfig cfg;
+    cfg.system = system;
+    cfg.localMemRatio = 0.5;
+    Machine m(cfg);
+    m.addWorkload(workloads::makeWorkload("kmeans-omp", {}, 1));
+    m.addWorkload(workloads::makeWorkload("npb-cg", {}, 2));
+    m.addWorkload(workloads::makeWorkload("quicksort", {}, 3));
+    return m.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    auto fs = runTrio(SystemKind::Fastswap);
+    auto leap = runTrio(SystemKind::Leap);
+    auto hp = runTrio(SystemKind::Hopp);
+
+    stats::Table table(
+        "Three co-located applications @50% local memory each");
+    table.header({"App", "Fastswap (ms)", "Leap (ms)", "HoPP (ms)",
+                  "HoPP vs FS"});
+    for (const auto &app : fs.apps) {
+        double ct_fs = static_cast<double>(app.completion) / 1e6;
+        double ct_leap =
+            static_cast<double>(leap.completionOf(app.name)) / 1e6;
+        double ct_hp =
+            static_cast<double>(hp.completionOf(app.name)) / 1e6;
+        table.row({app.name, stats::Table::num(ct_fs, 2),
+                   stats::Table::num(ct_leap, 2),
+                   stats::Table::num(ct_hp, 2),
+                   stats::Table::num(ct_fs / ct_hp, 3) + "x"});
+    }
+    table.print();
+
+    std::printf("Total faults: fastswap %llu, leap %llu, hopp %llu"
+                " (%llu of hopp's hits were fault-free DRAM hits)\n",
+                static_cast<unsigned long long>(fs.vms.faults()),
+                static_cast<unsigned long long>(leap.vms.faults()),
+                static_cast<unsigned long long>(hp.vms.faults()),
+                static_cast<unsigned long long>(hp.vms.injectedHits));
+    std::puts("\nWhy HoPP wins under co-location: the interleaved"
+              " fault stream confuses history-based prefetchers, but"
+              " the MC's hot-page trace is tagged with PIDs, so the"
+              " STT clusters every application's streams separately"
+              " (§VI-B, Fig. 15).");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Domain scenario: a blocked matrix kernel (HPL-style ladder streams,
+ * paper Fig. 2) built *from pattern primitives* rather than the app
+ * registry — showing how to assemble a custom workload — then an
+ * ablation of which prefetch tier is required to cover it.
+ */
+
+#include <cstdio>
+
+#include "runner/machine.hh"
+#include "stats/table.hh"
+#include "workloads/patterns.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+
+namespace
+{
+
+/** A custom two-thread blocked-factorization workload. */
+workloads::Workload
+makeBlockedKernel()
+{
+    workloads::Workload w;
+    w.name = "blocked-kernel";
+    w.footprintPages = 2 * 3 * 64; // 2 threads x 64 treads x 3 pages
+    for (unsigned t = 0; t < 2; ++t) {
+        w.threads.push_back([t] {
+            workloads::LadderGen::Params p;
+            p.base = 0x20'0000'0000ull +
+                     static_cast<VirtAddr>(t) * 0x1'0000'0000ull;
+            p.treadPages = 3;
+            p.risePages = 16;
+            p.treads = 64;
+            p.linesPerPage = 64;
+            p.passes = 10;
+            p.crossStream = true; // Fig. 2: treads cross streams
+            return std::make_unique<workloads::LadderGen>(p);
+        });
+    }
+    return w;
+}
+
+Tick
+runKernel(SystemKind system, double ratio, unsigned tier_mask)
+{
+    MachineConfig cfg;
+    cfg.system = system;
+    cfg.localMemRatio = ratio;
+    cfg.hopp.tierMask = tier_mask;
+    Machine m(cfg);
+    m.addWorkload(makeBlockedKernel());
+    return m.run().makespan;
+}
+
+} // namespace
+
+int
+main()
+{
+    Tick local = runKernel(SystemKind::Local, 1.0, core::tiers::all);
+    Tick fs = runKernel(SystemKind::Fastswap, 0.5, core::tiers::all);
+
+    stats::Table table(
+        "Blocked matrix kernel @50% local: which tier covers ladder"
+        " streams?");
+    table.header({"Configuration", "CT (ms)", "NormPerf"});
+    auto row = [&](const char *label, Tick ct) {
+        table.row({label,
+                   stats::Table::num(static_cast<double>(ct) / 1e6, 2),
+                   stats::Table::num(normalizedPerformance(local, ct),
+                                     3)});
+    };
+    row("local", local);
+    row("fastswap", fs);
+    row("hopp SSP only", runKernel(SystemKind::Hopp, 0.5,
+                                   core::tiers::ssp));
+    row("hopp SSP+LSP", runKernel(SystemKind::Hopp, 0.5,
+                                  core::tiers::ssp | core::tiers::lsp));
+    row("hopp all tiers", runKernel(SystemKind::Hopp, 0.5,
+                                    core::tiers::all));
+    table.print();
+
+    std::puts("Cross-stream treads have no dominant stride, so SSP"
+              " alone cannot identify the pattern: the Ladder tier"
+              " (Algorithm 1) provides the coverage — the paper's HPL"
+              " ablation in Fig. 18.");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * HMTT trace tooling (§V): capture a full MC access trace of a running
+ * workload with the bump-in-the-wire tracer emulation, persist it in
+ * the binary trace format, reload it, and run the paper's §VI-D style
+ * offline analysis (stride census over the page-level read trace).
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "runner/machine.hh"
+#include "stats/table.hh"
+#include "trace/hmtt.hh"
+#include "trace/trace_io.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+
+int
+main()
+{
+    // 1. Build the machine, attach the tracer to the MC *before* the
+    //    workload starts, then run.
+    MachineConfig cfg;
+    cfg.system = SystemKind::NoPrefetch;
+    cfg.localMemRatio = 0.5;
+    Machine m(cfg);
+    m.addWorkload(workloads::makeWorkload("npb-mg", {}));
+    m.prepare();
+
+    trace::HmttConfig hcfg;
+    hcfg.ringCapacity = 1 << 22;
+    trace::Hmtt tracer(m.dram(), hcfg);
+    m.memCtrl().attach(&tracer);
+    m.run();
+
+    // 2. Drain the ring to a binary trace file, as the prototype
+    //    persists HMTT traces for offline study.
+    std::vector<trace::HmttRecord> records;
+    while (auto r = tracer.ring().pop())
+        records.push_back(*r);
+    const std::string path = "/tmp/hopp_npb_mg.trace";
+    if (!trace::writeTraceFile(path, records)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("captured %llu MC accesses (%llu dropped by the ring),"
+                " wrote %zu records to %s\n",
+                static_cast<unsigned long long>(tracer.captured()),
+                static_cast<unsigned long long>(
+                    tracer.ring().dropped()),
+                records.size(), path.c_str());
+
+    // 3. Reload and analyse: page-level stride census of READ misses,
+    //    the raw material of the paper's stream-pattern taxonomy.
+    auto loaded = trace::readTraceFile(path);
+    std::map<std::int64_t, std::uint64_t> stride_census;
+    std::uint64_t reads = 0;
+    Ppn last = 0;
+    bool have_last = false;
+    for (const auto &rec : loaded) {
+        if (rec.isWrite)
+            continue;
+        ++reads;
+        Ppn ppn = rec.ppn();
+        if (have_last && ppn != last) {
+            std::int64_t stride = static_cast<std::int64_t>(ppn) -
+                                  static_cast<std::int64_t>(last);
+            if (stride >= -8 && stride <= 8)
+                ++stride_census[stride];
+            else
+                ++stride_census[stride < 0 ? -9 : 9]; // |s| > 8 bucket
+        }
+        last = ppn;
+        have_last = true;
+    }
+
+    stats::Table table("Page-stride census of the NPB-MG read trace");
+    table.header({"stride", "count", "share"});
+    for (const auto &[stride, count] : stride_census) {
+        std::string label = stride == 9    ? "> +8"
+                            : stride == -9 ? "< -8"
+                                           : std::to_string(stride);
+        table.row({label, std::to_string(count),
+                   stats::Table::pct(static_cast<double>(count) /
+                                         static_cast<double>(reads),
+                                     1)});
+    }
+    table.print();
+    std::puts("The mass at small +/- strides with net forward progress"
+              " is the ripple signature (paper Fig. 3) that RSP"
+              " exploits. Physical-address strides are noisier than"
+              " virtual ones — which is exactly why HoPP adds the"
+              " reverse page table.");
+    std::remove(path.c_str());
+    return 0;
+}

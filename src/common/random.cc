@@ -1,0 +1,34 @@
+#include "random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace hopp
+{
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+{
+    hopp_assert(n > 0, "ZipfSampler needs at least one item");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+        cdf_[i] = sum;
+    }
+    for (auto &v : cdf_)
+        v /= sum;
+}
+
+std::uint64_t
+ZipfSampler::sample(Pcg32 &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        return cdf_.size() - 1;
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+} // namespace hopp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every HoPP module.
+ *
+ * The whole simulation is expressed in terms of a small vocabulary:
+ * simulated time in nanoseconds, physical/virtual byte addresses, page
+ * numbers, and process identifiers. Keeping them in one header (with the
+ * page/cacheline geometry constants) avoids magic numbers spreading
+ * through the substrates.
+ */
+
+#ifndef HOPP_COMMON_TYPES_HH
+#define HOPP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace hopp
+{
+
+/** Simulated time, in nanoseconds since simulation start. */
+using Tick = std::uint64_t;
+
+/** Byte address in the simulated physical address space. */
+using PhysAddr = std::uint64_t;
+
+/** Byte address in a simulated process' virtual address space. */
+using VirtAddr = std::uint64_t;
+
+/** Physical page number (PhysAddr >> pageShift). */
+using Ppn = std::uint64_t;
+
+/** Virtual page number (VirtAddr >> pageShift). */
+using Vpn = std::uint64_t;
+
+/** Process identifier, as carried in RPT entries (16 bits in hardware). */
+using Pid = std::uint16_t;
+
+/** Sentinel for "no tick": used for unscheduled deadlines. */
+inline constexpr Tick maxTick = ~Tick(0);
+
+/** Base-2 logarithm of the page size: 4 KB pages. */
+inline constexpr unsigned pageShift = 12;
+
+/** Page size in bytes. */
+inline constexpr std::uint64_t pageBytes = 1ull << pageShift;
+
+/** Base-2 logarithm of the cacheline size: 64 B lines. */
+inline constexpr unsigned lineShift = 6;
+
+/** Cacheline size in bytes. */
+inline constexpr std::uint64_t lineBytes = 1ull << lineShift;
+
+/** Cachelines per 4 KB page (64). */
+inline constexpr std::uint64_t linesPerPage = pageBytes / lineBytes;
+
+namespace time_literals
+{
+
+/** One nanosecond of simulated time. */
+inline constexpr Tick operator""_ns(unsigned long long v) { return v; }
+
+/** One microsecond of simulated time. */
+inline constexpr Tick operator""_us(unsigned long long v)
+{
+    return v * 1000ull;
+}
+
+/** One millisecond of simulated time. */
+inline constexpr Tick operator""_ms(unsigned long long v)
+{
+    return v * 1000ull * 1000ull;
+}
+
+/** One second of simulated time. */
+inline constexpr Tick operator""_s(unsigned long long v)
+{
+    return v * 1000ull * 1000ull * 1000ull;
+}
+
+} // namespace time_literals
+
+/** Convert a byte address to its page number. */
+constexpr std::uint64_t
+pageOf(std::uint64_t addr)
+{
+    return addr >> pageShift;
+}
+
+/** Convert a page number back to the base byte address of that page. */
+constexpr std::uint64_t
+pageBase(std::uint64_t page)
+{
+    return page << pageShift;
+}
+
+/** Convert a byte address to its cacheline index. */
+constexpr std::uint64_t
+lineOf(std::uint64_t addr)
+{
+    return addr >> lineShift;
+}
+
+/** Align a byte address down to its cacheline base. */
+constexpr std::uint64_t
+lineBase(std::uint64_t addr)
+{
+    return addr & ~(lineBytes - 1);
+}
+
+} // namespace hopp
+
+#endif // HOPP_COMMON_TYPES_HH

@@ -1,0 +1,147 @@
+#include "algorithms.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+namespace hopp::core
+{
+
+namespace
+{
+
+/** Most frequent value of a non-empty vector and its count. */
+std::pair<std::int64_t, unsigned>
+mode(const std::vector<std::int64_t> &values)
+{
+    std::unordered_map<std::int64_t, unsigned> counts;
+    std::int64_t best = values.front();
+    unsigned best_count = 0;
+    for (auto v : values) {
+        unsigned c = ++counts[v];
+        if (c > best_count) {
+            best_count = c;
+            best = v;
+        }
+    }
+    return {best, best_count};
+}
+
+} // namespace
+
+std::optional<Prediction>
+runSsp(const StreamView &view)
+{
+    const auto &s = *view.strides;
+    // Dominant stride: a value occurring >= L/2 times among the L-1
+    // strides (§III-D2).
+    unsigned need = (static_cast<unsigned>(s.size()) + 1) / 2;
+    std::unordered_map<std::int64_t, unsigned> counts;
+    for (auto v : s) {
+        if (++counts[v] >= need && v != 0)
+            return Prediction{Tier::Ssp, view.vpnA(), v};
+    }
+    return std::nullopt;
+}
+
+std::optional<Prediction>
+runLsp(const StreamView &view)
+{
+    // Algorithm 1. With strides s[0..n-1] (newest last), the target
+    // pattern is the two newest strides (pattern_target); candidates
+    // are earlier positions where the same two strides occur in
+    // sequence. Each candidate contributes its following stride
+    // (next_stride) and the VPN distance to the next repetition
+    // (stride_sum).
+    const auto &s = *view.strides;
+    const auto &v = *view.vpns;
+    std::size_t n = s.size();
+    if (n < 4)
+        return std::nullopt;
+    std::int64_t pt0 = s[n - 2];
+    std::int64_t pt1 = s[n - 1];
+    std::vector<std::int64_t> next_stride;
+    std::vector<std::int64_t> stride_sum;
+    // The VPN ending the most recent pattern occurrence; v has n+1
+    // entries, so v[n] is VPN_A (the target pattern's end).
+    std::size_t last_end = n;
+    // Scan candidates newest-first; a candidate pair (s[i], s[i+1])
+    // must not overlap the target pattern, so i + 1 <= n - 3.
+    for (std::int64_t si = static_cast<std::int64_t>(n) - 4; si >= 0;
+         --si) {
+        auto i = static_cast<std::size_t>(si);
+        if (s[i] == pt0 && s[i + 1] == pt1) {
+            next_stride.push_back(s[i + 2]);
+            // v[i+2] ends the candidate occurrence.
+            stride_sum.push_back(static_cast<std::int64_t>(v[last_end]) -
+                                 static_cast<std::int64_t>(v[i + 2]));
+            last_end = i + 2;
+        }
+    }
+    if (next_stride.empty())
+        return std::nullopt;
+    // A genuine ladder yields *consistent* continuations: require the
+    // dominant next stride and repetition distance to be a majority of
+    // the candidates, or the "repetition" is just noise from a small
+    // stride alphabet (e.g. ripple jitter) and must fall through to
+    // RSP.
+    auto [stride_target, st_count] = mode(next_stride);
+    auto [pattern_stride, ps_count] = mode(stride_sum);
+    if (st_count * 2 <= next_stride.size() ||
+        ps_count * 2 <= stride_sum.size()) {
+        return std::nullopt;
+    }
+    if (pattern_stride == 0)
+        return std::nullopt;
+    std::int64_t base = static_cast<std::int64_t>(view.vpnA()) +
+                        stride_target;
+    if (base < 0)
+        return std::nullopt;
+    return Prediction{Tier::Lsp, static_cast<Vpn>(base), pattern_stride};
+}
+
+std::optional<Prediction>
+runRsp(const StreamView &view)
+{
+    // Algorithm 2: count "ripple pages" — positions from which the
+    // cumulative stride returns within max_stride. The newest stride
+    // is checked directly; then we accumulate backwards.
+    constexpr std::int64_t max_stride = 2;
+    const auto &s = *view.strides;
+    unsigned ripple_num = 0;
+    if (std::llabs(s.back()) <= max_stride)
+        ++ripple_num;
+    std::int64_t accumulate = 0;
+    for (std::size_t i = s.size() - 1; i-- > 0;) {
+        accumulate += s[i];
+        if (std::llabs(accumulate) <= max_stride) {
+            ++ripple_num;
+            accumulate = 0;
+        }
+    }
+    unsigned need = (static_cast<unsigned>(view.vpns->size())) / 2;
+    if (ripple_num < need)
+        return std::nullopt;
+    return Prediction{Tier::Rsp, view.vpnA(), 1};
+}
+
+std::optional<Prediction>
+runThreeTier(const StreamView &view, unsigned tier_mask)
+{
+    if (tier_mask & tiers::ssp) {
+        if (auto p = runSsp(view))
+            return p;
+    }
+    if (tier_mask & tiers::lsp) {
+        if (auto p = runLsp(view))
+            return p;
+    }
+    if (tier_mask & tiers::rsp) {
+        if (auto p = runRsp(view))
+            return p;
+    }
+    return std::nullopt;
+}
+
+} // namespace hopp::core

@@ -1,0 +1,197 @@
+#include "hopp_system.hh"
+
+#include <algorithm>
+
+#include "prefetch/prefetcher.hh"
+
+namespace hopp::core
+{
+
+HoppSystem::HoppSystem(sim::EventQueue &eq, vm::Vms &vms,
+                       mem::MemCtrl &mc, const HoppConfig &cfg)
+    : eq_(eq), vms_(vms), mc_(mc), cfg_(cfg), ring_(cfg.ringCapacity),
+      stt_(cfg.stt), policy_(cfg.policy), exec_(vms, policy_),
+      trainer_(stt_, policy_, exec_, cfg.tierMask, cfg.batch,
+               cfg.markov)
+{
+    hopp_assert(cfg_.channels >= 1, "need at least one channel");
+    hopp_assert((cfg_.channels & (cfg_.channels - 1)) == 0,
+                "channel count must be a power of two");
+    HpdConfig hpd_cfg = cfg_.hpd;
+    if (cfg_.channelInterleaved && cfg_.scaleThresholdWithChannels &&
+        cfg_.channels > 1) {
+        // §III-B: with interleaving every MC sees only 1/channels of a
+        // page's lines, so N must shrink to keep extraction timely.
+        hpd_cfg.threshold =
+            std::max(1u, cfg_.hpd.threshold / cfg_.channels);
+    }
+    for (unsigned c = 0; c < cfg_.channels; ++c) {
+        hpds_.push_back(std::make_unique<Hpd>(hpd_cfg));
+        rptCaches_.push_back(std::make_unique<RptCache>(
+            rpt_, mc.dram(), cfg_.rptCache));
+    }
+}
+
+unsigned
+HoppSystem::channelOf(PhysAddr pa) const
+{
+    if (cfg_.channels == 1)
+        return 0;
+    // Interleaved: consecutive cachelines round-robin the channels.
+    // Non-interleaved: a whole page lives in one channel.
+    std::uint64_t unit = cfg_.channelInterleaved ? lineOf(pa)
+                                                 : pageOf(pa);
+    return static_cast<unsigned>(unit & (cfg_.channels - 1));
+}
+
+HpdStats
+HoppSystem::hpdTotals() const
+{
+    HpdStats total;
+    for (const auto &h : hpds_) {
+        const HpdStats &s = h->stats();
+        total.reads += s.reads;
+        total.writesIgnored += s.writesIgnored;
+        total.hotPages += s.hotPages;
+        total.suppressed += s.suppressed;
+        total.evictions += s.evictions;
+    }
+    return total;
+}
+
+void
+HoppSystem::start()
+{
+    hopp_assert(!started_, "HoPP already started");
+    started_ = true;
+    // Initial RPT build: traverse all existing page tables (§III-C).
+    vms_.pageTable().forEachPresent(
+        [this](Pid pid, Vpn vpn, const vm::PageInfo &pi) {
+            rpt_.store(pi.ppn, RptEntry{pid, vpn, pi.shared,
+                                        static_cast<std::uint8_t>(
+                                            pi.huge ? 1 : 0)});
+        });
+    mc_.attach(this);
+    vms_.addPteHook(this);
+    vms_.addListener(this);
+    if (cfg_.evictionAdvisor)
+        vms_.setEvictionAdvisor(this);
+}
+
+bool
+HoppSystem::keepWarm(Pid pid, Vpn vpn, Tick now)
+{
+    // Recency alone would pin every page of a hot stream; require
+    // *repeated* hotness within the window, which only reuse-heavy
+    // pages (graph vertex sets, recursion working sets) exhibit.
+    auto it = lastHot_.find(vm::pageKey(pid, vpn));
+    if (it == lastHot_.end())
+        return false;
+    const Hotness &h = it->second;
+    return h.prev != 0 && now - h.last < cfg_.warmWindow &&
+           h.last - h.prev < cfg_.warmWindow;
+}
+
+void
+HoppSystem::onMcAccess(PhysAddr pa, bool is_write, Tick now)
+{
+    unsigned channel = channelOf(pa);
+    auto hot = hpds_[channel]->access(pa, is_write);
+    if (!hot)
+        return;
+    auto entry = rptCaches_[channel]->lookup(*hot);
+    if (!entry) {
+        // Frame not (or no longer) mapped: nothing to tell software.
+        ++unmapped_;
+        return;
+    }
+    HotPage hp;
+    hp.pid = entry->pid;
+    hp.vpn = entry->vpn;
+    hp.ppn = *hot;
+    hp.shared = entry->shared;
+    hp.huge = entry->hugeBits != 0;
+    hp.time = now;
+    ring_.push(hp);
+    mc_.dram().recordTraffic(mem::TrafficSource::HotPageWrite,
+                             hotPageRecordBytes);
+    if (!drainScheduled_) {
+        drainScheduled_ = true;
+        Tick when = std::max(now, eq_.now()) + cfg_.trainerDelay;
+        eq_.schedule(when, [this] { drainRing(); });
+    }
+}
+
+void
+HoppSystem::drainRing()
+{
+    drainScheduled_ = false;
+    while (auto hp = ring_.pop()) {
+        if (cfg_.evictionAdvisor) {
+            Hotness &h = lastHot_[vm::pageKey(hp->pid, hp->vpn)];
+            h.prev = h.last;
+            h.last = hp->time;
+            if (lastHot_.size() > (1u << 20))
+                lastHot_.clear();
+        }
+        trainer_.onHotPage(*hp, eq_.now());
+    }
+}
+
+void
+HoppSystem::onPteSet(Pid pid, Vpn vpn, Ppn ppn, bool shared, bool huge,
+                     Tick)
+{
+    RptEntry entry{pid, vpn, shared,
+                   static_cast<std::uint8_t>(huge ? 1 : 0)};
+    if (cfg_.channelInterleaved) {
+        // Any channel's HPD can extract this page: every MC's RPT
+        // cache receives the update.
+        for (auto &cache : rptCaches_)
+            cache->update(ppn, entry);
+    } else {
+        rptCaches_[channelOf(pageBase(ppn))]->update(ppn, entry);
+    }
+}
+
+void
+HoppSystem::onPteClear(Pid, Vpn, Ppn ppn, Tick)
+{
+    if (cfg_.channelInterleaved) {
+        for (unsigned c = 0; c < cfg_.channels; ++c) {
+            rptCaches_[c]->invalidate(ppn);
+            // The frame will be recycled: a stale send bit must not
+            // suppress hot-page detection of its next tenant.
+            hpds_[c]->invalidate(ppn);
+        }
+    } else {
+        unsigned c = channelOf(pageBase(ppn));
+        rptCaches_[c]->invalidate(ppn);
+        hpds_[c]->invalidate(ppn);
+    }
+}
+
+void
+HoppSystem::onPrefetchCompleted(Pid pid, Vpn vpn, vm::Origin o, Tick,
+                                bool)
+{
+    if (o == prefetch::origin::hopp)
+        exec_.onCompleted(pid, vpn);
+}
+
+void
+HoppSystem::onPrefetchHit(Pid pid, Vpn vpn, vm::Origin o, Tick ready_at,
+                          Tick hit_at, bool)
+{
+    if (o == prefetch::origin::hopp)
+        exec_.onHit(pid, vpn, ready_at, hit_at);
+}
+
+void
+HoppSystem::onPrefetchEvicted(Pid pid, Vpn vpn, vm::Origin o, Tick)
+{
+    if (o == prefetch::origin::hopp)
+        exec_.onEvicted(pid, vpn);
+}
+
+} // namespace hopp::core

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The full HoPP system (Figure 4): hardware modules (HPD + RPT cache)
+ * tapped into the memory controller, the reserved-DRAM hot-page ring,
+ * and the software plane (trainer + policy + execution engines)
+ * running asynchronously as a separate data path alongside the
+ * kernel's fault-driven swap path.
+ */
+
+#ifndef HOPP_HOPP_HOPP_SYSTEM_HH
+#define HOPP_HOPP_HOPP_SYSTEM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hopp/exec_engine.hh"
+#include "hopp/hot_page.hh"
+#include "hopp/hpd.hh"
+#include "hopp/policy.hh"
+#include "hopp/rpt.hh"
+#include "hopp/stt.hh"
+#include "hopp/trainer.hh"
+#include "mem/memctrl.hh"
+#include "sim/event_queue.hh"
+#include "vm/vms.hh"
+
+namespace hopp::core
+{
+
+/** Assembly-level configuration of the whole HoPP system. */
+struct HoppConfig
+{
+    HpdConfig hpd;
+    RptCacheConfig rptCache;
+    SttConfig stt;
+    PolicyConfig policy;
+
+    /** Enabled prefetch tiers (Fig. 18-20 ablations). */
+    unsigned tierMask = tiers::all;
+
+    /**
+     * Memory channels (§III-B "impact of multiple memory channels").
+     * Each channel's MC carries its own HPD table and RPT cache; the
+     * prefetch training framework merges (non-interleaved) or
+     * de-duplicates (interleaved) their hot-page outputs.
+     */
+    unsigned channels = 1;
+
+    /**
+     * Interleaved channels: consecutive cachelines of a page live in
+     * distinct channels, so each HPD sees only 64/channels lines of a
+     * page — the paper notes N must shrink accordingly.
+     */
+    bool channelInterleaved = true;
+
+    /**
+     * Divide the HPD threshold by the channel count under
+     * interleaving, as §III-B prescribes ("we need to reduce N").
+     */
+    bool scaleThresholdWithChannels = true;
+
+    /** Huge-batch prefetching of long streams (§IV extension). */
+    BatchConfig batch;
+
+    /**
+     * Correlation (Markov) tier parameters; enable it by adding
+     * tiers::markov to tierMask. The §III-D "ML-based designs enabled
+     * by full trace" direction.
+     */
+    MarkovConfig markov;
+
+    /**
+     * Use the hot-page trace to advise kernel reclaim (§IV: improving
+     * page eviction with full memory traces).
+     */
+    bool evictionAdvisor = false;
+
+    /** Pages hot within this window are kept from eviction. */
+    Tick warmWindow = 2'000'000; // 2 ms
+
+    /** Latency from hot-page extraction to software processing. */
+    Tick trainerDelay = 500;
+
+    /** Hot-page ring capacity (reserved DRAM area). */
+    std::size_t ringCapacity = 1 << 16;
+};
+
+/**
+ * HoPP: hardware + software, wired into one machine.
+ */
+class HoppSystem : public mem::McObserver,
+                   public vm::PteHook,
+                   public vm::PageEventListener,
+                   public vm::Vms::EvictionAdvisor
+{
+  public:
+    HoppSystem(sim::EventQueue &eq, vm::Vms &vms, mem::MemCtrl &mc,
+               const HoppConfig &cfg = {});
+
+    /**
+     * Attach to the machine and build the initial RPT by walking all
+     * existing page tables (§III-C). Call once, before (or while) the
+     * applications run.
+     */
+    void start();
+
+    // --- hardware data path -------------------------------------
+    void onMcAccess(PhysAddr pa, bool is_write, Tick now) override;
+
+    // --- RPT maintenance hooks (§V: set_pte_at / pte_clear) ------
+    void onPteSet(Pid pid, Vpn vpn, Ppn ppn, bool shared, bool huge,
+                  Tick now) override;
+    void onPteClear(Pid pid, Vpn vpn, Ppn ppn, Tick now) override;
+
+    // --- feedback from the VMS on injected pages -----------------
+    void onPrefetchCompleted(Pid pid, Vpn vpn, vm::Origin o, Tick now,
+                             bool injected) override;
+    void onPrefetchHit(Pid pid, Vpn vpn, vm::Origin o, Tick ready_at,
+                       Tick hit_at, bool dram_hit) override;
+    void onPrefetchEvicted(Pid pid, Vpn vpn, vm::Origin o,
+                           Tick now) override;
+
+    // --- trace-informed eviction advice (§IV) --------------------
+    bool keepWarm(Pid pid, Vpn vpn, Tick now) override;
+
+    /** Channel an MC access routes to. */
+    unsigned channelOf(PhysAddr pa) const;
+
+    /** Component access for tests and benches (channel 0 views). */
+    Hpd &hpd() { return *hpds_[0]; }
+    Rpt &rpt() { return rpt_; }
+    RptCache &rptCache() { return *rptCaches_[0]; }
+
+    /** Per-channel hardware (size = config().channels). */
+    Hpd &hpd(unsigned channel) { return *hpds_.at(channel); }
+    RptCache &rptCache(unsigned channel)
+    {
+        return *rptCaches_.at(channel);
+    }
+
+    /** Aggregate HPD statistics over all channels. */
+    HpdStats hpdTotals() const;
+
+    /** The configuration in effect. */
+    const HoppConfig &config() const { return cfg_; }
+    Stt &stt() { return stt_; }
+    PolicyEngine &policy() { return policy_; }
+    ExecEngine &exec() { return exec_; }
+    Trainer &trainer() { return trainer_; }
+    HotPageRing &ring() { return ring_; }
+
+    /** Hot pages whose PPN the RPT could not map (dropped). */
+    std::uint64_t unmappedHotPages() const { return unmapped_; }
+
+  private:
+    void drainRing();
+
+    sim::EventQueue &eq_;
+    vm::Vms &vms_;
+    mem::MemCtrl &mc_;
+    HoppConfig cfg_;
+    std::vector<std::unique_ptr<Hpd>> hpds_;       // one per channel
+    Rpt rpt_;
+    std::vector<std::unique_ptr<RptCache>> rptCaches_; // one per MC
+    HotPageRing ring_;
+    Stt stt_;
+    PolicyEngine policy_;
+    ExecEngine exec_;
+    Trainer trainer_;
+    bool drainScheduled_ = false;
+    bool started_ = false;
+    std::uint64_t unmapped_ = 0;
+
+    /** Advisor state: last two hot-extraction times per page. */
+    struct Hotness
+    {
+        Tick last = 0;
+        Tick prev = 0;
+    };
+
+    std::unordered_map<std::uint64_t, Hotness> lastHot_;
+};
+
+} // namespace hopp::core
+
+#endif // HOPP_HOPP_HOPP_SYSTEM_HH

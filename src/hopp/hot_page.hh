@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The hot-page record HoPP hardware writes to reserved DRAM (step 2 of
+ * Figure 4): the PID+VPN combo produced by the RPT cache, plus the
+ * shared/huge flags forwarded for software policy (§III-C) and the
+ * extraction timestamp.
+ */
+
+#ifndef HOPP_HOPP_HOT_PAGE_HH
+#define HOPP_HOPP_HOT_PAGE_HH
+
+#include "common/types.hh"
+#include "trace/trace_buffer.hh"
+
+namespace hopp::core
+{
+
+/** One hot page delivered from the MC to HoPP software. */
+struct HotPage
+{
+    Pid pid = 0;
+    Vpn vpn = 0;
+    Ppn ppn = 0;
+    bool shared = false;
+    bool huge = false;
+    Tick time = 0;
+};
+
+/** The reserved-DRAM hot-page area. */
+using HotPageRing = trace::RingBuffer<HotPage>;
+
+/** Bytes one packed hot-page record occupies in DRAM (64-bit combo). */
+inline constexpr std::uint64_t hotPageRecordBytes = 8;
+
+} // namespace hopp::core
+
+#endif // HOPP_HOPP_HOT_PAGE_HH

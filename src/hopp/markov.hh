@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Correlation (Markov) prefetcher over the hot-page trace — the
+ * "advanced solutions like machine learning-based ones can also be
+ * enabled by full trace" direction of §III-D, in the tradition of
+ * Joseph & Grunwald's Markov predictors.
+ *
+ * The table records, per (PID, VPN), the most frequent successor hot
+ * pages. Repeated irregular sequences — iterating a fixed edge list,
+ * pointer chasing over a stable heap — produce confident successors
+ * that no stride detector can see, while the fault-only view never
+ * observes enough of the sequence to learn it at all.
+ */
+
+#ifndef HOPP_HOPP_MARKOV_HH
+#define HOPP_HOPP_MARKOV_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/set_assoc.hh"
+#include "vm/page.hh"
+
+namespace hopp::core
+{
+
+/** Markov table knobs. */
+struct MarkovConfig
+{
+    /** Table capacity in (page -> successors) entries. */
+    std::size_t entries = 8192;
+
+    /** Associativity of the table. */
+    std::size_t ways = 8;
+
+    /** Successor slots per entry. */
+    static constexpr unsigned slots = 2;
+
+    /** Observations before a successor is considered predictable. */
+    std::uint16_t minCount = 2;
+
+    /** Successor-chain depth followed per prediction. */
+    unsigned chainDepth = 2;
+};
+
+/** Markov-table counters. */
+struct MarkovStats
+{
+    std::uint64_t trained = 0;
+    std::uint64_t replaced = 0;    //!< successor slot repurposed
+    std::uint64_t predictions = 0; //!< pages returned by predict()
+    std::uint64_t misses = 0;      //!< predict() with no entry
+};
+
+/**
+ * The correlation table.
+ */
+class MarkovTable
+{
+  public:
+    explicit MarkovTable(const MarkovConfig &cfg = {});
+
+    /** Record the transition prev -> cur in pid's hot-page stream. */
+    void train(Pid pid, Vpn prev, Vpn cur);
+
+    /**
+     * Predict the likely successor chain of (pid, vpn): the dominant
+     * successor, its dominant successor, and so on up to @p depth
+     * (cfg.chainDepth when 0), plus the runner-up of the first hop.
+     */
+    std::vector<Vpn> predict(Pid pid, Vpn vpn, unsigned depth = 0);
+
+    /** Counters. */
+    const MarkovStats &stats() const { return stats_; }
+
+    /** Entries currently held. */
+    std::size_t size() const { return table_.size(); }
+
+  private:
+    struct Entry
+    {
+        Vpn succ[MarkovConfig::slots] = {0, 0};
+        std::uint16_t count[MarkovConfig::slots] = {0, 0};
+    };
+
+    /** Dominant successor of vpn, if confident. */
+    bool dominant(Pid pid, Vpn vpn, Vpn &out);
+
+    MarkovConfig cfg_;
+    mem::SetAssocCache<Entry> table_;
+    MarkovStats stats_;
+};
+
+} // namespace hopp::core
+
+#endif // HOPP_HOPP_MARKOV_HH

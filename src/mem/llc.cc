@@ -1,0 +1,58 @@
+#include "llc.hh"
+
+namespace hopp::mem
+{
+
+namespace
+{
+
+std::size_t
+setsFor(const LlcConfig &cfg)
+{
+    std::uint64_t lines = cfg.capacityBytes / lineBytes;
+    std::uint64_t sets = lines / cfg.ways;
+    hopp_assert(sets > 0, "LLC too small for its associativity");
+    // Round down to a power of two as real indexing requires.
+    while (sets & (sets - 1))
+        sets &= sets - 1;
+    return static_cast<std::size_t>(sets);
+}
+
+} // namespace
+
+Llc::Llc(const LlcConfig &cfg) : tags_(setsFor(cfg), cfg.ways) {}
+
+std::uint64_t
+Llc::taggedLine(PhysAddr pa)
+{
+    Ppn ppn = pageOf(pa);
+    std::uint32_t epoch =
+        ppn < epochs_.size() ? epochs_[ppn] : 0;
+    // The set index comes from the low line-address bits; the epoch
+    // only disambiguates tags, so invalidated lines conflict in the
+    // same set they always occupied.
+    return (static_cast<std::uint64_t>(epoch) << 40) | lineOf(pa);
+}
+
+bool
+Llc::access(PhysAddr pa)
+{
+    std::uint64_t tag = taggedLine(pa);
+    if (tags_.touch(tag)) {
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    tags_.insert(tag, Empty{});
+    return false;
+}
+
+void
+Llc::invalidatePage(Ppn ppn)
+{
+    if (ppn >= epochs_.size())
+        epochs_.resize(ppn + 1, 0);
+    ++epochs_[ppn];
+}
+
+} // namespace hopp::mem

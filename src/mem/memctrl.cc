@@ -1,0 +1,15 @@
+#include "memctrl.hh"
+
+#include <algorithm>
+
+namespace hopp::mem
+{
+
+void
+MemCtrl::detach(McObserver *obs)
+{
+    observers_.erase(std::remove(observers_.begin(), observers_.end(), obs),
+                     observers_.end());
+}
+
+} // namespace hopp::mem

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Memory-controller model.
+ *
+ * The MC receives LLC-miss transactions and forwards read misses to any
+ * attached hardware observers — this is exactly the tap point the paper
+ * modifies: HoPP's Hot Page Detection module consumes MC read traffic
+ * (§III-B), and the HMTT prototype emulates the same tap as a
+ * bump-in-the-wire (§V).
+ */
+
+#ifndef HOPP_MEM_MEMCTRL_HH
+#define HOPP_MEM_MEMCTRL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/dram.hh"
+
+namespace hopp::mem
+{
+
+/**
+ * Anything that wants to see MC-level traffic (HPD hardware, HMTT
+ * tracer) implements this interface and attaches to the MemCtrl.
+ */
+class McObserver
+{
+  public:
+    virtual ~McObserver() = default;
+
+    /**
+     * One LLC-miss access has reached the memory controller.
+     *
+     * @param pa cacheline-aligned physical address.
+     * @param is_write true for writebacks / DMA writes.
+     * @param now current simulated time.
+     */
+    virtual void onMcAccess(PhysAddr pa, bool is_write, Tick now) = 0;
+};
+
+/**
+ * Memory controller: accounts DRAM traffic and fans accesses out to
+ * observers. Purely functional (no queueing model) — the end-to-end
+ * latency of a DRAM access is charged by the cost model in vm::Vms.
+ */
+class MemCtrl
+{
+  public:
+    explicit MemCtrl(Dram &dram) : dram_(dram) {}
+
+    /** Attach an observer; order of attachment = order of callbacks. */
+    void attach(McObserver *obs) { observers_.push_back(obs); }
+
+    /** Detach a previously attached observer. */
+    void detach(McObserver *obs);
+
+    /** A demand LLC-miss read of one cacheline. */
+    void
+    demandRead(PhysAddr pa, Tick now)
+    {
+        dram_.recordTraffic(TrafficSource::AppRead, lineBytes);
+        notify(pa, false, now);
+    }
+
+    /** An LLC writeback of one cacheline. */
+    void
+    writeback(PhysAddr pa, Tick now)
+    {
+        dram_.recordTraffic(TrafficSource::AppWrite, lineBytes);
+        notify(pa, true, now);
+    }
+
+    /**
+     * A 4 KB page DMA transfer by the RDMA NIC (page in or out). These
+     * are write accesses the paper explicitly excludes from hot-page
+     * detection (§III-B), so observers see them flagged as writes.
+     */
+    void
+    pageDma(Ppn ppn, Tick now)
+    {
+        dram_.recordTraffic(TrafficSource::PageTransfer, pageBytes);
+        notify(pageBase(ppn), true, now);
+    }
+
+    /** The DRAM module behind this controller. */
+    Dram &dram() { return dram_; }
+
+  private:
+    void
+    notify(PhysAddr pa, bool is_write, Tick now)
+    {
+        for (auto *obs : observers_)
+            obs->onMcAccess(pa, is_write, now);
+    }
+
+    Dram &dram_;
+    std::vector<McObserver *> observers_;
+};
+
+} // namespace hopp::mem
+
+#endif // HOPP_MEM_MEMCTRL_HH

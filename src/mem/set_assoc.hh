@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Generic set-associative, LRU-replaced lookup structure.
+ *
+ * Models the small hardware tables HoPP adds to the memory controller
+ * (HPD table, RPT cache) as well as the LLC tag array. Keys are arbitrary
+ * 64-bit tags; the set index is the low bits of the key, exactly as the
+ * paper indexes the HPD table with the low PPN bits.
+ */
+
+#ifndef HOPP_MEM_SET_ASSOC_HH
+#define HOPP_MEM_SET_ASSOC_HH
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hopp::mem
+{
+
+/**
+ * Fixed-geometry set-associative cache with true-LRU replacement.
+ *
+ * @tparam Value payload stored per tag.
+ */
+template <typename Value>
+class SetAssocCache
+{
+  public:
+    /** An evicted (tag, value) pair returned from insert(). */
+    struct Eviction
+    {
+        std::uint64_t tag;
+        Value value;
+    };
+
+    /**
+     * @param sets number of sets; must be a power of two.
+     * @param ways associativity.
+     */
+    SetAssocCache(std::size_t sets, std::size_t ways)
+        : sets_(sets), ways_(ways), lines_(sets * ways)
+    {
+        hopp_assert(sets > 0 && (sets & (sets - 1)) == 0,
+                    "set count must be a power of two");
+        hopp_assert(ways > 0, "need at least one way");
+    }
+
+    /** Number of sets. */
+    std::size_t sets() const { return sets_; }
+
+    /** Associativity. */
+    std::size_t ways() const { return ways_; }
+
+    /** Total capacity in entries. */
+    std::size_t capacity() const { return sets_ * ways_; }
+
+    /** Entries currently valid. */
+    std::size_t size() const { return live_; }
+
+    /**
+     * Look up a tag and promote it to MRU on hit.
+     * @return pointer to the payload, or nullptr on miss.
+     */
+    Value *
+    touch(std::uint64_t tag)
+    {
+        Line *line = findLine(tag);
+        if (!line)
+            return nullptr;
+        promote(line);
+        return &line->value;
+    }
+
+    /** Look up a tag without disturbing LRU state. */
+    Value *
+    peek(std::uint64_t tag)
+    {
+        Line *line = findLine(tag);
+        return line ? &line->value : nullptr;
+    }
+
+    /** Const lookup without disturbing LRU state. */
+    const Value *
+    peek(std::uint64_t tag) const
+    {
+        const Line *line =
+            const_cast<SetAssocCache *>(this)->findLine(tag);
+        return line ? &line->value : nullptr;
+    }
+
+    /**
+     * Insert or overwrite a tag as MRU.
+     * @return the LRU victim if a valid entry had to be evicted.
+     */
+    std::optional<Eviction>
+    insert(std::uint64_t tag, Value value)
+    {
+        if (Line *line = findLine(tag)) {
+            line->value = std::move(value);
+            promote(line);
+            return std::nullopt;
+        }
+        std::size_t set = setIndex(tag);
+        Line *victim = nullptr;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line &cand = lines_[set * ways_ + w];
+            if (!cand.valid) {
+                victim = &cand;
+                break;
+            }
+            if (!victim || cand.age > victim->age)
+                victim = &cand;
+        }
+        std::optional<Eviction> out;
+        if (victim->valid) {
+            out = Eviction{victim->tag, std::move(victim->value)};
+        } else {
+            ++live_;
+        }
+        victim->valid = true;
+        victim->tag = tag;
+        victim->value = std::move(value);
+        promote(victim);
+        return out;
+    }
+
+    /**
+     * Remove a tag if present.
+     * @return the removed payload.
+     */
+    std::optional<Value>
+    erase(std::uint64_t tag)
+    {
+        Line *line = findLine(tag);
+        if (!line)
+            return std::nullopt;
+        line->valid = false;
+        --live_;
+        return std::move(line->value);
+    }
+
+    /** Drop every entry. */
+    void
+    clear()
+    {
+        for (auto &l : lines_)
+            l.valid = false;
+        live_ = 0;
+        clock_ = 0;
+    }
+
+    /** Visit every valid (tag, value) pair; fn(tag, value&). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &l : lines_) {
+            if (l.valid)
+                fn(l.tag, l.value);
+        }
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t age = 0; // lower = more recently used
+        Value value{};
+    };
+
+    std::size_t
+    setIndex(std::uint64_t tag) const
+    {
+        return static_cast<std::size_t>(tag & (sets_ - 1));
+    }
+
+    Line *
+    findLine(std::uint64_t tag)
+    {
+        std::size_t set = setIndex(tag);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line &line = lines_[set * ways_ + w];
+            if (line.valid && line.tag == tag)
+                return &line;
+        }
+        return nullptr;
+    }
+
+    void
+    promote(Line *line)
+    {
+        // A global logical clock gives true LRU without per-set shuffles.
+        line->age = ~(clock_++);
+    }
+
+    std::size_t sets_;
+    std::size_t ways_;
+    std::vector<Line> lines_;
+    std::size_t live_ = 0;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace hopp::mem
+
+#endif // HOPP_MEM_SET_ASSOC_HH

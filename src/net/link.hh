@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bandwidth/latency model of one direction of an RDMA fabric.
+ *
+ * A transfer entering at tick t completes at
+ *   max(t, link_free) + bytes/bandwidth + base_latency,
+ * i.e. FIFO serialization on the wire plus a fixed propagation +
+ * NIC/switch processing latency. With the paper's 56 Gbps link and a
+ * 3.4 us base latency, a 4 KB page costs ~4 us uncontended (§II-A
+ * step 4), and queueing delay emerges naturally under prefetch bursts.
+ */
+
+#ifndef HOPP_NET_LINK_HH
+#define HOPP_NET_LINK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace hopp::net
+{
+
+/** Link parameters. */
+struct LinkConfig
+{
+    /** Wire rate in gigabits per second (paper testbed: 56 Gbps IB). */
+    double gbps = 56.0;
+
+    /** Fixed one-way latency added after serialization. */
+    Tick baseLatency = 3400;
+
+    /**
+     * Per-transfer issue overhead occupying the engine (doorbell, WQE
+     * processing). Makes one 32-page batch cheaper than 32 single-page
+     * reads, as on real NICs.
+     */
+    Tick perTransferOverhead = 150;
+};
+
+/**
+ * One simplex link with FIFO queueing.
+ */
+class Link
+{
+  public:
+    explicit Link(const LinkConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Enqueue a transfer of @p bytes at time @p now.
+     * @return the absolute tick at which the last byte arrives.
+     */
+    Tick
+    transfer(std::uint64_t bytes, Tick now)
+    {
+        Tick start = busyUntil_ > now ? busyUntil_ : now;
+        Tick ser = cfg_.perTransferOverhead + serializationDelay(bytes);
+        busyUntil_ = start + ser;
+        bytesSent_ += bytes;
+        ++transfers_;
+        queueDelay_.sample(start - now);
+        return busyUntil_ + cfg_.baseLatency;
+    }
+
+    /** Pure serialization time of @p bytes at the configured rate. */
+    Tick
+    serializationDelay(std::uint64_t bytes) const
+    {
+        double ns = static_cast<double>(bytes) * 8.0 / cfg_.gbps;
+        return static_cast<Tick>(ns + 0.5);
+    }
+
+    /** Earliest tick a new transfer could start serialization. */
+    Tick busyUntil() const { return busyUntil_; }
+
+    /** Total payload bytes accepted. */
+    std::uint64_t bytesSent() const { return bytesSent_; }
+
+    /** Number of transfers accepted. */
+    std::uint64_t transfers() const { return transfers_; }
+
+    /** Distribution of per-transfer queueing delay. */
+    const stats::Average &queueDelay() const { return queueDelay_; }
+
+    /** Configured parameters. */
+    const LinkConfig &config() const { return cfg_; }
+
+  private:
+    LinkConfig cfg_;
+    Tick busyUntil_ = 0;
+    std::uint64_t bytesSent_ = 0;
+    std::uint64_t transfers_ = 0;
+    stats::Average queueDelay_;
+};
+
+} // namespace hopp::net
+
+#endif // HOPP_NET_LINK_HH

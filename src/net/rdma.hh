@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Asynchronous RDMA fabric: two simplex links (reads pull data from the
+ * memory node, writes push data to it) plus completion scheduling on the
+ * event queue. This is the only channel both the demand swap path and
+ * HoPP's separate prefetch data path use, so they naturally contend.
+ */
+
+#ifndef HOPP_NET_RDMA_HH
+#define HOPP_NET_RDMA_HH
+
+#include <functional>
+
+#include "common/types.hh"
+#include "net/link.hh"
+#include "sim/event_queue.hh"
+
+namespace hopp::net
+{
+
+/**
+ * RDMA one-sided read/write engine over a pair of simplex links.
+ */
+class RdmaFabric
+{
+  public:
+    RdmaFabric(sim::EventQueue &eq, const LinkConfig &cfg)
+        : eq_(eq), readLink_(cfg), writeLink_(cfg)
+    {
+    }
+
+    /**
+     * One-sided read of @p bytes issued at @p now.
+     * @return the completion tick (data available locally).
+     */
+    Tick
+    read(std::uint64_t bytes, Tick now)
+    {
+        return readLink_.transfer(bytes, now);
+    }
+
+    /**
+     * One-sided read with a completion callback scheduled on the event
+     * queue. @p now must be >= the queue's current time.
+     */
+    Tick
+    readAsync(std::uint64_t bytes, Tick now, std::function<void(Tick)> done)
+    {
+        Tick completion = readLink_.transfer(bytes, now);
+        eq_.schedule(completion,
+                     [done = std::move(done), completion] {
+                         done(completion);
+                     });
+        return completion;
+    }
+
+    /** One-sided write of @p bytes issued at @p now. */
+    Tick
+    write(std::uint64_t bytes, Tick now)
+    {
+        return writeLink_.transfer(bytes, now);
+    }
+
+    /** One-sided write with completion callback. */
+    Tick
+    writeAsync(std::uint64_t bytes, Tick now, std::function<void(Tick)> done)
+    {
+        Tick completion = writeLink_.transfer(bytes, now);
+        eq_.schedule(completion,
+                     [done = std::move(done), completion] {
+                         done(completion);
+                     });
+        return completion;
+    }
+
+    /** Inbound (read-response) link. */
+    const Link &readLink() const { return readLink_; }
+
+    /** Outbound (write) link. */
+    const Link &writeLink() const { return writeLink_; }
+
+  private:
+    sim::EventQueue &eq_;
+    Link readLink_;
+    Link writeLink_;
+};
+
+} // namespace hopp::net
+
+#endif // HOPP_NET_RDMA_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * VMA-based readahead (Linux 5.4 swap_vma_readahead, referenced by
+ * §II-B and evaluated in Figure 22): prefetch the pages *virtually*
+ * adjacent to the fault, rather than the swap-offset neighbours.
+ */
+
+#ifndef HOPP_PREFETCH_VMA_HH
+#define HOPP_PREFETCH_VMA_HH
+
+#include "prefetch/prefetcher.hh"
+#include "vm/vms.hh"
+
+namespace hopp::prefetch
+{
+
+/** VMA readahead knobs. */
+struct VmaConfig
+{
+    /** Total window of virtually-adjacent pages fetched per fault. */
+    unsigned window = 8;
+};
+
+/**
+ * Virtual-address neighbourhood readahead into the swapcache.
+ */
+class VmaPrefetcher : public Prefetcher
+{
+  public:
+    VmaPrefetcher(vm::Vms &vms, const VmaConfig &cfg = {})
+        : vms_(vms), cfg_(cfg)
+    {
+    }
+
+    std::string name() const override { return "vma-readahead"; }
+
+    vm::Origin origin() const override { return origin::vma; }
+
+    void
+    onFault(const vm::FaultContext &ctx) override
+    {
+        unsigned half = cfg_.window / 2;
+        for (unsigned i = 1; i <= half; ++i) {
+            vms_.prefetchToSwapCache(ctx.pid, ctx.vpn + i, origin::vma,
+                                     ctx.now);
+            if (ctx.vpn >= i) {
+                vms_.prefetchToSwapCache(ctx.pid, ctx.vpn - i,
+                                         origin::vma, ctx.now);
+            }
+        }
+    }
+
+  private:
+    vm::Vms &vms_;
+    VmaConfig cfg_;
+};
+
+} // namespace hopp::prefetch
+
+#endif // HOPP_PREFETCH_VMA_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The memory node: a passive slab of 4 KB swap slots reachable over
+ * RDMA. Mirrors the paper's second server (6 x 8 GB DRAM) that "provides
+ * remote memory" and runs no compute.
+ */
+
+#ifndef HOPP_REMOTE_REMOTE_NODE_HH
+#define HOPP_REMOTE_REMOTE_NODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace hopp::remote
+{
+
+/** Identifier of one remote 4 KB slot. */
+using SwapSlot = std::uint64_t;
+
+/** Sentinel for "no slot". */
+inline constexpr SwapSlot noSlot = ~SwapSlot(0);
+
+/**
+ * Remote memory node: allocates swap slots in ascending order (so that
+ * slot adjacency mirrors eviction adjacency, which is what swap-offset
+ * based readahead exploits) and recycles freed slots afterwards.
+ */
+class RemoteNode
+{
+  public:
+    /** @param slots capacity of the node in 4 KB slots. */
+    explicit RemoteNode(std::uint64_t slots) : capacity_(slots) {}
+
+    /** Allocate one slot; panics when the node is full. */
+    SwapSlot
+    allocate()
+    {
+        if (!freed_.empty()) {
+            SwapSlot s = freed_.back();
+            freed_.pop_back();
+            ++live_;
+            return s;
+        }
+        hopp_assert(next_ < capacity_, "remote memory node full");
+        ++live_;
+        return next_++;
+    }
+
+    /** Return a slot to the node. */
+    void
+    release(SwapSlot slot)
+    {
+        hopp_assert(slot < next_, "release of never-allocated slot");
+        hopp_assert(live_ > 0, "release with no live slots");
+        --live_;
+        freed_.push_back(slot);
+    }
+
+    /** Slots currently allocated. */
+    std::uint64_t liveSlots() const { return live_; }
+
+    /** Total capacity. */
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** High-water mark of slot ids handed out. */
+    std::uint64_t highWater() const { return next_; }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t next_ = 0;
+    std::uint64_t live_ = 0;
+    std::vector<SwapSlot> freed_;
+};
+
+} // namespace hopp::remote
+
+#endif // HOPP_REMOTE_REMOTE_NODE_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Swap backend bridging the VMS to the remote memory node over RDMA.
+ *
+ * Owns the slot <-> (pid, vpn) mapping that swap-offset based
+ * prefetchers (Fastswap readahead) consult, and turns page-in/page-out
+ * requests into 4 KB RDMA transfers on the shared fabric.
+ */
+
+#ifndef HOPP_REMOTE_SWAP_BACKEND_HH
+#define HOPP_REMOTE_SWAP_BACKEND_HH
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "net/rdma.hh"
+#include "remote/remote_node.hh"
+
+namespace hopp::remote
+{
+
+/** Owner of one swap slot. */
+struct SlotOwner
+{
+    Pid pid;
+    Vpn vpn;
+};
+
+/**
+ * Swap backend: slot management + page transfer issue.
+ */
+class SwapBackend
+{
+  public:
+    SwapBackend(net::RdmaFabric &fabric, RemoteNode &node)
+        : fabric_(fabric), node_(node)
+    {
+    }
+
+    /** Allocate a slot for (pid, vpn); records the reverse mapping. */
+    SwapSlot
+    allocate(Pid pid, Vpn vpn)
+    {
+        SwapSlot slot = node_.allocate();
+        owners_[slot] = SlotOwner{pid, vpn};
+        return slot;
+    }
+
+    /** Free a slot (page dropped or process exit). */
+    void
+    release(SwapSlot slot)
+    {
+        owners_.erase(slot);
+        node_.release(slot);
+    }
+
+    /** Reverse-map a slot to its page, if live. */
+    std::optional<SlotOwner>
+    owner(SwapSlot slot) const
+    {
+        auto it = owners_.find(slot);
+        if (it == owners_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /**
+     * Pages owning the slots in [slot - before, slot + after], excluding
+     * @p slot itself. This is the neighbourhood swap-offset readahead
+     * fetches around a faulting slot.
+     */
+    std::vector<SlotOwner>
+    neighbors(SwapSlot slot, std::uint64_t before,
+              std::uint64_t after) const
+    {
+        std::vector<SlotOwner> out;
+        SwapSlot lo = slot >= before ? slot - before : 0;
+        for (SwapSlot s = lo; s <= slot + after; ++s) {
+            if (s == slot)
+                continue;
+            auto it = owners_.find(s);
+            if (it != owners_.end())
+                out.push_back(it->second);
+        }
+        return out;
+    }
+
+    /**
+     * Synchronous demand page-in: reserves fabric time and returns the
+     * completion tick. The caller (fault handler) stalls until then.
+     */
+    Tick
+    demandRead(Tick now)
+    {
+        ++demandReads_;
+        return fabric_.read(pageBytes, now);
+    }
+
+    /** Asynchronous page-in for prefetching. */
+    Tick
+    readAsync(Tick now, std::function<void(Tick)> done)
+    {
+        ++prefetchReads_;
+        return fabric_.readAsync(pageBytes, now, std::move(done));
+    }
+
+    /**
+     * Asynchronous multi-page read in one RDMA transfer (huge-batch
+     * prefetching, §IV): one base latency for @p pages pages.
+     */
+    Tick
+    readBatchAsync(std::uint64_t pages, Tick now,
+                   std::function<void(Tick)> done)
+    {
+        prefetchReads_ += pages;
+        ++batchReads_;
+        return fabric_.readAsync(pages * pageBytes, now,
+                                 std::move(done));
+    }
+
+    /** Asynchronous page-out (reclaim writeback). */
+    Tick
+    writeAsync(Tick now, std::function<void(Tick)> done)
+    {
+        ++writebacks_;
+        return fabric_.writeAsync(pageBytes, now, std::move(done));
+    }
+
+    /** Fire-and-forget page-out when nobody needs the completion. */
+    Tick
+    write(Tick now)
+    {
+        ++writebacks_;
+        return fabric_.write(pageBytes, now);
+    }
+
+    /** Demand (fault-path) page reads issued. */
+    std::uint64_t demandReads() const { return demandReads_; }
+
+    /** Prefetch page reads issued. */
+    std::uint64_t prefetchReads() const { return prefetchReads_; }
+
+    /** Page writebacks issued. */
+    std::uint64_t writebacks() const { return writebacks_; }
+
+    /** Multi-page batch reads issued. */
+    std::uint64_t batchReads() const { return batchReads_; }
+
+    /** Live slot -> page mappings (for tests). */
+    std::size_t liveMappings() const { return owners_.size(); }
+
+    /** Reset the issue counters (not the mappings). */
+    void
+    resetStats()
+    {
+        demandReads_ = 0;
+        prefetchReads_ = 0;
+        writebacks_ = 0;
+    }
+
+  private:
+    net::RdmaFabric &fabric_;
+    RemoteNode &node_;
+    std::unordered_map<SwapSlot, SlotOwner> owners_;
+    std::uint64_t demandReads_ = 0;
+    std::uint64_t prefetchReads_ = 0;
+    std::uint64_t writebacks_ = 0;
+    std::uint64_t batchReads_ = 0;
+};
+
+} // namespace hopp::remote
+
+#endif // HOPP_REMOTE_SWAP_BACKEND_HH

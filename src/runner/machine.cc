@@ -1,0 +1,250 @@
+#include "machine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hopp::runner
+{
+
+const char *
+systemName(SystemKind k)
+{
+    switch (k) {
+      case SystemKind::Local: return "local";
+      case SystemKind::NoPrefetch: return "no-prefetch";
+      case SystemKind::Fastswap: return "fastswap";
+      case SystemKind::Leap: return "leap";
+      case SystemKind::Vma: return "vma";
+      case SystemKind::DepthN: return "depth-n";
+      case SystemKind::Hopp: return "hopp";
+      case SystemKind::HoppOnly: return "hopp-only";
+    }
+    return "?";
+}
+
+Tick
+RunResult::completionOf(const std::string &name) const
+{
+    for (const auto &a : apps) {
+        if (a.name == name)
+            return a.completion;
+    }
+    hopp_fatal("no app named '%s' in this run", name.c_str());
+}
+
+double
+normalizedPerformance(Tick ct_local, Tick ct_system)
+{
+    hopp_assert(ct_system > 0, "zero completion time");
+    return static_cast<double>(ct_local) /
+           static_cast<double>(ct_system);
+}
+
+Machine::Machine(const MachineConfig &cfg) : cfg_(cfg) {}
+
+Machine::~Machine() = default;
+
+void
+Machine::addWorkload(const workloads::Workload &w)
+{
+    hopp_assert(!built_, "cannot add workloads after run()");
+    apps_.push_back(w);
+}
+
+void
+Machine::build()
+{
+    hopp_assert(!apps_.empty(), "no workloads configured");
+    built_ = true;
+
+    // cgroup limit per app; Local gives every app its full footprint.
+    std::uint64_t total_limit = 0;
+    std::vector<std::uint64_t> limits;
+    for (const auto &w : apps_) {
+        double ratio =
+            cfg_.system == SystemKind::Local ? 1.0 : cfg_.localMemRatio;
+        auto limit = static_cast<std::uint64_t>(
+            static_cast<double>(w.footprintPages) * ratio);
+        limit = std::max<std::uint64_t>(limit, 64);
+        if (cfg_.system == SystemKind::Local)
+            limit += 64; // headroom: no reclaim in the local baseline
+        limits.push_back(limit);
+        total_limit += limit;
+    }
+
+    dram_ = std::make_unique<mem::Dram>(total_limit +
+                                        cfg_.dramSlackFrames);
+    mc_ = std::make_unique<mem::MemCtrl>(*dram_);
+    llc_ = std::make_unique<mem::Llc>(cfg_.llc);
+    fabric_ = std::make_unique<net::RdmaFabric>(eq_, cfg_.link);
+    // Remote node: everything that could ever be swapped out.
+    std::uint64_t remote_slots = 0;
+    for (const auto &w : apps_)
+        remote_slots += w.footprintPages;
+    node_ = std::make_unique<remote::RemoteNode>(remote_slots * 2 + 1024);
+    backend_ = std::make_unique<remote::SwapBackend>(*fabric_, *node_);
+    vms_ = std::make_unique<vm::Vms>(eq_, *dram_, *mc_, *llc_, *backend_,
+                                     cfg_.vms);
+    vms_->addListener(&stats_);
+
+    // Processes + threads.
+    Pid pid = 1;
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+        vms_->createProcess(pid, limits[i]);
+        for (const auto &make : apps_[i].threads) {
+            auto t = std::make_unique<Thread>();
+            t->pid = pid;
+            t->gen = make();
+            threads_.push_back(std::move(t));
+        }
+        ++pid;
+    }
+
+    // The system under test.
+    switch (cfg_.system) {
+      case SystemKind::Local:
+      case SystemKind::NoPrefetch:
+        break;
+      case SystemKind::Fastswap: {
+        auto ra = std::make_unique<prefetch::Readahead>(
+            *vms_, *backend_, cfg_.readahead);
+        vms_->addListener(ra.get());
+        prefetcher_ = std::move(ra);
+        break;
+      }
+      case SystemKind::Leap: {
+        auto leap =
+            std::make_unique<prefetch::Leap>(*vms_, cfg_.leap);
+        vms_->addListener(leap.get());
+        prefetcher_ = std::move(leap);
+        break;
+      }
+      case SystemKind::Vma:
+        prefetcher_ =
+            std::make_unique<prefetch::VmaPrefetcher>(*vms_, cfg_.vma);
+        break;
+      case SystemKind::DepthN:
+        prefetcher_ =
+            std::make_unique<prefetch::DepthN>(*vms_, cfg_.depth);
+        break;
+      case SystemKind::Hopp: {
+        // HoPP complements an existing kernel-based system: Fastswap's
+        // readahead keeps running on the fault path (§V).
+        auto ra = std::make_unique<prefetch::Readahead>(
+            *vms_, *backend_, cfg_.readahead);
+        vms_->addListener(ra.get());
+        prefetcher_ = std::move(ra);
+        hoppSystem_ = std::make_unique<core::HoppSystem>(
+            eq_, *vms_, *mc_, cfg_.hopp);
+        break;
+      }
+      case SystemKind::HoppOnly:
+        hoppSystem_ = std::make_unique<core::HoppSystem>(
+            eq_, *vms_, *mc_, cfg_.hopp);
+        break;
+    }
+
+    if (prefetcher_) {
+        vms_->setFaultCallback(
+            [p = prefetcher_.get()](const vm::FaultContext &ctx) {
+                p->onFault(ctx);
+            });
+    }
+    if (hoppSystem_)
+        hoppSystem_->start();
+}
+
+void
+Machine::step(Thread &t)
+{
+    unsigned budget = cfg_.quantum;
+    workloads::Access a;
+    while (budget-- > 0) {
+        if (!t.gen->next(a)) {
+            t.done = true;
+            t.completion = t.now;
+            return;
+        }
+        t.now += vms_->access(t.pid, a.va, a.write, t.now);
+        ++t.accesses;
+        // Yield when another event (prefetch completion, kswapd,
+        // another thread) is due before our local time.
+        if (t.now >= eq_.nextTime())
+            break;
+    }
+    eq_.schedule(std::max(t.now, eq_.now()),
+                 [this, &t] { step(t); });
+}
+
+void
+Machine::prepare()
+{
+    if (!built_)
+        build();
+}
+
+RunResult
+Machine::run()
+{
+    prepare();
+    for (auto &t : threads_) {
+        Thread *tp = t.get();
+        eq_.schedule(0, [this, tp] { step(*tp); });
+    }
+    eq_.run();
+
+    RunResult r;
+    Pid pid = 1;
+    for (const auto &w : apps_) {
+        AppResult ar;
+        ar.pid = pid;
+        ar.name = w.name;
+        for (const auto &t : threads_) {
+            if (t->pid != pid)
+                continue;
+            hopp_assert(t->done, "thread never finished");
+            ar.completion = std::max(ar.completion, t->completion);
+            ar.accesses += t->accesses;
+        }
+        r.makespan = std::max(r.makespan, ar.completion);
+        r.apps.push_back(std::move(ar));
+        ++pid;
+    }
+    r.accuracy = stats_.accuracy();
+    r.coverage = stats_.coverage();
+    r.dramHitCoverage = stats_.dramHitCoverage();
+    r.systemAccuracy = r.accuracy;
+    if (hoppSystem_) {
+        std::uint64_t issued = 0, hits = 0;
+        for (auto t : {core::Tier::Ssp, core::Tier::Lsp,
+                       core::Tier::Rsp}) {
+            issued += hoppSystem_->exec().tierStats(t).issued;
+            hits += hoppSystem_->exec().tierStats(t).hits;
+        }
+        if (issued) {
+            r.systemAccuracy = static_cast<double>(hits) /
+                               static_cast<double>(issued);
+        }
+    }
+    r.vms = vms_->stats();
+    r.demandRemote = backend_->demandReads();
+    r.prefetchReads = backend_->prefetchReads();
+    r.writebacks = backend_->writebacks();
+    return r;
+}
+
+RunResult
+runOne(const std::string &workload, SystemKind system,
+       double local_ratio, const workloads::WorkloadScale &scale,
+       const MachineConfig &base)
+{
+    MachineConfig cfg = base;
+    cfg.system = system;
+    cfg.localMemRatio = local_ratio;
+    Machine m(cfg);
+    m.addWorkload(workloads::makeWorkload(workload, scale));
+    return m.run();
+}
+
+} // namespace hopp::runner

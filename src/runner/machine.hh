@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Machine assembly: wires DRAM, LLC, memory controller, VMS, RDMA
+ * fabric, remote node, the system-under-test's prefetcher(s) and
+ * HoPP's hardware/software into one event-driven simulation, runs the
+ * configured workloads as per-thread actors, and collects the metrics
+ * every benchmark reports.
+ */
+
+#ifndef HOPP_RUNNER_MACHINE_HH
+#define HOPP_RUNNER_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hopp/hopp_system.hh"
+#include "mem/llc.hh"
+#include "net/rdma.hh"
+#include "prefetch/depthn.hh"
+#include "prefetch/leap.hh"
+#include "prefetch/readahead.hh"
+#include "prefetch/stats.hh"
+#include "prefetch/vma.hh"
+#include "remote/swap_backend.hh"
+#include "sim/event_queue.hh"
+#include "vm/vms.hh"
+#include "workloads/apps.hh"
+
+namespace hopp::runner
+{
+
+/** Which disaggregated-memory system drives the machine. */
+enum class SystemKind
+{
+    Local,      //!< everything fits in local DRAM (baseline CT_local)
+    NoPrefetch, //!< Fastswap data path without prefetching (Fig. 17)
+    Fastswap,   //!< swap-offset readahead
+    Leap,       //!< majority-based prefetching
+    Vma,        //!< VMA (virtual-address) readahead
+    DepthN,     //!< fixed-depth early PTE injection
+    Hopp,       //!< HoPP engine alongside Fastswap readahead (§V)
+    HoppOnly,   //!< HoPP engine with no fault-driven prefetcher
+};
+
+/** Printable system name. */
+const char *systemName(SystemKind k);
+
+/** Full machine configuration. */
+struct MachineConfig
+{
+    SystemKind system = SystemKind::Fastswap;
+
+    /** cgroup limit as a fraction of each app's footprint (§VI-B). */
+    double localMemRatio = 0.5;
+
+    /** Depth for SystemKind::DepthN. */
+    unsigned depth = 32;
+
+    mem::LlcConfig llc{/*capacityBytes=*/512 << 10, /*ways=*/16};
+    net::LinkConfig link;
+    vm::VmsConfig vms;
+    core::HoppConfig hopp;
+    prefetch::ReadaheadConfig readahead;
+    prefetch::LeapConfig leap;
+    prefetch::VmaConfig vma;
+
+    /** Extra uncharged DRAM frames beyond the cgroup limits. */
+    std::uint64_t dramSlackFrames = 512;
+
+    /** Accesses one thread executes before yielding to the queue. */
+    unsigned quantum = 512;
+};
+
+/** Per-application outcome. */
+struct AppResult
+{
+    Pid pid = 0;
+    std::string name;
+    Tick completion = 0;       //!< slowest thread's finish time
+    std::uint64_t accesses = 0;
+};
+
+/** Everything a benchmark needs from one run. */
+struct RunResult
+{
+    std::vector<AppResult> apps;
+    Tick makespan = 0;
+
+    // §VI-A metrics (all origins combined).
+    double accuracy = 0.0;
+    double coverage = 0.0;
+    double dramHitCoverage = 0.0;
+
+    /**
+     * Accuracy of the *system's own* prefetcher: the HoPP engine's
+     * aggregate tier accuracy on Hopp machines (what Fig. 10/13 plot
+     * for HoPP), equal to `accuracy` elsewhere.
+     */
+    double systemAccuracy = 0.0;
+
+    vm::VmsStats vms;
+    std::uint64_t demandRemote = 0;
+    std::uint64_t prefetchReads = 0;
+    std::uint64_t writebacks = 0;
+
+    /** Completion of one app by name (fatal when absent). */
+    Tick completionOf(const std::string &name) const;
+};
+
+/**
+ * One simulated machine running one experiment.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Add an application (becomes pid 1, 2, ...). */
+    void addWorkload(const workloads::Workload &w);
+
+    /**
+     * Construct all components without running, so callers can attach
+     * extra observers (e.g. an HMTT tap on the memory controller)
+     * before the first application event. Idempotent; run() calls it.
+     */
+    void prepare();
+
+    /** Build, run to completion, and collect results. */
+    RunResult run();
+
+    // Component access after run() for detailed benches.
+    vm::Vms &vms() { return *vms_; }
+    prefetch::PrefetchStats &prefetchStats() { return stats_; }
+    remote::SwapBackend &backend() { return *backend_; }
+    mem::Dram &dram() { return *dram_; }
+    mem::Llc &llc() { return *llc_; }
+    mem::MemCtrl &memCtrl() { return *mc_; }
+    net::RdmaFabric &fabric() { return *fabric_; }
+    sim::EventQueue &eventQueue() { return eq_; }
+
+    /** The HoPP system (nullptr unless system is Hopp/HoppOnly). */
+    core::HoppSystem *hoppSystem() { return hoppSystem_.get(); }
+
+  private:
+    struct Thread
+    {
+        Pid pid;
+        workloads::GeneratorPtr gen;
+        Tick now = 0;
+        Tick completion = 0;
+        std::uint64_t accesses = 0;
+        bool done = false;
+    };
+
+    void build();
+    void step(Thread &t);
+
+    MachineConfig cfg_;
+    std::vector<workloads::Workload> apps_;
+
+    sim::EventQueue eq_;
+    std::unique_ptr<mem::Dram> dram_;
+    std::unique_ptr<mem::MemCtrl> mc_;
+    std::unique_ptr<mem::Llc> llc_;
+    std::unique_ptr<net::RdmaFabric> fabric_;
+    std::unique_ptr<remote::RemoteNode> node_;
+    std::unique_ptr<remote::SwapBackend> backend_;
+    std::unique_ptr<vm::Vms> vms_;
+    std::unique_ptr<prefetch::Prefetcher> prefetcher_;
+    std::unique_ptr<core::HoppSystem> hoppSystem_;
+    prefetch::PrefetchStats stats_;
+    std::vector<std::unique_ptr<Thread>> threads_;
+    bool built_ = false;
+};
+
+/**
+ * Convenience: run one workload under one system and memory ratio.
+ */
+RunResult runOne(const std::string &workload, SystemKind system,
+                 double local_ratio,
+                 const workloads::WorkloadScale &scale = {},
+                 const MachineConfig &base = {});
+
+/** Normalized performance CT_local / CT_system for one workload. */
+double normalizedPerformance(Tick ct_local, Tick ct_system);
+
+} // namespace hopp::runner
+
+#endif // HOPP_RUNNER_MACHINE_HH

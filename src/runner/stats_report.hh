@@ -1,0 +1,32 @@
+/**
+ * @file
+ * gem5-style statistics report: every component contributes its
+ * counters to named StatSets, collated into one dump — the
+ * machine-readable companion to the benchmark tables.
+ */
+
+#ifndef HOPP_RUNNER_STATS_REPORT_HH
+#define HOPP_RUNNER_STATS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace hopp::runner
+{
+
+class Machine;
+
+/**
+ * Collect every component's statistics from a machine that has
+ * finished running.
+ */
+std::vector<stats::StatSet> collectStats(Machine &machine);
+
+/** Render the full stats dump as text ("name value # desc" lines). */
+std::string statsReport(Machine &machine);
+
+} // namespace hopp::runner
+
+#endif // HOPP_RUNNER_STATS_REPORT_HH

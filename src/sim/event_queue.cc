@@ -1,0 +1,41 @@
+#include "event_queue.hh"
+
+namespace hopp::sim
+{
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // The callback may schedule new events, so move it out first.
+    Entry e = heap_.top();
+    heap_.pop();
+    hopp_assert(e.when >= now_, "event heap ordering violated");
+    now_ = e.when;
+    ++executed_;
+    e.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    while (n < limit && runOne())
+        ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().when <= until && runOne())
+        ++n;
+    if (now_ < until)
+        now_ = until;
+    return n;
+}
+
+} // namespace hopp::sim

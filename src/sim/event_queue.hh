@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A single global-order EventQueue drives the whole machine model:
+ * application threads, asynchronous RDMA completions, background reclaim
+ * and the HoPP software trainer are all events. Events scheduled for the
+ * same tick fire in FIFO order of scheduling, which keeps runs
+ * deterministic.
+ */
+
+#ifndef HOPP_SIM_EVENT_QUEUE_HH
+#define HOPP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace hopp::sim
+{
+
+/** Callback type for scheduled events. */
+using EventFn = std::function<void()>;
+
+/**
+ * Time-ordered event queue with deterministic same-tick ordering.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule fn to run at absolute tick when (>= now()). */
+    void
+    schedule(Tick when, EventFn fn)
+    {
+        hopp_assert(when >= now_, "scheduling into the past");
+        heap_.push(Entry{when, seq_++, std::move(fn)});
+    }
+
+    /** Schedule fn to run delay ticks from now. */
+    void
+    scheduleIn(Tick delay, EventFn fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event (maxTick when empty). */
+    Tick
+    nextTime() const
+    {
+        return heap_.empty() ? maxTick : heap_.top().when;
+    }
+
+    /**
+     * Run the earliest event, advancing now().
+     * @return false when the queue was empty.
+     */
+    bool runOne();
+
+    /** Run until the queue drains or limit events have executed. */
+    std::uint64_t run(std::uint64_t limit = ~std::uint64_t(0));
+
+    /** Run all events with when <= until (inclusive); advances now(). */
+    std::uint64_t runUntil(Tick until);
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace hopp::sim
+
+#endif // HOPP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Lightweight statistics primitives: scalar counters, averages, and
+ * fixed-bucket histograms, grouped into named StatSets for dumping.
+ *
+ * Every simulated component owns its stats by value; a StatSet only keeps
+ * registration metadata so copies of components stay cheap and safe.
+ */
+
+#ifndef HOPP_STATS_STATS_HH
+#define HOPP_STATS_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hopp::stats
+{
+
+/** Monotonically increasing event counter. */
+class Counter
+{
+  public:
+    /** Add v occurrences. */
+    void add(std::uint64_t v = 1) { value_ += v; }
+
+    /** Current count. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero (between experiment repetitions). */
+    void reset() { value_ = 0; }
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t v) { value_ += v; return *this; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max of a sampled quantity. */
+class Average
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (count_ == 1 || v > max_)
+            max_ = v;
+    }
+
+    /** Arithmetic mean of all samples (0 when empty). */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Smallest sample seen. */
+    double min() const { return min_; }
+
+    /** Largest sample seen. */
+    double max() const { return max_; }
+
+    /** Number of samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** Clear all samples. */
+    void reset() { sum_ = 0; count_ = 0; min_ = 0; max_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Histogram with logarithmic (power-of-two) buckets, suitable for latency
+ * distributions spanning ns to ms.
+ */
+class LogHistogram
+{
+  public:
+    /** Buckets cover [2^i, 2^(i+1)) for i in [0, buckets). */
+    explicit LogHistogram(unsigned buckets = 40) : buckets_(buckets, 0) {}
+
+    /** Record one value. */
+    void sample(std::uint64_t v);
+
+    /** Value at or below which fraction q of samples fall. */
+    std::uint64_t percentile(double q) const;
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Mean of all samples (exact, not bucketed). */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Per-bucket counts, bucket i covering [2^i, 2^(i+1)). */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /** Clear all samples. */
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/** One named scalar inside a StatSet dump. */
+struct StatValue
+{
+    std::string name;
+    double value;
+    std::string desc;
+};
+
+/**
+ * A named group of statistics assembled at dump time.
+ *
+ * Components implement a dumpStats(StatSet&) style method that pushes
+ * their scalars; the runner collates and prints them.
+ */
+class StatSet
+{
+  public:
+    /** Create a set with a component name prefix. */
+    explicit StatSet(std::string prefix) : prefix_(std::move(prefix)) {}
+
+    /** Record one scalar under prefix.name. */
+    void
+    record(const std::string &name, double value,
+           const std::string &desc = "")
+    {
+        values_.push_back({prefix_ + "." + name, value, desc});
+    }
+
+    /** All recorded scalars. */
+    const std::vector<StatValue> &values() const { return values_; }
+
+    /** Render "name value # desc" lines. */
+    std::string toString() const;
+
+  private:
+    std::string prefix_;
+    std::vector<StatValue> values_;
+};
+
+} // namespace hopp::stats
+
+#endif // HOPP_STATS_STATS_HH

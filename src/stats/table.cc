@@ -1,0 +1,74 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hopp::stats
+{
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::toString() const
+{
+    // Compute column widths across header and all rows.
+    std::vector<std::size_t> width;
+    auto fit = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    fit(header_);
+    for (const auto &r : rows_)
+        fit(r);
+
+    auto render = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t i = 0; i < width.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            cell.resize(width[i], ' ');
+            line += cell;
+            if (i + 1 < width.size())
+                line += "  ";
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = "== " + caption_ + " ==\n";
+    if (!header_.empty()) {
+        out += render(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < width.size(); ++i)
+            total += width[i] + (i + 1 < width.size() ? 2 : 0);
+        out += std::string(total, '-') + "\n";
+    }
+    for (const auto &r : rows_)
+        out += render(r);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace hopp::stats

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to emit the same
+ * rows/series the paper's tables and figures report.
+ */
+
+#ifndef HOPP_STATS_TABLE_HH
+#define HOPP_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hopp::stats
+{
+
+/**
+ * Simple column-aligned table. Cells are strings; numeric helpers format
+ * with a fixed precision. Rendered with a header rule, suitable both for
+ * eyeballing and for grepping in bench_output.txt.
+ */
+class Table
+{
+  public:
+    /** Create a table with a caption (e.g., "Table II: ..."). */
+    explicit Table(std::string caption) : caption_(std::move(caption)) {}
+
+    /** Set the column headers. */
+    void header(std::vector<std::string> cols) { header_ = std::move(cols); }
+
+    /** Append a row of preformatted cells. */
+    void row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a percentage (0.153 -> "15.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the whole table. */
+    std::string toString() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hopp::stats
+
+#endif // HOPP_STATS_TABLE_HH

@@ -1,0 +1,58 @@
+#include "trace_io.hh"
+
+#include <cstdio>
+#include <memory>
+
+namespace hopp::trace
+{
+
+namespace
+{
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+bool
+writeTraceFile(const std::string &path,
+               const std::vector<HmttRecord> &records)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    for (const auto &r : records) {
+        std::uint64_t words[2] = {r.pack(), r.fullTime};
+        if (std::fwrite(words, sizeof(words), 1, f.get()) != 1)
+            return false;
+    }
+    return true;
+}
+
+std::vector<HmttRecord>
+readTraceFile(const std::string &path)
+{
+    std::vector<HmttRecord> out;
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return out;
+    std::uint64_t words[2];
+    while (std::fread(words, sizeof(words), 1, f.get()) == 1) {
+        HmttRecord r = HmttRecord::unpack(words[0]);
+        r.fullTime = words[1];
+        r.fullAddr = static_cast<PhysAddr>(r.addr29) << lineShift;
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace hopp::trace

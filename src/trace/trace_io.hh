@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Binary trace file I/O for offline studies (the paper collects offline
+ * HMTT traces for §VI-D's pattern analysis and Table V's bandwidth
+ * accounting). Format: little-endian packed records, 16 bytes each
+ * (packed wire bits + full timestamp).
+ */
+
+#ifndef HOPP_TRACE_TRACE_IO_HH
+#define HOPP_TRACE_TRACE_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace hopp::trace
+{
+
+/** Write records to @p path. @return false on IO failure. */
+bool writeTraceFile(const std::string &path,
+                    const std::vector<HmttRecord> &records);
+
+/** Read records from @p path. @return empty vector on IO failure. */
+std::vector<HmttRecord> readTraceFile(const std::string &path);
+
+} // namespace hopp::trace
+
+#endif // HOPP_TRACE_TRACE_IO_HH

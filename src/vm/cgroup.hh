@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Memory cgroup model: a per-process memory limit with an LRU list of
+ * in-DRAM pages and second-chance (accessed-bit) reclaim ordering, as
+ * the evaluation isolates applications with cgroups (§VI-B).
+ */
+
+#ifndef HOPP_VM_CGROUP_HH
+#define HOPP_VM_CGROUP_HH
+
+#include <cstdint>
+#include <list>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "vm/page.hh"
+
+namespace hopp::vm
+{
+
+/**
+ * One memory cgroup: charge accounting plus the LRU list reclaim scans.
+ *
+ * The LRU list holds page keys of *all* pages occupying local frames on
+ * behalf of this process — mapped pages and unhit swapcache prefetches —
+ * so inaccurate prefetches are reclaimed (and counted) naturally.
+ */
+class Cgroup
+{
+  public:
+    Cgroup(Pid pid, std::uint64_t limit_frames)
+        : pid_(pid), limit_(limit_frames)
+    {
+        hopp_assert(limit_frames > 0, "cgroup needs a nonzero limit");
+    }
+
+    /** Owning process. */
+    Pid pid() const { return pid_; }
+
+    /** Hard limit in frames. */
+    std::uint64_t limit() const { return limit_; }
+
+    /** Frames currently charged. */
+    std::uint64_t charged() const { return charged_; }
+
+    /** Charge one frame; caller must have reclaimed below the limit. */
+    void
+    charge()
+    {
+        hopp_assert(charged_ < limit_, "charge beyond cgroup limit");
+        ++charged_;
+    }
+
+    /** Uncharge one frame. */
+    void
+    uncharge()
+    {
+        hopp_assert(charged_ > 0, "uncharge below zero");
+        --charged_;
+    }
+
+    /** True when a charged allocation needs reclaim first. */
+    bool atLimit() const { return charged_ >= limit_; }
+
+    /** Insert a page at the MRU end; stores the iterator in pi. */
+    void
+    lruInsert(std::uint64_t key, PageInfo &pi)
+    {
+        hopp_assert(!pi.inLru, "page already on an LRU list");
+        lru_.push_front(key);
+        pi.lruIt = lru_.begin();
+        pi.inLru = true;
+    }
+
+    /** Remove a page from the list. */
+    void
+    lruRemove(PageInfo &pi)
+    {
+        hopp_assert(pi.inLru, "page not on an LRU list");
+        lru_.erase(pi.lruIt);
+        pi.inLru = false;
+    }
+
+    /** Rotate a page back to the MRU end (second chance). */
+    void
+    lruRotate(PageInfo &pi)
+    {
+        hopp_assert(pi.inLru, "rotating page not on LRU list");
+        lru_.splice(lru_.begin(), lru_, pi.lruIt);
+        pi.lruIt = lru_.begin();
+    }
+
+    /** Key of the current LRU-end candidate; list must be non-empty. */
+    std::uint64_t
+    lruVictim() const
+    {
+        hopp_assert(!lru_.empty(), "no reclaim candidates");
+        return lru_.back();
+    }
+
+    /** Number of pages on the LRU list. */
+    std::size_t lruSize() const { return lru_.size(); }
+
+    /** True when nothing can be reclaimed. */
+    bool lruEmpty() const { return lru_.empty(); }
+
+  private:
+    Pid pid_;
+    std::uint64_t limit_;
+    std::uint64_t charged_ = 0;
+    std::list<std::uint64_t> lru_;
+};
+
+} // namespace hopp::vm
+
+#endif // HOPP_VM_CGROUP_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Observation interfaces the VMS exposes to prefetchers, the HoPP
+ * engine and the metric sinks.
+ */
+
+#ifndef HOPP_VM_LISTENER_HH
+#define HOPP_VM_LISTENER_HH
+
+#include <functional>
+
+#include "common/types.hh"
+#include "remote/remote_node.hh"
+#include "vm/page.hh"
+
+namespace hopp::vm
+{
+
+/** What kind of fault the handler resolved. */
+enum class FaultKind : std::uint8_t
+{
+    Cold,         //!< first touch, zero-fill
+    SwapCacheHit, //!< prefetch-hit in swapcache (2.3 us path)
+    Remote,       //!< demand page-in over RDMA
+    InflightWait, //!< fault waited on an in-flight prefetch
+};
+
+/** Context handed to the fault-driven prefetcher callback. */
+struct FaultContext
+{
+    Pid pid;
+    Vpn vpn;
+    remote::SwapSlot slot; //!< slot the page lived in (or noSlot)
+    FaultKind kind;
+    Tick now;              //!< fault resolution time
+};
+
+/** Fault-driven prefetchers (Fastswap/Leap/VMA/Depth-N) register this. */
+using FaultCallback = std::function<void(const FaultContext &)>;
+
+/**
+ * Passive listener for page lifecycle events; used by prefetch metric
+ * accounting and by HoPP's policy engine (timeliness measurement).
+ */
+class PageEventListener
+{
+  public:
+    virtual ~PageEventListener() = default;
+
+    /** A demand page-in over RDMA was required (prefetch miss). */
+    virtual void
+    onDemandRemote(Pid, Vpn, Tick /*now*/)
+    {
+    }
+
+    /** A prefetch for (pid, vpn) completed and occupies DRAM. */
+    virtual void
+    onPrefetchCompleted(Pid, Vpn, Origin, Tick /*now*/, bool /*injected*/)
+    {
+    }
+
+    /**
+     * A previously prefetched page was hit for the first time.
+     *
+     * @param ready_at when the prefetched data became available.
+     * @param hit_at   when the application touched it.
+     * @param dram_hit true for an injected-PTE DRAM hit (HoPP),
+     *                 false for a swapcache prefetch-hit (2.3 us path).
+     */
+    virtual void
+    onPrefetchHit(Pid, Vpn, Origin, Tick /*ready_at*/, Tick /*hit_at*/,
+                  bool /*dram_hit*/)
+    {
+    }
+
+    /** A prefetched page was reclaimed without ever being hit. */
+    virtual void
+    onPrefetchEvicted(Pid, Vpn, Origin, Tick /*now*/)
+    {
+    }
+
+    /** Any fault was resolved, with its total latency. */
+    virtual void
+    onFaultResolved(Pid, Vpn, FaultKind, Tick /*latency*/, Tick /*now*/)
+    {
+    }
+
+    /** A resident page was reclaimed (evicted to remote). */
+    virtual void
+    onPageEvicted(Pid, Vpn, Tick /*now*/)
+    {
+    }
+};
+
+} // namespace hopp::vm
+
+#endif // HOPP_VM_LISTENER_HH

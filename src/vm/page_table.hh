@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Global page table: per-(pid, vpn) PageInfo records plus present-PTE
+ * queries. The kernel hook points HoPP installs (set_pte_at /
+ * pte_clear, §V) are modelled as PteHook callbacks fired by the VMS
+ * whenever a mapping is created or destroyed.
+ */
+
+#ifndef HOPP_VM_PAGE_TABLE_HH
+#define HOPP_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "vm/page.hh"
+
+namespace hopp::vm
+{
+
+/**
+ * Kernel virtual-memory hook: notified on every PTE establish / clear,
+ * exactly the callbacks HoPP uses for RPT maintenance (§III-C, §V).
+ */
+class PteHook
+{
+  public:
+    virtual ~PteHook() = default;
+
+    /** A PTE mapping (pid, vpn) -> ppn was established. */
+    virtual void onPteSet(Pid pid, Vpn vpn, Ppn ppn, bool shared,
+                          bool huge, Tick now) = 0;
+
+    /** The PTE mapping (pid, vpn) -> ppn was removed. */
+    virtual void onPteClear(Pid pid, Vpn vpn, Ppn ppn, Tick now) = 0;
+};
+
+/**
+ * Page table over all simulated processes.
+ */
+class PageTable
+{
+  public:
+    /** Find-or-create the record for (pid, vpn). */
+    PageInfo &
+    get(Pid pid, Vpn vpn)
+    {
+        return pages_[pageKey(pid, vpn)];
+    }
+
+    /** Lookup without creating. @return nullptr when absent. */
+    PageInfo *
+    find(Pid pid, Vpn vpn)
+    {
+        auto it = pages_.find(pageKey(pid, vpn));
+        return it == pages_.end() ? nullptr : &it->second;
+    }
+
+    /** Const lookup without creating. */
+    const PageInfo *
+    find(Pid pid, Vpn vpn) const
+    {
+        auto it = pages_.find(pageKey(pid, vpn));
+        return it == pages_.end() ? nullptr : &it->second;
+    }
+
+    /** True when (pid, vpn) has a present PTE (Resident). */
+    bool
+    present(Pid pid, Vpn vpn) const
+    {
+        const PageInfo *pi = find(pid, vpn);
+        return pi && pi->state == PageState::Resident;
+    }
+
+    /** Number of page records (any state). */
+    std::size_t size() const { return pages_.size(); }
+
+    /**
+     * Visit every present mapping: fn(pid, vpn, const PageInfo&).
+     * Used by HoPP's initial RPT build, which walks all page tables at
+     * startup (§III-C).
+     */
+    template <typename Fn>
+    void
+    forEachPresent(Fn &&fn) const
+    {
+        for (const auto &[key, pi] : pages_) {
+            if (pi.state == PageState::Resident)
+                fn(keyPid(key), keyVpn(key), pi);
+        }
+    }
+
+    /** Count of pages in a given state (test/metrics helper). */
+    std::size_t
+    countState(PageState s) const
+    {
+        std::size_t n = 0;
+        for (const auto &[key, pi] : pages_) {
+            (void)key;
+            n += pi.state == s;
+        }
+        return n;
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, PageInfo> pages_;
+};
+
+} // namespace hopp::vm
+
+#endif // HOPP_VM_PAGE_TABLE_HH

@@ -1,0 +1,512 @@
+#include "vms.hh"
+
+#include <algorithm>
+
+namespace hopp::vm
+{
+
+Vms::Vms(sim::EventQueue &eq, mem::Dram &dram, mem::MemCtrl &mc,
+         mem::Llc &llc, remote::SwapBackend &backend, const VmsConfig &cfg)
+    : eq_(eq), dram_(dram), mc_(mc), llc_(llc), backend_(backend), cfg_(cfg)
+{
+}
+
+void
+Vms::createProcess(Pid pid, std::uint64_t limit_frames)
+{
+    hopp_assert(!cgroups_.contains(pid), "process %u already exists", pid);
+    cgroups_.emplace(pid, Cgroup(pid, limit_frames));
+    kswapdActive_[pid] = false;
+}
+
+Cgroup &
+Vms::cgroup(Pid pid)
+{
+    auto it = cgroups_.find(pid);
+    hopp_assert(it != cgroups_.end(), "unknown process %u", pid);
+    return it->second;
+}
+
+void
+Vms::markFlags(Pid pid, Vpn vpn, bool shared, bool huge)
+{
+    PageInfo &pi = table_.get(pid, vpn);
+    pi.shared = shared;
+    pi.huge = huge;
+}
+
+void
+Vms::firePteSet(Pid pid, Vpn vpn, const PageInfo &pi, Tick now)
+{
+    for (auto *h : pteHooks_)
+        h->onPteSet(pid, vpn, pi.ppn, pi.shared, pi.huge, now);
+}
+
+void
+Vms::firePteClear(Pid pid, Vpn vpn, Ppn ppn, Tick now)
+{
+    for (auto *h : pteHooks_)
+        h->onPteClear(pid, vpn, ppn, now);
+}
+
+Tick
+Vms::residentAccess(Pid pid, PageInfo &pi, VirtAddr va, bool is_write,
+                    Tick now)
+{
+    pi.accessedBit = true;
+    if (is_write) {
+        pi.dirty = true;
+        pi.hasSwapCopy = false;
+    }
+    if (pi.injected) {
+        // First touch of an early-injected page: a plain DRAM hit
+        // instead of a 2.3 us prefetch-hit fault (§II-C).
+        pi.injected = false;
+        ++stats_.injectedHits;
+        for (auto *l : listeners_)
+            l->onPrefetchHit(pid, pageOf(va), pi.origin, pi.fetchedAt, now,
+                             true);
+    }
+    PhysAddr pa = pageBase(pi.ppn) + (va & (pageBytes - 1));
+    if (llc_.access(pa)) {
+        ++stats_.llcHits;
+        return cfg_.cost.llcHit;
+    }
+    ++stats_.llcMisses;
+    // A write miss performs read-for-ownership first, so the MC sees a
+    // READ either way (§III-B).
+    mc_.demandRead(lineBase(pa), now);
+    return cfg_.cost.dramHit;
+}
+
+bool
+Vms::evictOne(Cgroup &cg, Tick now, bool direct, Tick *cost)
+{
+    unsigned rotations = 0;
+    while (!cg.lruEmpty()) {
+        std::uint64_t key = cg.lruVictim();
+        Pid vpid = keyPid(key);
+        Vpn vvpn = keyVpn(key);
+        PageInfo &v = table_.get(vpid, vvpn);
+        if (v.accessedBit && rotations < cfg_.secondChanceCap) {
+            // Second chance: clear the accessed bit and rotate.
+            v.accessedBit = false;
+            cg.lruRotate(v);
+            ++rotations;
+            continue;
+        }
+        if (advisor_ && rotations < cfg_.secondChanceCap &&
+            v.state == PageState::Resident &&
+            advisor_->keepWarm(vpid, vvpn, now)) {
+            // Trace-informed second chance (§IV): the hot-page trace
+            // says this page is warmer than the accessed bit shows.
+            cg.lruRotate(v);
+            ++rotations;
+            continue;
+        }
+
+        if (v.state == PageState::Resident) {
+            firePteClear(vpid, vvpn, v.ppn, now);
+            if (v.injected) {
+                // An injected prefetch reclaimed before its first use:
+                // a wasted HoPP/Depth-N prefetch.
+                v.injected = false;
+                for (auto *l : listeners_)
+                    l->onPrefetchEvicted(vpid, vvpn, v.origin, now);
+            }
+            if (v.dirty || !v.hasSwapCopy) {
+                if (v.slot == remote::noSlot)
+                    v.slot = backend_.allocate(vpid, vvpn);
+                backend_.write(now);
+                ++stats_.writebacks;
+                v.hasSwapCopy = true;
+                v.dirty = false;
+            }
+            for (auto *l : listeners_)
+                l->onPageEvicted(vpid, vvpn, now);
+        } else {
+            hopp_assert(v.state == PageState::SwapCached,
+                        "LRU page in unexpected state");
+            if (v.prefetched) {
+                // Unhit swapcache prefetch discarded: a wasted fetch.
+                v.prefetched = false;
+                for (auto *l : listeners_)
+                    l->onPrefetchEvicted(vpid, vvpn, v.origin, now);
+            }
+            hopp_assert(v.hasSwapCopy, "swapcache page without swap copy");
+        }
+
+        v.state = PageState::Swapped;
+        llc_.invalidatePage(v.ppn);
+        dram_.release(v.ppn);
+        v.ppn = 0;
+        cg.lruRemove(v);
+        if (v.charged) {
+            cg.uncharge();
+            v.charged = false;
+        }
+        ++stats_.evictions;
+        if (direct) {
+            ++stats_.directReclaims;
+            if (cost)
+                *cost += cfg_.cost.directReclaimPerPage;
+        } else {
+            ++stats_.kswapdReclaims;
+        }
+        return true;
+    }
+    return false;
+}
+
+Ppn
+Vms::obtainFrame(Pid pid, bool charged_alloc, Tick now, Tick *cost)
+{
+    Cgroup &cg = cgroup(pid);
+    if (charged_alloc) {
+        while (cg.atLimit()) {
+            bool ok = evictOne(cg, now, cost != nullptr, cost);
+            hopp_assert(ok, "cgroup at limit with nothing reclaimable");
+        }
+    }
+    while (dram_.exhausted()) {
+        // Global memory pressure: reclaim from this cgroup first, then
+        // from whichever cgroup holds the most frames.
+        if (evictOne(cg, now, cost != nullptr, cost))
+            continue;
+        Cgroup *biggest = nullptr;
+        for (auto &[p, other] : cgroups_) {
+            if (!other.lruEmpty() &&
+                (!biggest || other.lruSize() > biggest->lruSize())) {
+                biggest = &other;
+            }
+        }
+        hopp_assert(biggest, "DRAM exhausted with nothing reclaimable");
+        evictOne(*biggest, now, cost != nullptr, cost);
+    }
+    maybeKickKswapd(pid, now);
+    return dram_.allocate();
+}
+
+void
+Vms::maybeKickKswapd(Pid pid, Tick now)
+{
+    if (!cfg_.kswapdEnabled)
+        return;
+    Cgroup &cg = cgroup(pid);
+    auto high = static_cast<std::uint64_t>(
+        static_cast<double>(cg.limit()) * cfg_.highWatermark);
+    if (cg.charged() < high || kswapdActive_[pid])
+        return;
+    kswapdActive_[pid] = true;
+    Tick when = std::max(now, eq_.now()) + cfg_.kswapdDelay;
+    eq_.schedule(when, [this, pid] { kswapdRun(pid); });
+}
+
+void
+Vms::kswapdRun(Pid pid)
+{
+    Cgroup &cg = cgroup(pid);
+    auto target = static_cast<std::uint64_t>(
+        static_cast<double>(cg.limit()) * cfg_.lowWatermark);
+    unsigned batch = 32;
+    while (cg.charged() > target && batch-- > 0) {
+        if (!evictOne(cg, eq_.now(), false, nullptr))
+            break;
+    }
+    if (cg.charged() > target && !cg.lruEmpty()) {
+        eq_.scheduleIn(cfg_.kswapdDelay, [this, pid] { kswapdRun(pid); });
+    } else {
+        kswapdActive_[pid] = false;
+    }
+}
+
+void
+Vms::mapPage(Pid pid, Vpn vpn, PageInfo &pi, Ppn ppn, bool charged,
+             Origin origin, bool injected, Tick now)
+{
+    pi.state = PageState::Resident;
+    pi.ppn = ppn;
+    pi.origin = origin;
+    pi.injected = injected;
+    pi.prefetched = false;
+    pi.fetchedAt = now;
+    pi.accessedBit = false;
+    if (charged) {
+        cgroup(pid).charge();
+        pi.charged = true;
+    }
+    if (!pi.inLru)
+        cgroup(pid).lruInsert(pageKey(pid, vpn), pi);
+    firePteSet(pid, vpn, pi, now);
+}
+
+Tick
+Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
+{
+    ++stats_.accesses;
+    Vpn vpn = pageOf(va);
+    PageInfo &pi = table_.get(pid, vpn);
+
+    switch (pi.state) {
+      case PageState::Resident:
+        return residentAccess(pid, pi, va, is_write, now);
+
+      case PageState::Untouched: {
+        // First touch: zero-fill minor fault. The fresh page has no
+        // remote copy, so it is born dirty.
+        Tick cost = cfg_.cost.coldFaultOverhead();
+        Ppn ppn = obtainFrame(pid, true, now, &cost);
+        mapPage(pid, vpn, pi, ppn, true, originDemand, false, now + cost);
+        pi.dirty = true;
+        pi.hasSwapCopy = false;
+        ++stats_.coldFaults;
+        for (auto *l : listeners_)
+            l->onFaultResolved(pid, vpn, FaultKind::Cold, cost, now + cost);
+        cost += residentAccess(pid, pi, va, is_write, now + cost);
+        return cost;
+      }
+
+      case PageState::SwapCached: {
+        // Prefetch-hit: the page is in DRAM but the fault still costs
+        // the 2.3 us kernel path (§II-A / §II-C).
+        Tick cost = cfg_.cost.prefetchHitOverhead();
+        bool was_prefetched = pi.prefetched;
+        Origin origin = pi.origin;
+        Tick ready_at = pi.fetchedAt;
+        Cgroup &cg = cgroup(pid);
+        // Take the page off the LRU while charging so the reclaim loop
+        // cannot pick the very page being promoted.
+        cg.lruRemove(pi);
+        if (!pi.charged) {
+            while (cg.atLimit()) {
+                bool ok = evictOne(cg, now, true, &cost);
+                hopp_assert(ok, "cgroup at limit with empty LRU");
+            }
+            cg.charge();
+            pi.charged = true;
+        }
+        pi.state = PageState::Resident;
+        pi.prefetched = false;
+        cg.lruInsert(pageKey(pid, vpn), pi);
+        firePteSet(pid, vpn, pi, now + cost);
+        ++stats_.swapCacheHits;
+        if (was_prefetched) {
+            for (auto *l : listeners_)
+                l->onPrefetchHit(pid, vpn, origin, ready_at, now + cost,
+                                 false);
+        }
+        for (auto *l : listeners_)
+            l->onFaultResolved(pid, vpn, FaultKind::SwapCacheHit, cost,
+                               now + cost);
+        if (faultCb_) {
+            faultCb_(FaultContext{pid, vpn, pi.slot,
+                                  FaultKind::SwapCacheHit, now + cost});
+        }
+        cost += residentAccess(pid, pi, va, is_write, now + cost);
+        return cost;
+      }
+
+      case PageState::Swapped: {
+        if (pi.inflight) {
+            // Fault on a page whose prefetch is still in the air: the
+            // kernel waits on the in-flight IO, then takes the
+            // swapcache-hit path.
+            Tick wait = pi.completesAt > now ? pi.completesAt - now : 0;
+            Tick cost = wait + cfg_.cost.prefetchHitOverhead();
+            Origin origin = pi.origin;
+            Tick ready_at = pi.completesAt;
+            pi.inflight = false; // completion handler will drop it
+            Ppn ppn = obtainFrame(pid, true, now, &cost);
+            mapPage(pid, vpn, pi, ppn, true, origin, false, now + cost);
+            pi.hasSwapCopy = true;
+            pi.dirty = false;
+            mc_.pageDma(ppn, now + cost);
+            llc_.invalidatePage(ppn);
+            ++stats_.inflightWaits;
+            for (auto *l : listeners_) {
+                // The in-flight prefetch is consumed here; its normal
+                // completion event will be dropped, so account for the
+                // completed fetch before the hit.
+                l->onPrefetchCompleted(pid, vpn, origin, now + cost,
+                                       false);
+                l->onPrefetchHit(pid, vpn, origin, ready_at, now + cost,
+                                 false);
+                l->onFaultResolved(pid, vpn, FaultKind::InflightWait, cost,
+                                   now + cost);
+            }
+            if (faultCb_) {
+                faultCb_(FaultContext{pid, vpn, pi.slot,
+                                      FaultKind::InflightWait, now + cost});
+            }
+            cost += residentAccess(pid, pi, va, is_write, now + cost);
+            return cost;
+        }
+
+        // Full remote fault: kernel path + RDMA + PTE establish.
+        Tick cost = cfg_.cost.contextSwitch + cfg_.cost.pageWalk +
+                    cfg_.cost.swapCacheQuery;
+        Ppn ppn = obtainFrame(pid, true, now, &cost);
+        Tick completion = backend_.demandRead(now + cost);
+        cost = (completion - now) + cfg_.cost.pteEstablish;
+        mapPage(pid, vpn, pi, ppn, true, originDemand, false, now + cost);
+        pi.hasSwapCopy = true;
+        pi.dirty = false;
+        mc_.pageDma(ppn, now + cost);
+        llc_.invalidatePage(ppn);
+        ++stats_.remoteFaults;
+        for (auto *l : listeners_) {
+            l->onDemandRemote(pid, vpn, now);
+            l->onFaultResolved(pid, vpn, FaultKind::Remote, cost,
+                               now + cost);
+        }
+        if (faultCb_) {
+            faultCb_(FaultContext{pid, vpn, pi.slot, FaultKind::Remote,
+                                  now + cost});
+        }
+        cost += residentAccess(pid, pi, va, is_write, now + cost);
+        return cost;
+      }
+    }
+    hopp_panic("unreachable page state");
+}
+
+bool
+Vms::prefetchable(Pid pid, Vpn vpn) const
+{
+    const PageInfo *pi = table_.find(pid, vpn);
+    return pi && pi->state == PageState::Swapped && !pi->inflight;
+}
+
+bool
+Vms::prefetchToSwapCache(Pid pid, Vpn vpn, Origin origin, Tick now)
+{
+    if (!prefetchable(pid, vpn))
+        return false;
+    PageInfo &pi = table_.get(pid, vpn);
+    pi.inflight = true;
+    pi.injectOnArrival = false;
+    pi.origin = origin;
+    pi.completesAt = backend_.readAsync(
+        std::max(now, eq_.now()),
+        [this, pid, vpn](Tick t) { finishPrefetch(pid, vpn, t); });
+    return true;
+}
+
+Vms::InjectResult
+Vms::prefetchInject(Pid pid, Vpn vpn, Origin origin, Tick now)
+{
+    PageInfo *found = table_.find(pid, vpn);
+    if (found && found->state == PageState::SwapCached) {
+        // Adoption: the data is already local (fetched by the
+        // fault-path prefetcher); inject the PTE right now so the
+        // future touch is a DRAM hit instead of a 2.3 us fault.
+        PageInfo &pi = *found;
+        Cgroup &cg = cgroup(pid);
+        cg.lruRemove(pi);
+        if (!pi.charged) {
+            while (cg.atLimit()) {
+                bool ok = evictOne(cg, now, false, nullptr);
+                hopp_assert(ok, "cgroup at limit with empty LRU");
+            }
+            cg.charge();
+            pi.charged = true;
+        }
+        pi.state = PageState::Resident;
+        pi.prefetched = false; // the original fetch is consumed usefully
+        pi.origin = origin;
+        pi.injected = true;
+        pi.accessedBit = false;
+        cg.lruInsert(pageKey(pid, vpn), pi);
+        firePteSet(pid, vpn, pi, now);
+        ++stats_.adoptions;
+        return InjectResult::Adopted;
+    }
+    if (found && found->state == PageState::Swapped &&
+        found->inflight && !found->injectOnArrival) {
+        // A swapcache-bound fetch (fault-path readahead) is already on
+        // the wire: join it, upgrading the arrival to a PTE injection
+        // under the new origin.
+        found->injectOnArrival = true;
+        found->origin = origin;
+        return InjectResult::Joined;
+    }
+    if (!prefetchable(pid, vpn))
+        return InjectResult::NotIssued;
+    PageInfo &pi = table_.get(pid, vpn);
+    pi.inflight = true;
+    pi.injectOnArrival = true;
+    pi.origin = origin;
+    pi.completesAt = backend_.readAsync(
+        std::max(now, eq_.now()),
+        [this, pid, vpn](Tick t) { finishPrefetch(pid, vpn, t); });
+    return InjectResult::Issued;
+}
+
+unsigned
+Vms::prefetchInjectBatch(Pid pid, Vpn vpn, unsigned count,
+                         Origin origin, Tick now)
+{
+    // Collect the bundle: consecutive pages that are fetchable now.
+    std::vector<Vpn> bundle;
+    for (unsigned i = 0; i < count; ++i) {
+        if (prefetchable(pid, vpn + i))
+            bundle.push_back(vpn + i);
+    }
+    if (bundle.empty())
+        return 0;
+    for (Vpn v : bundle) {
+        PageInfo &pi = table_.get(pid, v);
+        pi.inflight = true;
+        pi.injectOnArrival = true;
+        pi.origin = origin;
+    }
+    // One transfer for the whole bundle: a single base latency, with
+    // serialization proportional to the bundle size.
+    Tick completion = backend_.readBatchAsync(
+        bundle.size(), std::max(now, eq_.now()),
+        [this, pid, bundle](Tick t) {
+            for (Vpn v : bundle)
+                finishPrefetch(pid, v, t);
+        });
+    for (Vpn v : bundle)
+        table_.get(pid, v).completesAt = completion;
+    return static_cast<unsigned>(bundle.size());
+}
+
+void
+Vms::finishPrefetch(Pid pid, Vpn vpn, Tick completion)
+{
+    PageInfo &pi = table_.get(pid, vpn);
+    if (!pi.inflight) {
+        // The application faulted while the read was in flight and the
+        // fault handler already consumed it.
+        ++stats_.prefetchesDropped;
+        return;
+    }
+    // Read the delivery mode at arrival: an injector may have joined
+    // this fetch while it was on the wire.
+    bool inject = pi.injectOnArrival;
+    Origin origin = pi.origin;
+    pi.inflight = false;
+    Ppn ppn = obtainFrame(pid, inject, completion, nullptr);
+    pi.hasSwapCopy = true;
+    pi.dirty = false;
+    pi.fetchedAt = completion;
+    mc_.pageDma(ppn, completion);
+    llc_.invalidatePage(ppn);
+    if (inject) {
+        mapPage(pid, vpn, pi, ppn, true, origin, true, completion);
+    } else {
+        pi.state = PageState::SwapCached;
+        pi.ppn = ppn;
+        pi.prefetched = true;
+        pi.origin = origin;
+        pi.charged = false;
+        pi.accessedBit = false;
+        cgroup(pid).lruInsert(pageKey(pid, vpn), pi);
+    }
+    for (auto *l : listeners_)
+        l->onPrefetchCompleted(pid, vpn, origin, completion, inject);
+}
+
+} // namespace hopp::vm

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The virtual memory subsystem (VMS): translation, page faults,
+ * swapcache, reclaim and the two prefetch insertion paths (swapcache
+ * fill for kernel-style readahead; early PTE injection for Depth-N and
+ * HoPP, §II-C/§III-F).
+ *
+ * This is the substrate every system under evaluation shares; the
+ * systems differ only in which prefetcher drives it and whether pages
+ * arrive via the swapcache or via injection.
+ */
+
+#ifndef HOPP_VM_VMS_HH
+#define HOPP_VM_VMS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/llc.hh"
+#include "mem/memctrl.hh"
+#include "remote/swap_backend.hh"
+#include "sim/event_queue.hh"
+#include "vm/cgroup.hh"
+#include "vm/cost_model.hh"
+#include "vm/listener.hh"
+#include "vm/page_table.hh"
+
+namespace hopp::vm
+{
+
+/** VMS behaviour knobs. */
+struct VmsConfig
+{
+    /** Swap-path latency model (§II-A). */
+    CostModel cost;
+
+    /** Run kswapd-style background reclaim ahead of demand. */
+    bool kswapdEnabled = true;
+
+    /**
+     * Background reclaim starts when charged frames exceed
+     * limit * highWatermark and stops below limit * lowWatermark.
+     */
+    double highWatermark = 0.98;
+    double lowWatermark = 0.94;
+
+    /** Dispatch delay of a background reclaim pass. */
+    Tick kswapdDelay = 10'000; // 10 us
+
+    /** Max LRU rotations (second chances) per eviction scan. */
+    unsigned secondChanceCap = 64;
+};
+
+/** Aggregate VMS event counters. */
+struct VmsStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t coldFaults = 0;
+    std::uint64_t remoteFaults = 0;
+    std::uint64_t swapCacheHits = 0;
+    std::uint64_t inflightWaits = 0;
+    std::uint64_t injectedHits = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t directReclaims = 0;
+    std::uint64_t kswapdReclaims = 0;
+    std::uint64_t prefetchesDropped = 0;
+    std::uint64_t adoptions = 0; //!< swapcache pages PTE-injected
+
+    /** All page faults (cold + remote + swapcache hits + waits). */
+    std::uint64_t
+    faults() const
+    {
+        return coldFaults + remoteFaults + swapCacheHits + inflightWaits;
+    }
+};
+
+/**
+ * The virtual memory subsystem.
+ */
+class Vms
+{
+  public:
+    Vms(sim::EventQueue &eq, mem::Dram &dram, mem::MemCtrl &mc,
+        mem::Llc &llc, remote::SwapBackend &backend,
+        const VmsConfig &cfg = {});
+
+    /** Register a process with a cgroup limit in frames. */
+    void createProcess(Pid pid, std::uint64_t limit_frames);
+
+    /**
+     * One application memory access (the whole data path: translate,
+     * fault if needed, LLC/DRAM access).
+     *
+     * @param now the issuing thread's local time.
+     * @return the access latency charged to the thread.
+     */
+    Tick access(Pid pid, VirtAddr va, bool is_write, Tick now);
+
+    /**
+     * Issue an asynchronous prefetch that lands in the swapcache
+     * (kernel-style readahead: a later fault still pays 2.3 us).
+     *
+     * @return true when actually issued (page was swapped-out and idle).
+     */
+    bool prefetchToSwapCache(Pid pid, Vpn vpn, Origin origin, Tick now);
+
+    /** Outcome of a prefetchInject() request. */
+    enum class InjectResult
+    {
+        NotIssued, //!< resident, untouched, or already inject-bound
+        Issued,    //!< RDMA read issued; PTE injected on arrival
+        Adopted,   //!< page was in the swapcache: PTE injected now,
+                   //!< no transfer needed (the fetch of the original
+                   //!< prefetcher is adopted)
+        Joined,    //!< a swapcache-bound fetch was in flight: the
+                   //!< request joins it and the PTE is injected on
+                   //!< arrival
+    };
+
+    /**
+     * Issue an asynchronous prefetch with early PTE injection: the PTE
+     * is established the moment the page arrives, so a subsequent touch
+     * is a plain DRAM hit (§II-C, §III-F). The frame is charged to the
+     * application's cgroup (§I contribution 4). A page that already
+     * sits in the swapcache (e.g. readahead fetched it on the fault
+     * path) is adopted: mapped immediately at zero transfer cost.
+     */
+    InjectResult prefetchInject(Pid pid, Vpn vpn, Origin origin,
+                                Tick now);
+
+    /**
+     * Batched injection (§IV huge-page support direction): fetch up to
+     * @p count consecutive pages starting at @p vpn with ONE RDMA
+     * transfer (one base latency for the whole 2 MB-style batch) and
+     * inject each page's PTE on arrival. Pages that are not
+     * prefetchable are skipped.
+     *
+     * @return the number of pages actually bundled.
+     */
+    unsigned prefetchInjectBatch(Pid pid, Vpn vpn, unsigned count,
+                                 Origin origin, Tick now);
+
+    /** True if a prefetch of (pid, vpn) would be useful right now. */
+    bool prefetchable(Pid pid, Vpn vpn) const;
+
+    /** Register the fault-driven prefetcher callback. */
+    void setFaultCallback(FaultCallback cb) { faultCb_ = std::move(cb); }
+
+    /** Attach a lifecycle listener (stats, HoPP policy). */
+    void addListener(PageEventListener *l) { listeners_.push_back(l); }
+
+    /** Attach a PTE hook (HoPP RPT maintenance). */
+    void addPteHook(PteHook *h) { pteHooks_.push_back(h); }
+
+    /**
+     * Eviction advisor (§IV: "the software can serve other purposes
+     * with full memory traces, e.g., improving kernel page eviction"):
+     * when set, reclaim gives pages the advisor reports as recently
+     * hot a rotation even if their accessed bit is clear.
+     */
+    class EvictionAdvisor
+    {
+      public:
+        virtual ~EvictionAdvisor() = default;
+
+        /** True to keep (pid, vpn) in memory a little longer. */
+        virtual bool keepWarm(Pid pid, Vpn vpn, Tick now) = 0;
+    };
+
+    /** Install (or clear, with nullptr) the eviction advisor. */
+    void setEvictionAdvisor(EvictionAdvisor *a) { advisor_ = a; }
+
+    /** The page table (for HoPP's initial RPT build and tests). */
+    PageTable &pageTable() { return table_; }
+
+    /** Cgroup of a process. */
+    Cgroup &cgroup(Pid pid);
+
+    /** Event counters. */
+    const VmsStats &stats() const { return stats_; }
+
+    /** Configuration in effect. */
+    const VmsConfig &config() const { return cfg_; }
+
+    /**
+     * Mark a page's RPT flags (shared / huge). Test and example helper
+     * exercising the §III-C flag plumbing.
+     */
+    void markFlags(Pid pid, Vpn vpn, bool shared, bool huge);
+
+  private:
+    /** LLC + DRAM data-path cost for a resident access. */
+    Tick residentAccess(Pid pid, PageInfo &pi, VirtAddr va, bool is_write,
+                        Tick now);
+
+    /**
+     * Make a frame available for (pid, charged ? charged alloc : cache
+     * alloc). Direct-reclaim cost is accumulated into *cost when the
+     * caller is the faulting thread; nullptr means reclaim is free
+     * (kernel-thread context).
+     */
+    Ppn obtainFrame(Pid pid, bool charged_alloc, Tick now, Tick *cost);
+
+    /** Evict one page from the cgroup LRU. @return false when empty. */
+    bool evictOne(Cgroup &cg, Tick now, bool direct, Tick *cost);
+
+    /** Schedule background reclaim when above the high watermark. */
+    void maybeKickKswapd(Pid pid, Tick now);
+
+    /** Background reclaim pass. */
+    void kswapdRun(Pid pid);
+
+    /** Map a fetched page: state, PTE hook, LRU. */
+    void mapPage(Pid pid, Vpn vpn, PageInfo &pi, Ppn ppn, bool charged,
+                 Origin origin, bool injected, Tick now);
+
+    /** Completion handler shared by both prefetch flavours. */
+    void finishPrefetch(Pid pid, Vpn vpn, Tick completion);
+
+    void firePteSet(Pid pid, Vpn vpn, const PageInfo &pi, Tick now);
+    void firePteClear(Pid pid, Vpn vpn, Ppn ppn, Tick now);
+
+    sim::EventQueue &eq_;
+    mem::Dram &dram_;
+    mem::MemCtrl &mc_;
+    mem::Llc &llc_;
+    remote::SwapBackend &backend_;
+    VmsConfig cfg_;
+    PageTable table_;
+    std::unordered_map<Pid, Cgroup> cgroups_;
+    std::unordered_map<Pid, bool> kswapdActive_;
+    FaultCallback faultCb_;
+    std::vector<PageEventListener *> listeners_;
+    std::vector<PteHook *> pteHooks_;
+    EvictionAdvisor *advisor_ = nullptr;
+    VmsStats stats_;
+};
+
+} // namespace hopp::vm
+
+#endif // HOPP_VM_VMS_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Access-stream abstraction for the synthetic application models.
+ *
+ * Workloads are streaming generators of virtual-address accesses at
+ * cacheline granularity; they are never materialised, so footprints and
+ * iteration counts can be large. Composition (phases, interleaving,
+ * limits) happens through combinator generators.
+ */
+
+#ifndef HOPP_WORKLOADS_GENERATOR_HH
+#define HOPP_WORKLOADS_GENERATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hopp::workloads
+{
+
+/** One application memory access. */
+struct Access
+{
+    VirtAddr va = 0;
+    bool write = false;
+};
+
+/**
+ * Streaming access generator. next() produces the following access or
+ * returns false at the end of the workload.
+ */
+class AccessGenerator
+{
+  public:
+    virtual ~AccessGenerator() = default;
+
+    /** Produce the next access. @return false at end-of-stream. */
+    virtual bool next(Access &out) = 0;
+
+    /** Restart from the beginning (same sequence). */
+    virtual void reset() = 0;
+};
+
+/** Owning pointer alias used throughout the workload library. */
+using GeneratorPtr = std::unique_ptr<AccessGenerator>;
+
+/**
+ * Run several generators one after another (application phases, e.g.
+ * the GraphX job whose footprint grows in thirds, §VI).
+ */
+class PhasedGen : public AccessGenerator
+{
+  public:
+    explicit PhasedGen(std::vector<GeneratorPtr> phases)
+        : phases_(std::move(phases))
+    {
+    }
+
+    bool
+    next(Access &out) override
+    {
+        while (idx_ < phases_.size()) {
+            if (phases_[idx_]->next(out))
+                return true;
+            ++idx_;
+        }
+        return false;
+    }
+
+    void
+    reset() override
+    {
+        for (auto &p : phases_)
+            p->reset();
+        idx_ = 0;
+    }
+
+  private:
+    std::vector<GeneratorPtr> phases_;
+    std::size_t idx_ = 0;
+};
+
+/**
+ * Round-robin burst interleaving of several sub-streams, modelling
+ * intra-thread mixing of concurrent access streams (§II-B's motivating
+ * scenario: multiple page streams accessed alternately).
+ */
+class InterleaveGen : public AccessGenerator
+{
+  public:
+    /** @param burst accesses taken from one sub-stream per turn. */
+    InterleaveGen(std::vector<GeneratorPtr> subs, unsigned burst)
+        : subs_(std::move(subs)), burst_(burst ? burst : 1)
+    {
+        done_.assign(subs_.size(), false);
+    }
+
+    bool
+    next(Access &out) override
+    {
+        std::size_t tried = 0;
+        while (tried < subs_.size()) {
+            if (!done_[cur_]) {
+                if (subs_[cur_]->next(out)) {
+                    if (++taken_ >= burst_)
+                        advance();
+                    return true;
+                }
+                done_[cur_] = true;
+            }
+            advance();
+            ++tried;
+        }
+        return false;
+    }
+
+    void
+    reset() override
+    {
+        for (auto &s : subs_)
+            s->reset();
+        done_.assign(subs_.size(), false);
+        cur_ = 0;
+        taken_ = 0;
+    }
+
+  private:
+    void
+    advance()
+    {
+        cur_ = (cur_ + 1) % subs_.size();
+        taken_ = 0;
+    }
+
+    std::vector<GeneratorPtr> subs_;
+    std::vector<bool> done_;
+    unsigned burst_;
+    std::size_t cur_ = 0;
+    unsigned taken_ = 0;
+};
+
+/** Truncate a generator after a fixed number of accesses. */
+class LimitGen : public AccessGenerator
+{
+  public:
+    LimitGen(GeneratorPtr inner, std::uint64_t limit)
+        : inner_(std::move(inner)), limit_(limit)
+    {
+    }
+
+    bool
+    next(Access &out) override
+    {
+        if (count_ >= limit_ || !inner_->next(out))
+            return false;
+        ++count_;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        inner_->reset();
+        count_ = 0;
+    }
+
+  private:
+    GeneratorPtr inner_;
+    std::uint64_t limit_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace hopp::workloads
+
+#endif // HOPP_WORKLOADS_GENERATOR_HH

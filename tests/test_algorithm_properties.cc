@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Randomized property sweeps (TEST_P) over the prefetch algorithms:
+ * for generated ladders, ripples and noisy simple streams with random
+ * parameters, a prediction — whenever one is made — must target pages
+ * the stream will actually visit, and tier dispatch must stay sound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.hh"
+#include "hopp/algorithms.hh"
+
+using namespace hopp;
+using namespace hopp::core;
+
+namespace
+{
+
+struct ViewHolder
+{
+    std::vector<Vpn> vpns;
+    std::vector<std::int64_t> strides;
+
+    explicit ViewHolder(std::vector<Vpn> seq) : vpns(std::move(seq))
+    {
+        for (std::size_t i = 1; i < vpns.size(); ++i) {
+            strides.push_back(static_cast<std::int64_t>(vpns[i]) -
+                              static_cast<std::int64_t>(vpns[i - 1]));
+        }
+    }
+
+    StreamView
+    view() const
+    {
+        return StreamView{1, 7, 1000, &vpns, &strides};
+    }
+};
+
+/** Ladder with randomized tread permutation and rise. */
+std::vector<Vpn>
+randomLadder(Pcg32 &rng, unsigned n)
+{
+    unsigned tread = 3 + rng.below(2);      // 3 or 4
+    unsigned rise = 8 + rng.below(56);      // 8..63
+    // Random within-tread visiting order (fixed across treads).
+    std::vector<unsigned> offs(tread);
+    for (unsigned i = 0; i < tread; ++i)
+        offs[i] = i;
+    for (unsigned i = tread - 1; i > 0; --i)
+        std::swap(offs[i], offs[rng.below(i + 1)]);
+    std::vector<Vpn> v;
+    for (unsigned i = 0; i < n; ++i)
+        v.push_back(1000 + (i / tread) * rise + offs[i % tread]);
+    return v;
+}
+
+} // namespace
+
+class AlgoFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    Pcg32 rng_{GetParam()};
+};
+
+TEST_P(AlgoFuzz, SimpleStreamPredictionsAreOnTheStream)
+{
+    for (int round = 0; round < 200; ++round) {
+        std::int64_t stride =
+            static_cast<std::int64_t>(rng_.below(64)) - 32;
+        if (stride == 0)
+            stride = 1;
+        Vpn base = 100000 + rng_.below(1000);
+        std::vector<Vpn> seq;
+        for (unsigned i = 0; i < 16; ++i)
+            seq.push_back(static_cast<Vpn>(
+                static_cast<std::int64_t>(base) + stride * i));
+        ViewHolder h(seq);
+        auto p = runSsp(h.view());
+        ASSERT_TRUE(p.has_value());
+        for (std::uint64_t off = 1; off <= 8; ++off) {
+            auto t = p->target(off);
+            if (!t)
+                continue;
+            // Target must be a future member of the arithmetic stream.
+            std::int64_t delta = static_cast<std::int64_t>(*t) -
+                                 static_cast<std::int64_t>(seq.back());
+            ASSERT_EQ(delta % stride, 0);
+            ASSERT_GT(delta / stride, 0);
+        }
+    }
+}
+
+TEST_P(AlgoFuzz, LadderPredictionsMostlyLandOnStreamPages)
+{
+    // The tiers are heuristics: a prediction need not always be an
+    // exact member of the stream (mid-tread alignments can shift the
+    // ladder base a page or two), but predictions must overwhelmingly
+    // hit real stream pages and always stay inside the stream's
+    // forward envelope.
+    unsigned predicted = 0, on_stream = 0;
+    for (int round = 0; round < 200; ++round) {
+        auto seq = randomLadder(rng_, 64);
+        ViewHolder h({seq.begin(), seq.begin() + 16});
+        auto p = runThreeTier(h.view());
+        if (!p)
+            continue; // some orders legitimately defeat every tier
+        auto t1 = p->target(1);
+        if (!t1)
+            continue;
+        ++predicted;
+        std::set<Vpn> members(seq.begin(), seq.end());
+        on_stream += members.count(*t1) > 0;
+        // Envelope: never wildly outside the region the stream spans.
+        ASSERT_GE(*t1, seq.front());
+        ASSERT_LE(*t1, seq.back() + 128) << "round " << round;
+    }
+    EXPECT_GT(predicted, 100u);
+    EXPECT_GT(on_stream * 10, predicted * 7)
+        << "at least 70% of predictions are exact stream pages";
+}
+
+TEST_P(AlgoFuzz, RippleIdentificationRobustToBoundedJitter)
+{
+    // Bounded-jitter forward progress should be identified in the
+    // overwhelming majority of windows (adversarial jitter can
+    // legitimately defeat the L/2 thresholds in a few).
+    unsigned identified = 0;
+    for (int round = 0; round < 100; ++round) {
+        std::vector<Vpn> seq;
+        std::int64_t front = 5000;
+        for (unsigned i = 0; i < 16; ++i) {
+            // Occasional bounded hops, as the paper's Fig. 3 ripples
+            // (RSP tolerates ~2 out-of-order accesses per window).
+            std::int64_t jitter =
+                rng_.chance(0.35)
+                    ? static_cast<std::int64_t>(rng_.below(3)) - 1
+                    : 0;
+            seq.push_back(static_cast<Vpn>(front + jitter));
+            ++front;
+        }
+        ViewHolder h(seq);
+        auto p = runThreeTier(h.view());
+        if (p && p->step > 0)
+            ++identified;
+    }
+    EXPECT_GT(identified, 80u);
+}
+
+TEST_P(AlgoFuzz, PureNoiseIsMostlyRejected)
+{
+    unsigned accepted = 0;
+    for (int round = 0; round < 200; ++round) {
+        std::vector<Vpn> seq;
+        for (unsigned i = 0; i < 16; ++i)
+            seq.push_back(rng_.below64(1u << 20));
+        ViewHolder h(seq);
+        accepted += runThreeTier(h.view()).has_value();
+    }
+    // Uniform-random 20-bit pages: stride coincidences are rare.
+    EXPECT_LT(accepted, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgoFuzz,
+                         ::testing::Values(11, 22, 33, 44));

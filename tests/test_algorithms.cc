@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the three prefetch tiers (§III-D2-4): dominant-stride
+ * detection (SSP), ladder repetition (LSP, Algorithm 1), ripple
+ * accumulation (RSP, Algorithm 2), and the tier dispatch order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "hopp/algorithms.hh"
+
+using namespace hopp;
+using namespace hopp::core;
+
+namespace
+{
+
+/** Build vpn/stride arrays from a VPN sequence and wrap in a view. */
+struct ViewHolder
+{
+    std::vector<Vpn> vpns;
+    std::vector<std::int64_t> strides;
+
+    explicit ViewHolder(std::vector<Vpn> seq) : vpns(std::move(seq))
+    {
+        for (std::size_t i = 1; i < vpns.size(); ++i) {
+            strides.push_back(static_cast<std::int64_t>(vpns[i]) -
+                              static_cast<std::int64_t>(vpns[i - 1]));
+        }
+    }
+
+    StreamView
+    view() const
+    {
+        return StreamView{1, 7, 100, &vpns, &strides};
+    }
+};
+
+/** A 16-long VPN history with fixed stride. */
+std::vector<Vpn>
+arith(Vpn base, std::int64_t stride, unsigned n = 16)
+{
+    std::vector<Vpn> v;
+    for (unsigned i = 0; i < n; ++i)
+        v.push_back(static_cast<Vpn>(
+            static_cast<std::int64_t>(base) + stride * i));
+    return v;
+}
+
+/**
+ * Cross-stream ladder VPNs (Fig. 2): tread r visits rise*r + {0,2,1},
+ * so within-tread strides vary (+2, -1) and no stride dominates; the
+ * rise is the larger stable jump.
+ */
+std::vector<Vpn>
+ladder(Vpn base, unsigned rise, unsigned n = 16)
+{
+    static const unsigned offsets[3] = {0, 2, 1};
+    std::vector<Vpn> v;
+    for (unsigned i = 0; i < n; ++i)
+        v.push_back(base + (i / 3) * rise + offsets[i % 3]);
+    return v;
+}
+
+} // namespace
+
+TEST(Ssp, DetectsDominantStride)
+{
+    ViewHolder h(arith(100, 3));
+    auto p = runSsp(h.view());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->tier, Tier::Ssp);
+    EXPECT_EQ(p->step, 3);
+    EXPECT_EQ(p->base, h.vpns.back());
+    EXPECT_EQ(p->target(1), h.vpns.back() + 3);
+    EXPECT_EQ(p->target(4), h.vpns.back() + 12);
+}
+
+TEST(Ssp, DetectsNegativeStride)
+{
+    ViewHolder h(arith(1000, -2));
+    auto p = runSsp(h.view());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->step, -2);
+    EXPECT_EQ(p->target(1), h.vpns.back() - 2);
+}
+
+TEST(Ssp, MajorityWithNoiseStillDetected)
+{
+    // 10 of 15 strides are +1: dominant (>= L/2 = 8).
+    std::vector<Vpn> seq{0,  1,  2,  3,  4,  40, 41, 42,
+                         43, 44, 45, 46, 47, 48, 49, 50};
+    ViewHolder h(seq);
+    auto p = runSsp(h.view());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->step, 1);
+}
+
+TEST(Ssp, NoDominantStrideFails)
+{
+    // Cross-stream ladder: strides cycle (+2, -1, +14), 5 occurrences
+    // each in a 15-stride history — none reaches the L/2 = 8 majority.
+    ViewHolder h(ladder(0, 16));
+    EXPECT_FALSE(runSsp(h.view()).has_value());
+}
+
+TEST(Ssp, ExactlyHalfCountsAsDominant)
+{
+    // Paper: "occurred more than or equal to L/2 times". A tread-2
+    // ladder alternates (1, 15): stride 1 appears exactly 8 times in a
+    // 15-stride history, so SSP *does* claim it.
+    std::vector<Vpn> v;
+    for (unsigned i = 0; i < 16; ++i)
+        v.push_back((i / 2) * 16 + i % 2);
+    ViewHolder h(v);
+    auto p = runSsp(h.view());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->step, 1);
+}
+
+TEST(Ssp, UnderflowTargetIsNull)
+{
+    ViewHolder h(arith(30, -2));
+    auto p = runSsp(h.view());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_FALSE(p->target(10).has_value()); // 0 - 2*... < 0
+}
+
+TEST(Lsp, DetectsLadderRepetition)
+{
+    // Window ends right after a rise: target pattern (-1, +14), which
+    // repeats every tread. The stride after each occurrence is +2 and
+    // occurrences are 16 pages apart, so LSP predicts vpnA + 2 and
+    // then +16 per repetition — exactly the future pages.
+    auto seq = ladder(0, 16, 64);
+    ViewHolder h({seq.begin(), seq.begin() + 16});
+    auto p = runLsp(h.view());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->tier, Tier::Lsp);
+    EXPECT_EQ(p->base, h.vpns.back() + 2);
+    EXPECT_EQ(p->step, 16);
+    // Both predicted pages really occur in the stream's future.
+    std::set<Vpn> future(seq.begin() + 16, seq.end());
+    EXPECT_TRUE(future.count(*p->target(1)));
+    EXPECT_TRUE(future.count(*p->target(2)));
+}
+
+TEST(Lsp, NoRepetitionFails)
+{
+    // Strictly increasing strides: no pattern pair ever repeats.
+    std::vector<Vpn> seq;
+    Vpn cur = 0;
+    for (int i = 0; i < 16; ++i) {
+        seq.push_back(cur);
+        cur += 3 + static_cast<Vpn>(i);
+    }
+    ViewHolder h(seq);
+    EXPECT_FALSE(runLsp(h.view()).has_value());
+}
+
+TEST(Lsp, WindowAlignmentStillPredictsFuturePages)
+{
+    // Same ladder, but the window ends mid-tread: whatever the target
+    // pattern alignment, predicted pages must lie in the future.
+    auto seq = ladder(0, 16, 64);
+    for (unsigned start = 0; start < 3; ++start) {
+        ViewHolder h({seq.begin() + start, seq.begin() + start + 16});
+        auto p = runLsp(h.view());
+        ASSERT_TRUE(p.has_value()) << "alignment " << start;
+        std::set<Vpn> future(seq.begin() + start + 16, seq.end());
+        EXPECT_TRUE(future.count(*p->target(1)))
+            << "alignment " << start;
+    }
+}
+
+TEST(Rsp, DetectsPureSequential)
+{
+    ViewHolder h(arith(10, 1));
+    auto p = runRsp(h.view());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->tier, Tier::Rsp);
+    EXPECT_EQ(p->step, 1);
+    EXPECT_EQ(p->target(2), h.vpns.back() + 2);
+}
+
+TEST(Rsp, DetectsRippleWithOutOfOrderHops)
+{
+    // Net stride-1 progress with +/-2 excursions that cancel out.
+    std::vector<Vpn> seq{100, 102, 101, 103, 102, 104, 103, 105,
+                         104, 106, 105, 107, 106, 108, 107, 109};
+    ViewHolder h(seq);
+    auto p = runRsp(h.view());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->step, 1);
+}
+
+TEST(Rsp, RejectsLargeStrideStream)
+{
+    ViewHolder h(arith(0, 16));
+    EXPECT_FALSE(runRsp(h.view()).has_value());
+}
+
+TEST(Rsp, RejectsRandomJumps)
+{
+    std::vector<Vpn> seq{0,   900, 13,  700, 45,  333, 801, 99,
+                         555, 222, 777, 31,  650, 480, 12,  999};
+    ViewHolder h(seq);
+    EXPECT_FALSE(runRsp(h.view()).has_value());
+}
+
+TEST(ThreeTier, SspWinsOverRspForSimpleStream)
+{
+    ViewHolder h(arith(0, 1));
+    auto p = runThreeTier(h.view());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->tier, Tier::Ssp);
+}
+
+TEST(ThreeTier, LadderFallsThroughToLsp)
+{
+    ViewHolder h(ladder(0, 16));
+    auto p = runThreeTier(h.view());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->tier, Tier::Lsp);
+}
+
+TEST(ThreeTier, MaskDisablesTiers)
+{
+    ViewHolder h(ladder(0, 16));
+    EXPECT_FALSE(runThreeTier(h.view(), tiers::ssp).has_value());
+    EXPECT_TRUE(runThreeTier(h.view(), tiers::ssp | tiers::lsp)
+                    .has_value());
+    ViewHolder seq(arith(0, 1));
+    auto p = runThreeTier(seq.view(), tiers::rsp);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->tier, Tier::Rsp);
+}
+
+TEST(ThreeTier, NothingMatchesRandom)
+{
+    std::vector<Vpn> seq{0,   900, 13,  700, 45,  333, 801, 99,
+                         555, 222, 777, 31,  650, 480, 12,  999};
+    ViewHolder h(seq);
+    EXPECT_FALSE(runThreeTier(h.view()).has_value());
+}

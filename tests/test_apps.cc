@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the application models (Table IV): registry completeness,
+ * footprint accounting, determinism, and pattern-class sanity (the
+ * access streams stay within the declared footprints).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/apps.hh"
+
+using namespace hopp;
+using namespace hopp::workloads;
+
+namespace
+{
+
+WorkloadScale
+tiny()
+{
+    WorkloadScale s;
+    s.footprint = 0.05;
+    s.iterations = 0.25;
+    return s;
+}
+
+std::uint64_t
+drain(AccessGenerator &gen, std::set<Vpn> *pages = nullptr,
+      std::uint64_t cap = 50'000'000)
+{
+    Access a;
+    std::uint64_t n = 0;
+    while (n < cap && gen.next(a)) {
+        ++n;
+        if (pages)
+            pages->insert(pageOf(a.va));
+    }
+    return n;
+}
+
+} // namespace
+
+TEST(Apps, RegistryHasFourteenAppsPlusMicrobench)
+{
+    EXPECT_EQ(allWorkloadNames().size(), 14u);
+    EXPECT_EQ(nonJvmWorkloadNames().size(), 8u);
+    EXPECT_EQ(sparkWorkloadNames().size(), 6u);
+    // Every name resolves.
+    for (const auto &n : allWorkloadNames())
+        EXPECT_FALSE(makeWorkload(n, tiny()).threads.empty()) << n;
+    EXPECT_FALSE(makeWorkload("microbench", tiny()).threads.empty());
+}
+
+TEST(AppsDeath, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(makeWorkload("nonsense"), "unknown workload");
+}
+
+TEST(Apps, JvmFlagMatchesGrouping)
+{
+    for (const auto &n : nonJvmWorkloadNames())
+        EXPECT_FALSE(makeWorkload(n, tiny()).jvm) << n;
+    for (const auto &n : sparkWorkloadNames())
+        EXPECT_TRUE(makeWorkload(n, tiny()).jvm) << n;
+}
+
+TEST(Apps, EveryThreadTerminatesAndProducesAccesses)
+{
+    for (const auto &name : allWorkloadNames()) {
+        Workload w = makeWorkload(name, tiny());
+        for (std::size_t t = 0; t < w.threads.size(); ++t) {
+            auto gen = w.threads[t]();
+            std::uint64_t n = drain(*gen);
+            EXPECT_GT(n, 100u) << name << " thread " << t;
+            EXPECT_LT(n, 50'000'000u) << name << " thread " << t;
+        }
+    }
+}
+
+TEST(Apps, DistinctPagesStayNearDeclaredFootprint)
+{
+    for (const auto &name : allWorkloadNames()) {
+        Workload w = makeWorkload(name, tiny());
+        std::set<Vpn> pages;
+        for (const auto &make : w.threads) {
+            auto gen = make();
+            drain(*gen, &pages);
+        }
+        EXPECT_LE(pages.size(), w.footprintPages * 5 / 4)
+            << name << " exceeds declared footprint";
+        // Loose lower bound: random-run workloads only sample their
+        // regions at tiny scales.
+        EXPECT_GE(pages.size(), w.footprintPages / 10)
+            << name << " far below declared footprint";
+    }
+}
+
+TEST(Apps, GeneratorsAreDeterministicPerSeed)
+{
+    Workload w1 = makeWorkload("graphx-pr", tiny(), 7);
+    Workload w2 = makeWorkload("graphx-pr", tiny(), 7);
+    auto g1 = w1.threads[0]();
+    auto g2 = w2.threads[0]();
+    Access a1, a2;
+    for (int i = 0; i < 10000; ++i) {
+        bool ok1 = g1->next(a1);
+        bool ok2 = g2->next(a2);
+        ASSERT_EQ(ok1, ok2);
+        if (!ok1)
+            break;
+        ASSERT_EQ(a1.va, a2.va);
+    }
+}
+
+TEST(Apps, SeedsChangeIrregularWorkloads)
+{
+    auto g1 = makeWorkload("spark-bayes", tiny(), 1).threads[0]();
+    auto g2 = makeWorkload("spark-bayes", tiny(), 2).threads[0]();
+    Access a1, a2;
+    int differs = 0;
+    for (int i = 0; i < 5000; ++i) {
+        if (!g1->next(a1) || !g2->next(a2))
+            break;
+        differs += a1.va != a2.va;
+    }
+    EXPECT_GT(differs, 0);
+}
+
+TEST(Apps, ScaleShrinksFootprintAndAccesses)
+{
+    WorkloadScale big = tiny();
+    big.footprint *= 4;
+    Workload small = makeWorkload("kmeans-omp", tiny());
+    Workload large = makeWorkload("kmeans-omp", big);
+    EXPECT_GT(large.footprintPages, small.footprintPages * 3);
+}
+
+TEST(Apps, ThreadsUseDisjointPrimaryRegions)
+{
+    Workload w = makeWorkload("npb-ft", tiny());
+    ASSERT_EQ(w.threads.size(), 2u);
+    std::set<Vpn> p0, p1;
+    auto g0 = w.threads[0]();
+    auto g1 = w.threads[1]();
+    drain(*g0, &p0);
+    drain(*g1, &p1);
+    for (Vpn v : p0)
+        EXPECT_EQ(p1.count(v), 0u);
+}

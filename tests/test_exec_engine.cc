@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the prefetch execution engine (§III-F): dedup,
+ * injection, adoption accounting, per-tier stats and policy feedback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hopp/exec_engine.hh"
+#include "prefetch/prefetcher.hh"
+#include "vm/vms.hh"
+
+using namespace hopp;
+using namespace hopp::core;
+
+namespace
+{
+
+class ExecTest : public ::testing::Test
+{
+  protected:
+    static constexpr Pid pid = 1;
+
+    ExecTest()
+    {
+        vm::VmsConfig vcfg;
+        vcfg.kswapdEnabled = false;
+        eq = std::make_unique<sim::EventQueue>();
+        dram = std::make_unique<mem::Dram>(64);
+        mc = std::make_unique<mem::MemCtrl>(*dram);
+        llc = std::make_unique<mem::Llc>(mem::LlcConfig{64 << 10, 4});
+        fabric =
+            std::make_unique<net::RdmaFabric>(*eq, net::LinkConfig{});
+        node = std::make_unique<remote::RemoteNode>(1 << 16);
+        backend = std::make_unique<remote::SwapBackend>(*fabric, *node);
+        vms = std::make_unique<vm::Vms>(*eq, *dram, *mc, *llc, *backend,
+                                        vcfg);
+        vms->createProcess(pid, 8);
+        policy = std::make_unique<PolicyEngine>();
+        exec = std::make_unique<ExecEngine>(*vms, *policy);
+    }
+
+    Tick
+    touch(Vpn v, Tick now = 0)
+    {
+        return vms->access(pid, pageBase(v), false, now);
+    }
+
+    /** Touch pages [0, n), swapping out the early ones. */
+    Tick
+    fill(std::uint64_t n)
+    {
+        Tick t = 0;
+        for (Vpn v = 0; v < n; ++v)
+            t += touch(v, t);
+        return t;
+    }
+
+    std::unique_ptr<sim::EventQueue> eq;
+    std::unique_ptr<mem::Dram> dram;
+    std::unique_ptr<mem::MemCtrl> mc;
+    std::unique_ptr<mem::Llc> llc;
+    std::unique_ptr<net::RdmaFabric> fabric;
+    std::unique_ptr<remote::RemoteNode> node;
+    std::unique_ptr<remote::SwapBackend> backend;
+    std::unique_ptr<vm::Vms> vms;
+    std::unique_ptr<PolicyEngine> policy;
+    std::unique_ptr<ExecEngine> exec;
+};
+
+} // namespace
+
+TEST_F(ExecTest, IssuesInjectionForSwappedPage)
+{
+    Tick t = fill(9); // page 0 swapped out
+    exec->request(pid, 0, /*stream=*/7, Tier::Ssp, t);
+    EXPECT_EQ(exec->tierStats(Tier::Ssp).issued, 1u);
+    EXPECT_EQ(exec->outstanding(), 1u);
+    eq->run();
+}
+
+TEST_F(ExecTest, DedupsResidentAndUntouchedPages)
+{
+    Tick t = fill(4);
+    exec->request(pid, 2, 7, Tier::Ssp, t);    // resident
+    exec->request(pid, 9999, 7, Tier::Ssp, t); // untouched
+    EXPECT_EQ(exec->deduped(), 2u);
+    EXPECT_EQ(exec->tierStats(Tier::Ssp).issued, 0u);
+}
+
+TEST_F(ExecTest, DedupsInflightRequests)
+{
+    Tick t = fill(9);
+    exec->request(pid, 0, 7, Tier::Ssp, t);
+    exec->request(pid, 0, 7, Tier::Ssp, t); // duplicate while in flight
+    EXPECT_EQ(exec->deduped(), 1u);
+    EXPECT_EQ(exec->tierStats(Tier::Ssp).issued, 1u);
+    eq->run();
+}
+
+TEST_F(ExecTest, AdoptsSwapCachedPageInstantly)
+{
+    Tick t = fill(9);
+    ASSERT_TRUE(vms->prefetchToSwapCache(pid, 0, 2, t));
+    eq->run();
+    exec->request(pid, 0, 7, Tier::Lsp, eq->now());
+    const auto &ts = exec->tierStats(Tier::Lsp);
+    EXPECT_EQ(ts.issued, 1u);
+    EXPECT_EQ(ts.completed, 1u); // instantly complete
+    EXPECT_TRUE(vms->pageTable().present(pid, 0));
+    EXPECT_EQ(vms->stats().adoptions, 1u);
+}
+
+TEST_F(ExecTest, HitFeedsPolicyAndCountsPerTier)
+{
+    Tick t = fill(9);
+    exec->request(pid, 0, /*stream=*/42, Tier::Rsp, t);
+    eq->run(); // injection completes
+    // Wire the VMS listener path manually: first touch fires
+    // onPrefetchHit, which the HoppSystem would route to exec->onHit.
+    struct Router : vm::PageEventListener
+    {
+        ExecEngine *exec;
+        void
+        onPrefetchHit(Pid p, Vpn v, vm::Origin o, Tick r, Tick h,
+                      bool) override
+        {
+            if (o == prefetch::origin::hopp)
+                exec->onHit(p, v, r, h);
+        }
+    } router;
+    router.exec = exec.get();
+    vms->addListener(&router);
+    touch(0, eq->now() + 1000); // immediate touch: T ~ 0 -> late
+    EXPECT_EQ(exec->tierStats(Tier::Rsp).hits, 1u);
+    EXPECT_EQ(exec->outstanding(), 0u);
+    EXPECT_EQ(policy->stats().feedbacks, 1u);
+    // One sample does not move the offset (epoch averaging), but it
+    // is accumulated toward the next adjustment.
+    EXPECT_DOUBLE_EQ(policy->offsetOf(42), 1.0);
+}
+
+TEST_F(ExecTest, EvictionCountsUnused)
+{
+    Tick t = fill(9);
+    exec->request(pid, 0, 7, Tier::Ssp, t);
+    eq->run();
+    struct Router : vm::PageEventListener
+    {
+        ExecEngine *exec;
+        void
+        onPrefetchEvicted(Pid p, Vpn v, vm::Origin o, Tick) override
+        {
+            if (o == prefetch::origin::hopp)
+                exec->onEvicted(p, v);
+        }
+    } router;
+    router.exec = exec.get();
+    vms->addListener(&router);
+    // Stream fresh pages so page 0 (injected, never touched) evicts.
+    Tick now = eq->now();
+    for (Vpn v = 100; v < 130; ++v)
+        now += touch(v, now);
+    EXPECT_EQ(exec->tierStats(Tier::Ssp).evictedUnused, 1u);
+    EXPECT_EQ(exec->outstanding(), 0u);
+}

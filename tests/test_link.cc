@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the RDMA link and fabric models: serialization,
+ * queueing, base latency, and async completion scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/link.hh"
+#include "net/rdma.hh"
+
+using namespace hopp;
+using namespace hopp::net;
+
+TEST(Link, UncontendedPageTransferIsAboutFourMicroseconds)
+{
+    // Paper §II-A step 4: a 4 KB page over 56 Gbps RDMA ~ 4 us.
+    Link link(LinkConfig{});
+    Tick done = link.transfer(pageBytes, 0);
+    // 585 ns serialization + 150 ns issue overhead + 3.4 us latency.
+    EXPECT_NEAR(static_cast<double>(done), 4135.0, 150.0);
+}
+
+TEST(Link, SerializationScalesWithBytes)
+{
+    LinkConfig cfg;
+    cfg.gbps = 8.0; // 1 byte per ns
+    Link link(cfg);
+    EXPECT_EQ(link.serializationDelay(1000), 1000u);
+    EXPECT_EQ(link.serializationDelay(0), 0u);
+}
+
+TEST(Link, BackToBackTransfersQueueFifo)
+{
+    LinkConfig cfg;
+    cfg.gbps = 8.0;
+    cfg.baseLatency = 100;
+    cfg.perTransferOverhead = 0;
+    Link link(cfg);
+    Tick first = link.transfer(1000, 0);   // ser 1000 + 100
+    Tick second = link.transfer(1000, 0);  // starts at 1000
+    EXPECT_EQ(first, 1100u);
+    EXPECT_EQ(second, 2100u);
+    EXPECT_EQ(link.busyUntil(), 2000u);
+}
+
+TEST(Link, IdleLinkDoesNotQueue)
+{
+    LinkConfig cfg;
+    cfg.gbps = 8.0;
+    cfg.baseLatency = 0;
+    cfg.perTransferOverhead = 0;
+    Link link(cfg);
+    link.transfer(1000, 0);
+    Tick done = link.transfer(1000, 5000); // link idle again
+    EXPECT_EQ(done, 6000u);
+    EXPECT_DOUBLE_EQ(link.queueDelay().max(), 0.0);
+}
+
+TEST(Link, TracksBytesAndTransferCounts)
+{
+    Link link(LinkConfig{});
+    link.transfer(100, 0);
+    link.transfer(200, 0);
+    EXPECT_EQ(link.bytesSent(), 300u);
+    EXPECT_EQ(link.transfers(), 2u);
+}
+
+TEST(RdmaFabric, ReadAndWriteUseIndependentLinks)
+{
+    sim::EventQueue eq;
+    LinkConfig cfg;
+    cfg.gbps = 8.0;
+    cfg.baseLatency = 0;
+    cfg.perTransferOverhead = 0;
+    RdmaFabric fabric(eq, cfg);
+    Tick r = fabric.read(1000, 0);
+    Tick w = fabric.write(1000, 0);
+    // No cross-direction contention: both complete at 1000.
+    EXPECT_EQ(r, 1000u);
+    EXPECT_EQ(w, 1000u);
+}
+
+TEST(RdmaFabric, AsyncReadFiresCompletionAtTheRightTick)
+{
+    sim::EventQueue eq;
+    LinkConfig cfg;
+    cfg.gbps = 8.0;
+    cfg.baseLatency = 50;
+    cfg.perTransferOverhead = 0;
+    RdmaFabric fabric(eq, cfg);
+    Tick seen = 0;
+    Tick predicted =
+        fabric.readAsync(1000, 0, [&](Tick t) { seen = t; });
+    EXPECT_EQ(predicted, 1050u);
+    eq.run();
+    EXPECT_EQ(seen, 1050u);
+    EXPECT_EQ(eq.now(), 1050u);
+}
+
+TEST(RdmaFabric, ConcurrentReadsContend)
+{
+    sim::EventQueue eq;
+    LinkConfig cfg;
+    cfg.gbps = 8.0;
+    cfg.baseLatency = 0;
+    cfg.perTransferOverhead = 0;
+    RdmaFabric fabric(eq, cfg);
+    std::vector<Tick> completions;
+    for (int i = 0; i < 4; ++i)
+        fabric.readAsync(1000, 0, [&](Tick t) { completions.push_back(t); });
+    eq.run();
+    ASSERT_EQ(completions.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(completions[i], 1000u * (i + 1));
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the LLC model: hit/miss behaviour, page invalidation,
+ * and miss-rate properties on streaming vs resident working sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/llc.hh"
+
+using namespace hopp;
+using namespace hopp::mem;
+
+namespace
+{
+
+LlcConfig
+smallLlc(std::uint64_t kb = 64, std::size_t ways = 4)
+{
+    LlcConfig cfg;
+    cfg.capacityBytes = kb << 10;
+    cfg.ways = ways;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Llc, FirstAccessMissesSecondHits)
+{
+    Llc llc(smallLlc());
+    EXPECT_FALSE(llc.access(0x1000));
+    EXPECT_TRUE(llc.access(0x1000));
+    EXPECT_EQ(llc.hits(), 1u);
+    EXPECT_EQ(llc.misses(), 1u);
+}
+
+TEST(Llc, SameLineDifferentBytesHit)
+{
+    Llc llc(smallLlc());
+    llc.access(0x1000);
+    EXPECT_TRUE(llc.access(0x1004));
+    EXPECT_TRUE(llc.access(0x103F));
+    EXPECT_FALSE(llc.access(0x1040)); // next line
+}
+
+TEST(Llc, ResidentWorkingSetEventuallyAllHits)
+{
+    Llc llc(smallLlc(64, 4));
+    // 32 KB working set in a 64 KB cache: after warmup, no misses.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::uint64_t a = 0; a < (32 << 10); a += lineBytes)
+            llc.access(a);
+    }
+    llc.resetStats();
+    for (std::uint64_t a = 0; a < (32 << 10); a += lineBytes)
+        llc.access(a);
+    EXPECT_EQ(llc.misses(), 0u);
+}
+
+TEST(Llc, StreamingFootprintLargerThanCacheAlwaysMisses)
+{
+    Llc llc(smallLlc(64, 4));
+    // Stream 1 MB repeatedly: every access should miss with LRU.
+    std::uint64_t miss_before = llc.misses();
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::uint64_t a = 0; a < (1 << 20); a += lineBytes)
+            llc.access(a);
+    }
+    std::uint64_t accesses = 2 * (1 << 20) / lineBytes;
+    EXPECT_EQ(llc.misses() - miss_before, accesses);
+}
+
+TEST(Llc, InvalidatePageForcesMissesOnThatPageOnly)
+{
+    Llc llc(smallLlc(256, 8));
+    // Touch two pages.
+    for (std::uint64_t off = 0; off < pageBytes; off += lineBytes) {
+        llc.access(pageBase(5) + off);
+        llc.access(pageBase(6) + off);
+    }
+    llc.invalidatePage(5);
+    llc.resetStats();
+    llc.access(pageBase(5));     // invalidated -> miss
+    llc.access(pageBase(6));     // untouched -> hit
+    EXPECT_EQ(llc.misses(), 1u);
+    EXPECT_EQ(llc.hits(), 1u);
+}
+
+TEST(Llc, GeometryRoundsToPowerOfTwoSets)
+{
+    LlcConfig cfg;
+    cfg.capacityBytes = 96 << 10; // 1536 lines / 16 ways = 96 sets -> 64
+    cfg.ways = 16;
+    Llc llc(cfg);
+    EXPECT_EQ(llc.sets(), 64u);
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * End-to-end machine tests: every system runs every (tiny) workload to
+ * completion; the qualitative ordering the paper reports holds on the
+ * pattern-friendly workloads; multi-application runs isolate cgroups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runner/machine.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+using hopp::workloads::WorkloadScale;
+
+namespace
+{
+
+WorkloadScale
+tiny()
+{
+    WorkloadScale s;
+    s.footprint = 0.08;
+    s.iterations = 0.3;
+    return s;
+}
+
+} // namespace
+
+TEST(Machine, AllSystemsCompleteKmeans)
+{
+    for (auto sys : {SystemKind::Local, SystemKind::NoPrefetch,
+                     SystemKind::Fastswap, SystemKind::Leap,
+                     SystemKind::Vma, SystemKind::DepthN,
+                     SystemKind::Hopp, SystemKind::HoppOnly}) {
+        auto r = runOne("kmeans-omp", sys, 0.5, tiny());
+        EXPECT_GT(r.makespan, 0u) << systemName(sys);
+        EXPECT_GT(r.vms.accesses, 1000u) << systemName(sys);
+        ASSERT_EQ(r.apps.size(), 1u);
+        EXPECT_EQ(r.apps[0].completion, r.makespan);
+    }
+}
+
+TEST(Machine, AccessCountIndependentOfSystem)
+{
+    auto a = runOne("quicksort", SystemKind::Local, 0.5, tiny());
+    auto b = runOne("quicksort", SystemKind::Hopp, 0.5, tiny());
+    EXPECT_EQ(a.vms.accesses, b.vms.accesses)
+        << "the system must not change the executed workload";
+}
+
+TEST(Machine, LocalIsFastestAndFaultsAreCold)
+{
+    auto local = runOne("kmeans-omp", SystemKind::Local, 0.5, tiny());
+    EXPECT_EQ(local.vms.remoteFaults, 0u);
+    EXPECT_EQ(local.demandRemote, 0u);
+    auto fs = runOne("kmeans-omp", SystemKind::Fastswap, 0.5, tiny());
+    EXPECT_LT(local.makespan, fs.makespan);
+}
+
+TEST(Machine, PrefetchingBeatsNoPrefetchOnStreams)
+{
+    auto none =
+        runOne("kmeans-omp", SystemKind::NoPrefetch, 0.5, tiny());
+    auto fs = runOne("kmeans-omp", SystemKind::Fastswap, 0.5, tiny());
+    EXPECT_LT(fs.makespan, none.makespan);
+    EXPECT_GT(fs.coverage, 0.5);
+}
+
+TEST(Machine, HoppBeatsFastswapOnStreams)
+{
+    auto fs = runOne("kmeans-omp", SystemKind::Fastswap, 0.5, tiny());
+    auto hp = runOne("kmeans-omp", SystemKind::Hopp, 0.5, tiny());
+    EXPECT_LT(hp.makespan, fs.makespan);
+    EXPECT_GT(hp.dramHitCoverage, 0.3);
+    EXPECT_LT(hp.vms.faults(), fs.vms.faults());
+}
+
+TEST(Machine, HoppAccuracyAndCoverageHighOnSimpleStreams)
+{
+    // At this tiny scale end-of-region overshoot weighs more than in
+    // the full-size benches (which assert the paper's > 0.9).
+    auto hp = runOne("kmeans-omp", SystemKind::Hopp, 0.5, tiny());
+    EXPECT_GT(hp.accuracy, 0.8);
+    EXPECT_GT(hp.coverage, 0.85);
+}
+
+TEST(Machine, TighterMemoryHurtsEveryone)
+{
+    auto half = runOne("quicksort", SystemKind::Fastswap, 0.5, tiny());
+    auto quarter =
+        runOne("quicksort", SystemKind::Fastswap, 0.25, tiny());
+    EXPECT_GT(quarter.makespan, half.makespan);
+}
+
+TEST(Machine, MultiAppRunsIsolateCgroups)
+{
+    MachineConfig cfg;
+    cfg.system = SystemKind::Hopp;
+    cfg.localMemRatio = 0.5;
+    Machine m(cfg);
+    m.addWorkload(workloads::makeWorkload("kmeans-omp", tiny(), 1));
+    m.addWorkload(workloads::makeWorkload("quicksort", tiny(), 2));
+    auto r = m.run();
+    ASSERT_EQ(r.apps.size(), 2u);
+    EXPECT_EQ(r.apps[0].name, "kmeans-omp");
+    EXPECT_EQ(r.apps[1].name, "quicksort");
+    EXPECT_GT(r.completionOf("kmeans-omp"), 0u);
+    EXPECT_GT(r.completionOf("quicksort"), 0u);
+    // Both cgroups stayed within their limits.
+    EXPECT_LE(m.vms().cgroup(1).charged(), m.vms().cgroup(1).limit());
+    EXPECT_LE(m.vms().cgroup(2).charged(), m.vms().cgroup(2).limit());
+}
+
+TEST(Machine, HoppSystemExposedOnlyForHoppKinds)
+{
+    MachineConfig cfg;
+    cfg.system = SystemKind::Fastswap;
+    Machine m1(cfg);
+    m1.addWorkload(workloads::makeWorkload("hpl", tiny()));
+    m1.run();
+    EXPECT_EQ(m1.hoppSystem(), nullptr);
+
+    cfg.system = SystemKind::HoppOnly;
+    Machine m2(cfg);
+    m2.addWorkload(workloads::makeWorkload("hpl", tiny()));
+    m2.run();
+    ASSERT_NE(m2.hoppSystem(), nullptr);
+    EXPECT_GT(m2.hoppSystem()->hpd().stats().reads, 0u);
+}
+
+TEST(Machine, NormalizedPerformanceHelper)
+{
+    EXPECT_DOUBLE_EQ(normalizedPerformance(50, 100), 0.5);
+    EXPECT_DOUBLE_EQ(normalizedPerformance(100, 100), 1.0);
+}
+
+TEST(Machine, CompletionOfUnknownAppDies)
+{
+    auto r = runOne("hpl", SystemKind::Local, 0.5, tiny());
+    EXPECT_DEATH((void)r.completionOf("nope"), "no app named");
+}
+
+TEST(Machine, DeterministicAcrossRuns)
+{
+    auto a = runOne("npb-mg", SystemKind::Hopp, 0.5, tiny());
+    auto b = runOne("npb-mg", SystemKind::Hopp, 0.5, tiny());
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.vms.faults(), b.vms.faults());
+    EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Property-based, parameterized sweeps (TEST_P) over the whole machine
+ * and the core components:
+ *
+ *  - every workload x every system: metric ranges, accounting
+ *    conservation, cgroup-limit invariants, determinism;
+ *  - HPD threshold sweep: the Table II ratio is monotone in N;
+ *  - policy alpha sweep: offsets converge inside the band.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hopp/policy.hh"
+#include "runner/machine.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+
+namespace
+{
+
+workloads::WorkloadScale
+tiny()
+{
+    workloads::WorkloadScale s;
+    s.footprint = 0.08;
+    s.iterations = 0.25;
+    return s;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Workload x system sweep
+// ---------------------------------------------------------------------
+
+class MachineProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, SystemKind>>
+{
+};
+
+TEST_P(MachineProperty, InvariantsHold)
+{
+    const auto &[workload, system] = GetParam();
+    MachineConfig cfg;
+    cfg.system = system;
+    cfg.localMemRatio = 0.5;
+    Machine m(cfg);
+    m.addWorkload(workloads::makeWorkload(workload, tiny()));
+    auto r = m.run();
+
+    // Metric ranges.
+    EXPECT_GE(r.accuracy, 0.0);
+    EXPECT_LE(r.accuracy, 1.0 + 1e-9);
+    EXPECT_GE(r.coverage, 0.0);
+    EXPECT_LE(r.coverage, 1.0 + 1e-9);
+    EXPECT_LE(r.dramHitCoverage, r.coverage + 1e-9);
+    EXPECT_GT(r.makespan, 0u);
+
+    // The cgroup never exceeds its limit.
+    EXPECT_LE(m.vms().cgroup(1).charged(), m.vms().cgroup(1).limit());
+
+    // Frame accounting: used frames equal pages holding DRAM.
+    auto &pt = m.vms().pageTable();
+    std::size_t in_dram = pt.countState(vm::PageState::Resident) +
+                          pt.countState(vm::PageState::SwapCached);
+    EXPECT_EQ(m.dram().usedFrames(), in_dram);
+
+    // Fault taxonomy covers every fault.
+    EXPECT_EQ(r.vms.faults(), r.vms.coldFaults + r.vms.remoteFaults +
+                                  r.vms.swapCacheHits +
+                                  r.vms.inflightWaits);
+
+    // Remote demand reads equal remote faults.
+    EXPECT_EQ(r.demandRemote, r.vms.remoteFaults);
+}
+
+TEST_P(MachineProperty, DeterministicAcrossRuns)
+{
+    const auto &[workload, system] = GetParam();
+    auto a = runOne(workload, system, 0.5, tiny());
+    auto b = runOne(workload, system, 0.5, tiny());
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.vms.faults(), b.vms.faults());
+    EXPECT_EQ(a.prefetchReads, b.prefetchReads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, MachineProperty,
+    ::testing::Combine(
+        ::testing::Values("kmeans-omp", "quicksort", "hpl", "npb-cg",
+                          "npb-ft", "npb-lu", "npb-mg", "npb-is",
+                          "graphx-pr", "spark-kmeans", "spark-bayes"),
+        ::testing::Values(SystemKind::NoPrefetch, SystemKind::Fastswap,
+                          SystemKind::Leap, SystemKind::DepthN,
+                          SystemKind::Hopp)),
+    [](const auto &info) {
+        std::string n = std::get<0>(info.param) + "_" +
+                        systemName(std::get<1>(info.param));
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+// Access counts must not depend on the system under test.
+class WorkloadConservation
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadConservation, SameAccessesUnderEverySystem)
+{
+    std::uint64_t baseline =
+        runOne(GetParam(), SystemKind::Local, 1.0, tiny()).vms.accesses;
+    for (auto sys : {SystemKind::Fastswap, SystemKind::Hopp}) {
+        EXPECT_EQ(runOne(GetParam(), sys, 0.5, tiny()).vms.accesses,
+                  baseline)
+            << systemName(sys);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadConservation,
+    ::testing::Values("kmeans-omp", "quicksort", "hpl", "npb-cg",
+                      "npb-ft", "npb-lu", "npb-mg", "npb-is",
+                      "graphx-pr", "graphx-cc", "graphx-bfs",
+                      "graphx-lp", "spark-kmeans", "spark-bayes"),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+// ---------------------------------------------------------------------
+// Memory-ratio monotonicity: less local memory never helps.
+// ---------------------------------------------------------------------
+
+class RatioMonotonicity : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RatioMonotonicity, TighterMemoryNeverFaster)
+{
+    auto r50 = runOne(GetParam(), SystemKind::Fastswap, 0.5, tiny());
+    auto r25 = runOne(GetParam(), SystemKind::Fastswap, 0.25, tiny());
+    // At this tiny scale the 25% limit clamps to the 64-frame floor,
+    // leaving the two limits close; allow generous layout noise.
+    EXPECT_GE(static_cast<double>(r25.makespan) * 1.06,
+              static_cast<double>(r50.makespan));
+    EXPECT_GE(r25.vms.remoteFaults + r25.vms.swapCacheHits +
+                  r25.vms.inflightWaits,
+              r50.vms.remoteFaults);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, RatioMonotonicity,
+    ::testing::Values("kmeans-omp", "quicksort", "npb-cg", "npb-is"),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+// ---------------------------------------------------------------------
+// HPD threshold sweep (Table II property, end to end)
+// ---------------------------------------------------------------------
+
+class HpdThresholdSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HpdThresholdSweep, RatioBoundedByInverseThreshold)
+{
+    unsigned n = GetParam();
+    MachineConfig cfg;
+    cfg.system = SystemKind::HoppOnly;
+    cfg.localMemRatio = 1.2;
+    cfg.hopp.hpd.threshold = n;
+    Machine m(cfg);
+    m.addWorkload(workloads::makeWorkload("kmeans-omp", tiny()));
+    m.run();
+    const auto &s = m.hoppSystem()->hpd().stats();
+    EXPECT_GT(s.hotPages, 0u);
+    // At most one extraction per N reads of a page.
+    EXPECT_LE(s.hotRatio(), 1.0 / n + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, HpdThresholdSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+// ---------------------------------------------------------------------
+// Policy alpha sweep
+// ---------------------------------------------------------------------
+
+class PolicyAlphaSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PolicyAlphaSweep, OffsetStaysClampedUnderAnyFeedback)
+{
+    core::PolicyConfig cfg;
+    cfg.alpha = GetParam();
+    cfg.adjustEpoch = 1;
+    core::PolicyEngine pe(cfg);
+    Pcg32 rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        Tick ready = rng.below(1000) * 1000ull;
+        Tick hit = ready + rng.below64(10'000'000);
+        pe.feedback(1, ready, hit);
+        double off = pe.offsetOf(1);
+        ASSERT_GE(off, 1.0);
+        ASSERT_LE(off, cfg.offsetMax);
+    }
+}
+
+TEST_P(PolicyAlphaSweep, ConsistentlyLateFeedbackReachesMax)
+{
+    core::PolicyConfig cfg;
+    cfg.alpha = GetParam();
+    cfg.adjustEpoch = 1;
+    core::PolicyEngine pe(cfg);
+    for (int i = 0; i < 200; ++i)
+        pe.feedback(1, 1000, 1000); // T == 0: always late
+    EXPECT_DOUBLE_EQ(pe.offsetOf(1), cfg.offsetMax);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, PolicyAlphaSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.5));

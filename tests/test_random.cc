@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG and the Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+
+using namespace hopp;
+
+TEST(Pcg32, DeterministicForSameSeed)
+{
+    Pcg32 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, BelowRespectsBound)
+{
+    Pcg32 rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(0), 0u);
+    EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Pcg32, Below64RespectsBound)
+{
+    Pcg32 rng(7);
+    std::uint64_t bound = 1ull << 40;
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below64(bound), bound);
+}
+
+TEST(Pcg32, UniformInUnitInterval)
+{
+    Pcg32 rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg32, BelowIsRoughlyUniform)
+{
+    Pcg32 rng(11);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[rng.below(10)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(ZipfSampler, SkewFavoursLowIndices)
+{
+    Pcg32 rng(3);
+    ZipfSampler zipf(1000, 0.99);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[zipf.sample(rng)];
+    // Item 0 should be drawn far more than item 500.
+    EXPECT_GT(counts[0], counts[500] * 10);
+}
+
+TEST(ZipfSampler, ThetaZeroIsUniform)
+{
+    Pcg32 rng(3);
+    ZipfSampler zipf(10, 0.0);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[zipf.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(ZipfSampler, SamplesWithinRange)
+{
+    Pcg32 rng(5);
+    ZipfSampler zipf(7, 1.2);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf.sample(rng), 7u);
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the remote memory node and swap backend: slot
+ * allocation adjacency, reverse mappings, and neighbourhood queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "remote/remote_node.hh"
+#include "remote/swap_backend.hh"
+
+using namespace hopp;
+using namespace hopp::remote;
+
+TEST(RemoteNode, AllocatesAscendingSlots)
+{
+    RemoteNode node(100);
+    EXPECT_EQ(node.allocate(), 0u);
+    EXPECT_EQ(node.allocate(), 1u);
+    EXPECT_EQ(node.allocate(), 2u);
+    EXPECT_EQ(node.liveSlots(), 3u);
+}
+
+TEST(RemoteNode, RecyclesFreedSlots)
+{
+    RemoteNode node(100);
+    node.allocate();
+    SwapSlot s1 = node.allocate();
+    node.release(s1);
+    EXPECT_EQ(node.allocate(), s1);
+    EXPECT_EQ(node.liveSlots(), 2u);
+}
+
+TEST(RemoteNodeDeath, OverflowPanics)
+{
+    RemoteNode node(2);
+    node.allocate();
+    node.allocate();
+    EXPECT_DEATH(node.allocate(), "full");
+}
+
+TEST(RemoteNodeDeath, BogusReleasePanics)
+{
+    RemoteNode node(10);
+    EXPECT_DEATH(node.release(5), "never-allocated");
+}
+
+namespace
+{
+
+struct BackendFixture : ::testing::Test
+{
+    sim::EventQueue eq;
+    net::RdmaFabric fabric{eq, net::LinkConfig{}};
+    RemoteNode node{1 << 20};
+    SwapBackend backend{fabric, node};
+};
+
+} // namespace
+
+TEST_F(BackendFixture, AllocateRecordsOwner)
+{
+    SwapSlot s = backend.allocate(3, 0x100);
+    auto owner = backend.owner(s);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(owner->pid, 3);
+    EXPECT_EQ(owner->vpn, 0x100u);
+    backend.release(s);
+    EXPECT_FALSE(backend.owner(s).has_value());
+}
+
+TEST_F(BackendFixture, NeighborsReturnAdjacentSlotOwners)
+{
+    // Evict pages in order: slots 0..4 belong to vpns 10..14.
+    for (Vpn v = 10; v <= 14; ++v)
+        backend.allocate(1, v);
+    auto around = backend.neighbors(2, 2, 2);
+    ASSERT_EQ(around.size(), 4u);
+    EXPECT_EQ(around[0].vpn, 10u);
+    EXPECT_EQ(around[1].vpn, 11u);
+    EXPECT_EQ(around[2].vpn, 13u);
+    EXPECT_EQ(around[3].vpn, 14u);
+}
+
+TEST_F(BackendFixture, NeighborsClampAtSlotZero)
+{
+    backend.allocate(1, 10);
+    backend.allocate(1, 11);
+    auto around = backend.neighbors(0, 4, 1);
+    ASSERT_EQ(around.size(), 1u);
+    EXPECT_EQ(around[0].vpn, 11u);
+}
+
+TEST_F(BackendFixture, NeighborsSkipFreedSlots)
+{
+    for (Vpn v = 10; v <= 14; ++v)
+        backend.allocate(1, v);
+    backend.release(1);
+    auto around = backend.neighbors(2, 2, 0);
+    ASSERT_EQ(around.size(), 1u);
+    EXPECT_EQ(around[0].vpn, 10u);
+}
+
+TEST_F(BackendFixture, CountsDemandAndPrefetchReadsSeparately)
+{
+    backend.demandRead(0);
+    backend.readAsync(0, [](Tick) {});
+    backend.readAsync(0, [](Tick) {});
+    backend.write(0);
+    EXPECT_EQ(backend.demandReads(), 1u);
+    EXPECT_EQ(backend.prefetchReads(), 2u);
+    EXPECT_EQ(backend.writebacks(), 1u);
+    eq.run();
+}
+
+TEST_F(BackendFixture, DemandReadLatencyMatchesLinkModel)
+{
+    Tick done = backend.demandRead(1000);
+    EXPECT_GT(done, 1000u + 3000u); // base latency dominates
+    EXPECT_LT(done, 1000u + 6000u);
+}

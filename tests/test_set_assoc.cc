@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the generic set-associative LRU cache that underlies
+ * the LLC, the HPD table and the RPT cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/set_assoc.hh"
+
+using hopp::mem::SetAssocCache;
+
+TEST(SetAssoc, MissThenHit)
+{
+    SetAssocCache<int> c(4, 2);
+    EXPECT_EQ(c.touch(42), nullptr);
+    EXPECT_FALSE(c.insert(42, 7).has_value());
+    int *v = c.touch(42);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, 7);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(SetAssoc, InsertOverwritesExistingTag)
+{
+    SetAssocCache<int> c(4, 2);
+    c.insert(1, 10);
+    c.insert(1, 20);
+    EXPECT_EQ(*c.peek(1), 20);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(SetAssoc, EvictsLruWithinSet)
+{
+    // 1 set, 2 ways: keys all collide.
+    SetAssocCache<int> c(1, 2);
+    c.insert(1, 1);
+    c.insert(2, 2);
+    c.touch(1); // make 2 the LRU
+    auto ev = c.insert(3, 3);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->tag, 2u);
+    EXPECT_EQ(ev->value, 2);
+    EXPECT_NE(c.peek(1), nullptr);
+    EXPECT_NE(c.peek(3), nullptr);
+    EXPECT_EQ(c.peek(2), nullptr);
+}
+
+TEST(SetAssoc, PeekDoesNotPromote)
+{
+    SetAssocCache<int> c(1, 2);
+    c.insert(1, 1);
+    c.insert(2, 2);
+    c.peek(1); // must NOT save 1 from eviction
+    auto ev = c.insert(3, 3);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->tag, 1u);
+}
+
+TEST(SetAssoc, SetsAreIndependent)
+{
+    // 4 sets x 1 way: tags 0..3 map to distinct sets.
+    SetAssocCache<int> c(4, 1);
+    for (std::uint64_t t = 0; t < 4; ++t)
+        EXPECT_FALSE(c.insert(t, static_cast<int>(t)).has_value());
+    EXPECT_EQ(c.size(), 4u);
+    // Tag 4 collides only with tag 0.
+    auto ev = c.insert(4, 4);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->tag, 0u);
+}
+
+TEST(SetAssoc, EraseRemovesEntry)
+{
+    SetAssocCache<int> c(4, 2);
+    c.insert(9, 90);
+    auto removed = c.erase(9);
+    ASSERT_TRUE(removed.has_value());
+    EXPECT_EQ(*removed, 90);
+    EXPECT_EQ(c.peek(9), nullptr);
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_FALSE(c.erase(9).has_value());
+}
+
+TEST(SetAssoc, ClearDropsEverything)
+{
+    SetAssocCache<int> c(4, 4);
+    for (std::uint64_t t = 0; t < 16; ++t)
+        c.insert(t, 0);
+    c.clear();
+    EXPECT_EQ(c.size(), 0u);
+    for (std::uint64_t t = 0; t < 16; ++t)
+        EXPECT_EQ(c.peek(t), nullptr);
+}
+
+TEST(SetAssoc, ForEachVisitsAllValidEntries)
+{
+    SetAssocCache<int> c(8, 2);
+    for (std::uint64_t t = 0; t < 10; ++t)
+        c.insert(t, static_cast<int>(t));
+    std::set<std::uint64_t> seen;
+    c.forEach([&](std::uint64_t tag, int &) { seen.insert(tag); });
+    EXPECT_EQ(seen.size(), c.size());
+}
+
+TEST(SetAssoc, CapacityFullWithoutEvictionAcrossSets)
+{
+    SetAssocCache<int> c(4, 4);
+    // 16 tags that spread evenly over 4 sets never evict.
+    for (std::uint64_t t = 0; t < 16; ++t)
+        EXPECT_FALSE(c.insert(t, 1).has_value());
+    EXPECT_EQ(c.size(), c.capacity());
+}
+
+TEST(SetAssocDeath, NonPowerOfTwoSetsRejected)
+{
+    using Cache = SetAssocCache<int>;
+    EXPECT_DEATH(Cache(3, 2), "power of two");
+}
+
+// LRU property under a pseudo-random workload: after touching a key it
+// must survive (ways-1) subsequent distinct insertions into its set.
+TEST(SetAssoc, TouchedKeySurvivesWaysMinusOneInsertions)
+{
+    constexpr std::size_t ways = 8;
+    SetAssocCache<int> c(1, ways);
+    for (std::uint64_t t = 0; t < ways; ++t)
+        c.insert(t, 0);
+    c.touch(3);
+    for (std::uint64_t t = 100; t < 100 + ways - 1; ++t)
+        c.insert(t, 0);
+    EXPECT_NE(c.peek(3), nullptr);
+    c.insert(999, 0);
+    EXPECT_EQ(c.peek(3), nullptr);
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for counters, averages, log histograms and table printing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+using namespace hopp::stats;
+
+TEST(Counter, AddAndReset)
+{
+    Counter c;
+    ++c;
+    c += 4;
+    c.add();
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, EmptyMeanIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(LogHistogram, BucketsByPowerOfTwo)
+{
+    LogHistogram h(10);
+    h.sample(1);   // bucket 0
+    h.sample(3);   // bucket 1
+    h.sample(4);   // bucket 2
+    h.sample(7);   // bucket 2
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 2u);
+}
+
+TEST(LogHistogram, MeanIsExact)
+{
+    LogHistogram h;
+    h.sample(10);
+    h.sample(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LogHistogram, PercentileMonotone)
+{
+    LogHistogram h;
+    for (std::uint64_t v = 1; v <= 1024; ++v)
+        h.sample(v);
+    EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+    EXPECT_LE(h.percentile(0.9), h.percentile(1.0));
+    // Median of 1..1024 lies in the 512-1024 region (bucket upper edge).
+    EXPECT_GE(h.percentile(0.5), 512u);
+}
+
+TEST(LogHistogram, OverflowClampsToLastBucket)
+{
+    LogHistogram h(4);
+    h.sample(1ull << 60);
+    EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(LogHistogram, ResetClears)
+{
+    LogHistogram h;
+    h.sample(5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(StatSet, RecordsPrefixedValues)
+{
+    StatSet s("llc");
+    s.record("hits", 10, "cache hits");
+    s.record("misses", 2, "cache misses");
+    ASSERT_EQ(s.values().size(), 2u);
+    EXPECT_EQ(s.values()[0].name, "llc.hits");
+    std::string text = s.toString();
+    EXPECT_NE(text.find("llc.misses"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("Example");
+    t.header({"name", "value"});
+    t.row({"alpha", Table::num(1.5, 1)});
+    t.row({"b", Table::pct(0.5, 0)});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("== Example =="), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("1.5"), std::string::npos);
+    EXPECT_NE(s.find("50%"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::pct(0.123456, 1), "12.3%");
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the Stream Training Table (§III-D1): clustering by
+ * PID and Δ_stream, history management, LRU replacement, duplicate
+ * suppression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hopp/stt.hh"
+
+using namespace hopp;
+using namespace hopp::core;
+
+namespace
+{
+
+SttConfig
+smallCfg(unsigned L = 8, std::size_t entries = 4)
+{
+    SttConfig c;
+    c.historyLen = L;
+    c.entries = entries;
+    return c;
+}
+
+} // namespace
+
+TEST(Stt, ViewAppearsOnceHistoryFills)
+{
+    Stt stt(smallCfg(8));
+    for (Vpn v = 0; v < 7; ++v)
+        EXPECT_FALSE(stt.feed(1, 100 + v).has_value());
+    auto view = stt.feed(1, 107);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->pid, 1);
+    EXPECT_EQ(view->vpns->size(), 8u);
+    EXPECT_EQ(view->strides->size(), 7u);
+    EXPECT_EQ(view->vpnA(), 107u);
+    EXPECT_EQ(view->strideA(), 1);
+}
+
+TEST(Stt, HistorySlidesAfterFull)
+{
+    Stt stt(smallCfg(8));
+    for (Vpn v = 0; v < 9; ++v)
+        stt.feed(1, 100 + v);
+    auto view = stt.feed(1, 109);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->vpns->front(), 102u);
+    EXPECT_EQ(view->vpns->back(), 109u);
+}
+
+TEST(Stt, DifferentPidsNeverShareStreams)
+{
+    Stt stt(smallCfg(4));
+    stt.feed(1, 100);
+    stt.feed(2, 101); // adjacent VPN but different pid
+    stt.feed(1, 102);
+    stt.feed(2, 103);
+    EXPECT_EQ(stt.liveStreams(), 2u);
+}
+
+TEST(Stt, FarVpnSeedsNewStream)
+{
+    Stt stt(smallCfg(4));
+    stt.feed(1, 100);
+    stt.feed(1, 100 + 65); // beyond delta = 64
+    EXPECT_EQ(stt.liveStreams(), 2u);
+    stt.feed(1, 100 + 64); // within delta of the first stream
+    EXPECT_EQ(stt.liveStreams(), 2u);
+    EXPECT_EQ(stt.stats().seeded, 2u);
+}
+
+TEST(Stt, ClosestStreamWinsWhenBothMatch)
+{
+    Stt stt(smallCfg(8));
+    stt.feed(1, 100);
+    stt.feed(1, 160);     // second stream 60 pages away (within delta!)
+    auto before = stt.liveStreams();
+    EXPECT_EQ(before, 1u) << "160 clusters into the 100-stream";
+    stt.feed(1, 161);
+    EXPECT_EQ(stt.liveStreams(), 1u);
+}
+
+TEST(Stt, DuplicateVpnIsSuppressed)
+{
+    Stt stt(smallCfg(4));
+    stt.feed(1, 100);
+    stt.feed(1, 100);
+    stt.feed(1, 100);
+    EXPECT_EQ(stt.stats().duplicates, 2u);
+    EXPECT_EQ(stt.stats().appended, 0u);
+}
+
+TEST(Stt, LruEvictionRecyclesOldestStream)
+{
+    Stt stt(smallCfg(4, /*entries=*/2));
+    stt.feed(1, 100);   // stream A
+    stt.feed(1, 1000);  // stream B
+    stt.feed(1, 1001);  // touch B
+    stt.feed(1, 5000);  // needs a slot: evicts A (LRU)
+    EXPECT_EQ(stt.stats().evicted, 1u);
+    EXPECT_EQ(stt.liveStreams(), 2u);
+    // A's history is gone: feeding near 100 seeds anew, evicting B.
+    stt.feed(1, 101);
+    EXPECT_EQ(stt.stats().evicted, 2u);
+}
+
+TEST(Stt, StreamIdsAreUniquePerGeneration)
+{
+    Stt stt(smallCfg(4, 2));
+    auto fill = [&](Vpn base) {
+        std::optional<StreamView> v;
+        for (Vpn i = 0; i < 4; ++i)
+            v = stt.feed(1, base + i);
+        return v;
+    };
+    auto a = fill(100);
+    ASSERT_TRUE(a.has_value());
+    std::uint64_t id_a = a->streamId;
+    auto b = fill(10000);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_NE(id_a, b->streamId);
+}
+
+TEST(Stt, BackwardStreamsClusterToo)
+{
+    Stt stt(smallCfg(8));
+    std::optional<StreamView> view;
+    for (int i = 0; i < 8; ++i)
+        view = stt.feed(1, 1000 - i * 2);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->strideA(), -2);
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the HMTT emulation: record packing, ring buffer
+ * semantics, the MC tap, bandwidth accounting, and trace file IO.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/hmtt.hh"
+#include "trace/trace_io.hh"
+
+using namespace hopp;
+using namespace hopp::trace;
+
+TEST(HmttRecord, PackUnpackRoundTrips)
+{
+    HmttRecord r;
+    r.seq = 0xAB;
+    r.timestamp = 0xCD;
+    r.isWrite = true;
+    r.addr29 = (1u << 29) - 5;
+    HmttRecord u = HmttRecord::unpack(r.pack());
+    EXPECT_EQ(u.seq, r.seq);
+    EXPECT_EQ(u.timestamp, r.timestamp);
+    EXPECT_EQ(u.isWrite, r.isWrite);
+    EXPECT_EQ(u.addr29, r.addr29);
+}
+
+TEST(HmttRecord, PpnDerivesFromAddr29)
+{
+    HmttRecord r;
+    r.addr29 = toAddr29(pageBase(7) + 3 * lineBytes);
+    EXPECT_EQ(r.ppn(), 7u);
+}
+
+TEST(HmttRecord, PackIs46Bits)
+{
+    HmttRecord r;
+    r.seq = 0xFF;
+    r.timestamp = 0xFF;
+    r.isWrite = true;
+    r.addr29 = (1u << 29) - 1;
+    EXPECT_LT(r.pack(), 1ull << 46);
+}
+
+TEST(RingBufferT, PushPopFifo)
+{
+    RingBuffer<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.push(i));
+    EXPECT_FALSE(ring.push(99)); // full -> drop
+    EXPECT_EQ(ring.dropped(), 1u);
+    for (int i = 0; i < 4; ++i) {
+        auto v = ring.pop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(RingBufferT, WrapsAround)
+{
+    RingBuffer<int> ring(3);
+    ring.push(1);
+    ring.push(2);
+    ring.pop();
+    ring.push(3);
+    ring.push(4);
+    EXPECT_EQ(*ring.pop(), 2);
+    EXPECT_EQ(*ring.pop(), 3);
+    EXPECT_EQ(*ring.pop(), 4);
+    EXPECT_EQ(ring.pushed(), 4u);
+}
+
+TEST(HmttTap, RecordsMcTraffic)
+{
+    mem::Dram dram(16);
+    mem::MemCtrl mc(dram);
+    Hmtt hmtt(dram);
+    mc.attach(&hmtt);
+    mc.demandRead(pageBase(3) + 64, 1000);
+    mc.writeback(pageBase(4), 2000);
+    EXPECT_EQ(hmtt.captured(), 2u);
+    auto r1 = hmtt.ring().pop();
+    ASSERT_TRUE(r1.has_value());
+    EXPECT_FALSE(r1->isWrite);
+    EXPECT_EQ(r1->ppn(), 3u);
+    EXPECT_EQ(r1->fullTime, 1000u);
+    auto r2 = hmtt.ring().pop();
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_TRUE(r2->isWrite);
+}
+
+TEST(HmttTap, ChargesTraceWriteBandwidth)
+{
+    mem::Dram dram(16);
+    mem::MemCtrl mc(dram);
+    Hmtt hmtt(dram);
+    mc.attach(&hmtt);
+    for (int i = 0; i < 10; ++i)
+        mc.demandRead(static_cast<PhysAddr>(i) * lineBytes, 0);
+    EXPECT_EQ(dram.traffic(mem::TrafficSource::TraceWrite), 80u);
+}
+
+TEST(HmttTap, SequenceNumbersWrapContinuously)
+{
+    mem::Dram dram(16);
+    mem::MemCtrl mc(dram);
+    HmttConfig cfg;
+    cfg.ringCapacity = 1 << 12;
+    Hmtt hmtt(dram, cfg);
+    mc.attach(&hmtt);
+    for (int i = 0; i < 300; ++i)
+        mc.demandRead(0, 0);
+    std::uint8_t expect = 0;
+    while (auto r = hmtt.ring().pop())
+        EXPECT_EQ(r->seq, expect++);
+}
+
+TEST(TraceIo, WriteReadRoundTrip)
+{
+    std::vector<HmttRecord> recs;
+    for (int i = 0; i < 100; ++i) {
+        HmttRecord r;
+        r.seq = static_cast<std::uint8_t>(i);
+        r.isWrite = i % 3 == 0;
+        r.addr29 = toAddr29(pageBase(i) + (i % 64) * lineBytes);
+        r.fullTime = static_cast<Tick>(i) * 123;
+        recs.push_back(r);
+    }
+    std::string path = ::testing::TempDir() + "/hopp_trace_test.bin";
+    ASSERT_TRUE(writeTraceFile(path, recs));
+    auto back = readTraceFile(path);
+    ASSERT_EQ(back.size(), recs.size());
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(back[i].seq, recs[i].seq);
+        EXPECT_EQ(back[i].isWrite, recs[i].isWrite);
+        EXPECT_EQ(back[i].addr29, recs[i].addr29);
+        EXPECT_EQ(back[i].fullTime, recs[i].fullTime);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileGivesEmpty)
+{
+    EXPECT_TRUE(readTraceFile("/nonexistent/zzz.bin").empty());
+}

