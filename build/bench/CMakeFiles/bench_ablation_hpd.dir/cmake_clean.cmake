@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hpd.dir/bench_ablation_hpd.cc.o"
+  "CMakeFiles/bench_ablation_hpd.dir/bench_ablation_hpd.cc.o.d"
+  "bench_ablation_hpd"
+  "bench_ablation_hpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hugepage.dir/bench_ablation_hugepage.cc.o"
+  "CMakeFiles/bench_ablation_hugepage.dir/bench_ablation_hugepage.cc.o.d"
+  "bench_ablation_hugepage"
+  "bench_ablation_hugepage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hugepage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

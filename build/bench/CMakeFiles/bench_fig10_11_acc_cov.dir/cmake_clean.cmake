@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_11_acc_cov.dir/bench_fig10_11_acc_cov.cc.o"
+  "CMakeFiles/bench_fig10_11_acc_cov.dir/bench_fig10_11_acc_cov.cc.o.d"
+  "bench_fig10_11_acc_cov"
+  "bench_fig10_11_acc_cov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_acc_cov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_14_spark_acc_cov.dir/bench_fig13_14_spark_acc_cov.cc.o"
+  "CMakeFiles/bench_fig13_14_spark_acc_cov.dir/bench_fig13_14_spark_acc_cov.cc.o.d"
+  "bench_fig13_14_spark_acc_cov"
+  "bench_fig13_14_spark_acc_cov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_14_spark_acc_cov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_fulltrace.dir/bench_motivation_fulltrace.cc.o"
+  "CMakeFiles/bench_motivation_fulltrace.dir/bench_motivation_fulltrace.cc.o.d"
+  "bench_motivation_fulltrace"
+  "bench_motivation_fulltrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_fulltrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

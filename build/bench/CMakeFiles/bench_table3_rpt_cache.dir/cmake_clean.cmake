@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_rpt_cache.dir/bench_table3_rpt_cache.cc.o"
+  "CMakeFiles/bench_table3_rpt_cache.dir/bench_table3_rpt_cache.cc.o.d"
+  "bench_table3_rpt_cache"
+  "bench_table3_rpt_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_rpt_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_compute.dir/matrix_compute.cpp.o"
+  "CMakeFiles/matrix_compute.dir/matrix_compute.cpp.o.d"
+  "matrix_compute"
+  "matrix_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("sim")
+subdirs("mem")
+subdirs("vm")
+subdirs("net")
+subdirs("remote")
+subdirs("trace")
+subdirs("workloads")
+subdirs("prefetch")
+subdirs("hopp")
+subdirs("runner")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopp_common.dir/logging.cc.o"
+  "CMakeFiles/hopp_common.dir/logging.cc.o.d"
+  "CMakeFiles/hopp_common.dir/random.cc.o"
+  "CMakeFiles/hopp_common.dir/random.cc.o.d"
+  "libhopp_common.a"
+  "libhopp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

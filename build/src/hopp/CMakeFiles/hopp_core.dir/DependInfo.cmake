@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hopp/algorithms.cc" "src/hopp/CMakeFiles/hopp_core.dir/algorithms.cc.o" "gcc" "src/hopp/CMakeFiles/hopp_core.dir/algorithms.cc.o.d"
+  "/root/repo/src/hopp/hopp_system.cc" "src/hopp/CMakeFiles/hopp_core.dir/hopp_system.cc.o" "gcc" "src/hopp/CMakeFiles/hopp_core.dir/hopp_system.cc.o.d"
+  "/root/repo/src/hopp/markov.cc" "src/hopp/CMakeFiles/hopp_core.dir/markov.cc.o" "gcc" "src/hopp/CMakeFiles/hopp_core.dir/markov.cc.o.d"
+  "/root/repo/src/hopp/rpt.cc" "src/hopp/CMakeFiles/hopp_core.dir/rpt.cc.o" "gcc" "src/hopp/CMakeFiles/hopp_core.dir/rpt.cc.o.d"
+  "/root/repo/src/hopp/stt.cc" "src/hopp/CMakeFiles/hopp_core.dir/stt.cc.o" "gcc" "src/hopp/CMakeFiles/hopp_core.dir/stt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/hopp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/hopp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hopp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hopp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hopp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hopp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hopp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopp_core.dir/algorithms.cc.o"
+  "CMakeFiles/hopp_core.dir/algorithms.cc.o.d"
+  "CMakeFiles/hopp_core.dir/hopp_system.cc.o"
+  "CMakeFiles/hopp_core.dir/hopp_system.cc.o.d"
+  "CMakeFiles/hopp_core.dir/markov.cc.o"
+  "CMakeFiles/hopp_core.dir/markov.cc.o.d"
+  "CMakeFiles/hopp_core.dir/rpt.cc.o"
+  "CMakeFiles/hopp_core.dir/rpt.cc.o.d"
+  "CMakeFiles/hopp_core.dir/stt.cc.o"
+  "CMakeFiles/hopp_core.dir/stt.cc.o.d"
+  "libhopp_core.a"
+  "libhopp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/hopp_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/hopp_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/llc.cc" "src/mem/CMakeFiles/hopp_mem.dir/llc.cc.o" "gcc" "src/mem/CMakeFiles/hopp_mem.dir/llc.cc.o.d"
+  "/root/repo/src/mem/memctrl.cc" "src/mem/CMakeFiles/hopp_mem.dir/memctrl.cc.o" "gcc" "src/mem/CMakeFiles/hopp_mem.dir/memctrl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hopp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hopp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

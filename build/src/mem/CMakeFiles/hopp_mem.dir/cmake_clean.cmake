@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopp_mem.dir/dram.cc.o"
+  "CMakeFiles/hopp_mem.dir/dram.cc.o.d"
+  "CMakeFiles/hopp_mem.dir/llc.cc.o"
+  "CMakeFiles/hopp_mem.dir/llc.cc.o.d"
+  "CMakeFiles/hopp_mem.dir/memctrl.cc.o"
+  "CMakeFiles/hopp_mem.dir/memctrl.cc.o.d"
+  "libhopp_mem.a"
+  "libhopp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopp_prefetch.dir/leap.cc.o"
+  "CMakeFiles/hopp_prefetch.dir/leap.cc.o.d"
+  "libhopp_prefetch.a"
+  "libhopp_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopp_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopp_runner.dir/machine.cc.o"
+  "CMakeFiles/hopp_runner.dir/machine.cc.o.d"
+  "CMakeFiles/hopp_runner.dir/stats_report.cc.o"
+  "CMakeFiles/hopp_runner.dir/stats_report.cc.o.d"
+  "libhopp_runner.a"
+  "libhopp_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopp_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

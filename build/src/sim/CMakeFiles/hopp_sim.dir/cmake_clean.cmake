@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/hopp_sim.dir/event_queue.cc.o.d"
+  "libhopp_sim.a"
+  "libhopp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

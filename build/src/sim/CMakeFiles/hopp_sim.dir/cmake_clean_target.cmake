@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhopp_sim.a"
+)

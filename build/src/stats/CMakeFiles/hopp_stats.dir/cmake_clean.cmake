@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopp_stats.dir/stats.cc.o"
+  "CMakeFiles/hopp_stats.dir/stats.cc.o.d"
+  "CMakeFiles/hopp_stats.dir/table.cc.o"
+  "CMakeFiles/hopp_stats.dir/table.cc.o.d"
+  "libhopp_stats.a"
+  "libhopp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

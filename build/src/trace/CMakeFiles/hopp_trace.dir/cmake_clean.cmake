@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopp_trace.dir/trace_io.cc.o"
+  "CMakeFiles/hopp_trace.dir/trace_io.cc.o.d"
+  "libhopp_trace.a"
+  "libhopp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopp_vm.dir/vms.cc.o"
+  "CMakeFiles/hopp_vm.dir/vms.cc.o.d"
+  "libhopp_vm.a"
+  "libhopp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopp_workloads.dir/apps.cc.o"
+  "CMakeFiles/hopp_workloads.dir/apps.cc.o.d"
+  "CMakeFiles/hopp_workloads.dir/patterns.cc.o"
+  "CMakeFiles/hopp_workloads.dir/patterns.cc.o.d"
+  "libhopp_workloads.a"
+  "libhopp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

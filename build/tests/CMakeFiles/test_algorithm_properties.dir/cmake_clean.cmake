@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithm_properties.dir/test_algorithm_properties.cc.o"
+  "CMakeFiles/test_algorithm_properties.dir/test_algorithm_properties.cc.o.d"
+  "test_algorithm_properties"
+  "test_algorithm_properties.pdb"
+  "test_algorithm_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithm_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channels.dir/test_channels.cc.o"
+  "CMakeFiles/test_channels.dir/test_channels.cc.o.d"
+  "test_channels"
+  "test_channels.pdb"
+  "test_channels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

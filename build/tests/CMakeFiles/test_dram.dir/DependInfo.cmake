@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/test_dram.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/test_dram.dir/test_dram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/hopp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hopp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hopp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

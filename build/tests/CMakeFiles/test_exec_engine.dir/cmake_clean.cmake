@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_engine.dir/test_exec_engine.cc.o"
+  "CMakeFiles/test_exec_engine.dir/test_exec_engine.cc.o.d"
+  "test_exec_engine"
+  "test_exec_engine.pdb"
+  "test_exec_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hopp_system.dir/test_hopp_system.cc.o"
+  "CMakeFiles/test_hopp_system.dir/test_hopp_system.cc.o.d"
+  "test_hopp_system"
+  "test_hopp_system.pdb"
+  "test_hopp_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hopp_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hpd.cc" "tests/CMakeFiles/test_hpd.dir/test_hpd.cc.o" "gcc" "tests/CMakeFiles/test_hpd.dir/test_hpd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hopp/CMakeFiles/hopp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/hopp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hopp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hopp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hopp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hopp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hopp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hopp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

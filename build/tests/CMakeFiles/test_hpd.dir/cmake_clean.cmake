@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpd.dir/test_hpd.cc.o"
+  "CMakeFiles/test_hpd.dir/test_hpd.cc.o.d"
+  "test_hpd"
+  "test_hpd.pdb"
+  "test_hpd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

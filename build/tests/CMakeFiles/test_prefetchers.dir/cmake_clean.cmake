@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetchers.dir/test_prefetchers.cc.o"
+  "CMakeFiles/test_prefetchers.dir/test_prefetchers.cc.o.d"
+  "test_prefetchers"
+  "test_prefetchers.pdb"
+  "test_prefetchers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_readahead.dir/test_readahead.cc.o"
+  "CMakeFiles/test_readahead.dir/test_readahead.cc.o.d"
+  "test_readahead"
+  "test_readahead.pdb"
+  "test_readahead[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_readahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpt.dir/test_rpt.cc.o"
+  "CMakeFiles/test_rpt.dir/test_rpt.cc.o.d"
+  "test_rpt"
+  "test_rpt.pdb"
+  "test_rpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stt.dir/test_stt.cc.o"
+  "CMakeFiles/test_stt.dir/test_stt.cc.o.d"
+  "test_stt"
+  "test_stt.pdb"
+  "test_stt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

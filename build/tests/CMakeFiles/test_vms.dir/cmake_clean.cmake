@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vms.dir/test_vms.cc.o"
+  "CMakeFiles/test_vms.dir/test_vms.cc.o.d"
+  "test_vms"
+  "test_vms.pdb"
+  "test_vms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopp-run.dir/hopp_run.cc.o"
+  "CMakeFiles/hopp-run.dir/hopp_run.cc.o.d"
+  "hopp-run"
+  "hopp-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopp-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
