@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Invariant-check macros.
+ *
+ * HOPP_CHECK is always on and guards invariants cheap enough for
+ * release runs (it is hopp_assert under a name that marks the call
+ * site as a structural invariant rather than an argument check).
+ * HOPP_DCHECK compiles to nothing unless HOPP_DCHECKS_ENABLED is
+ * defined (Debug builds, or -DHOPP_DCHECKS=ON), for checks on hot
+ * paths that would distort release performance.
+ *
+ * This header depends only on common/ so every layer of the tree —
+ * including sim/ and mem/, which the check *library* sits above — can
+ * use the macros without a dependency cycle.
+ */
+
+#ifndef HOPP_CHECK_CHECK_HH
+#define HOPP_CHECK_CHECK_HH
+
+#include "common/logging.hh"
+
+/** Always-on structural invariant; panics with a core dump on failure. */
+#define HOPP_CHECK(cond, ...) hopp_assert(cond, __VA_ARGS__)
+
+#ifdef HOPP_DCHECKS_ENABLED
+
+/** Debug-only invariant: active in Debug builds or -DHOPP_DCHECKS=ON. */
+#define HOPP_DCHECK(cond, ...) hopp_assert(cond, __VA_ARGS__)
+
+#else
+
+/**
+ * Compiled out: operands stay syntactically checked (and their
+ * variables odr-used) inside unevaluated sizeof, at zero runtime cost.
+ */
+#define HOPP_DCHECK(cond, ...)                                           \
+    do {                                                                 \
+        (void)sizeof((cond) ? 1 : 0);                                    \
+        (void)sizeof(::hopp::detail::formatMessage(__VA_ARGS__));        \
+    } while (0)
+
+#endif // HOPP_DCHECKS_ENABLED
+
+#endif // HOPP_CHECK_CHECK_HH

@@ -20,6 +20,11 @@
 #include "mem/dram.hh"
 #include "mem/set_assoc.hh"
 
+namespace hopp::check
+{
+class Access; // invariant-checker introspection (src/check)
+}
+
 namespace hopp::core
 {
 
@@ -138,6 +143,8 @@ class RptCache
     void resetStats() { stats_ = RptCacheStats{}; }
 
   private:
+    friend class hopp::check::Access;
+
     struct Line
     {
         RptEntry entry;

@@ -20,6 +20,11 @@
 
 #include "common/types.hh"
 
+namespace hopp::check
+{
+class Access; // invariant-checker introspection (src/check)
+}
+
 namespace hopp::core
 {
 
@@ -103,6 +108,8 @@ class Stt
     std::size_t liveStreams() const;
 
   private:
+    friend class hopp::check::Access;
+
     struct Entry
     {
         bool valid = false;

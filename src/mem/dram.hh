@@ -17,6 +17,11 @@
 #include "common/random.hh"
 #include "common/types.hh"
 
+namespace hopp::check
+{
+class Access; // invariant-checker introspection (src/check)
+}
+
 namespace hopp::mem
 {
 
@@ -93,6 +98,8 @@ class Dram
     void resetTraffic();
 
   private:
+    friend class hopp::check::Access;
+
     std::uint64_t total_;
     std::uint64_t base_; // first PPN managed by this module
     Pcg32 rng_{0x0ddba11};

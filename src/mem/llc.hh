@@ -79,6 +79,8 @@ class Llc
     }
 
   private:
+    friend class hopp::check::Access;
+
     struct Empty
     {
     };

@@ -18,6 +18,11 @@
 
 #include "common/logging.hh"
 
+namespace hopp::check
+{
+class Access; // invariant-checker introspection (src/check)
+}
+
 namespace hopp::mem
 {
 
@@ -165,6 +170,8 @@ class SetAssocCache
     }
 
   private:
+    friend class hopp::check::Access;
+
     struct Line
     {
         bool valid = false;

@@ -164,6 +164,7 @@ Machine::step(Thread &t)
         if (!t.gen->next(a)) {
             t.done = true;
             t.completion = t.now;
+            maybeCheck();
             return;
         }
         t.now += vms_->access(t.pid, a.va, a.write, t.now);
@@ -173,8 +174,33 @@ Machine::step(Thread &t)
         if (t.now >= eq_.nextTime())
             break;
     }
+    maybeCheck();
     eq_.schedule(std::max(t.now, eq_.now()),
                  [this, &t] { step(t); });
+}
+
+void
+Machine::maybeCheck()
+{
+    if (!cfg_.checkInterval ||
+        eq_.executed() - lastCheckAt_ < cfg_.checkInterval) {
+        return;
+    }
+    lastCheckAt_ = eq_.executed();
+    checkInvariants().enforce();
+}
+
+check::Report
+Machine::checkInvariants()
+{
+    prepare();
+    check::Report r;
+    check::validateEventQueue(eq_, eqWatch_, r);
+    check::validateVms(*vms_, r);
+    check::validateLlc(*llc_, r);
+    if (hoppSystem_)
+        check::validateHopp(*hoppSystem_, *vms_, r);
+    return r;
 }
 
 void
@@ -193,6 +219,10 @@ Machine::run()
         eq_.schedule(0, [this, tp] { step(*tp); });
     }
     eq_.run();
+    if (cfg_.checkInterval) {
+        // Final audit over the drained machine.
+        checkInvariants().enforce();
+    }
 
     RunResult r;
     Pid pid = 1;

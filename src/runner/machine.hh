@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.hh"
 #include "hopp/hopp_system.hh"
 #include "mem/llc.hh"
 #include "net/rdma.hh"
@@ -70,6 +71,16 @@ struct MachineConfig
 
     /** Accesses one thread executes before yielding to the queue. */
     unsigned quantum = 512;
+
+    /**
+     * Debug hook: run the src/check structural validators (event-queue
+     * monotonicity, VMS cross-consistency, LLC occupancy, RPT/STT
+     * accounting) every time this many further events have executed,
+     * plus once after the run drains; any violation panics with the
+     * full list. 0 disables. Costs a full state walk per pass, so keep
+     * it for debugging and CI, not for sweeps.
+     */
+    std::uint64_t checkInterval = 0;
 };
 
 /** Per-application outcome. */
@@ -146,6 +157,13 @@ class Machine
     /** The HoPP system (nullptr unless system is Hopp/HoppOnly). */
     core::HoppSystem *hoppSystem() { return hoppSystem_.get(); }
 
+    /**
+     * Run every applicable invariant validator once and return the
+     * accumulated report (empty when the machine state is consistent).
+     * The periodic checkInterval hook is this plus Report::enforce().
+     */
+    check::Report checkInvariants();
+
   private:
     struct Thread
     {
@@ -159,6 +177,7 @@ class Machine
 
     void build();
     void step(Thread &t);
+    void maybeCheck();
 
     MachineConfig cfg_;
     std::vector<workloads::Workload> apps_;
@@ -176,6 +195,8 @@ class Machine
     prefetch::PrefetchStats stats_;
     std::vector<std::unique_ptr<Thread>> threads_;
     bool built_ = false;
+    check::EventQueueWatch eqWatch_;
+    std::uint64_t lastCheckAt_ = 0;
 };
 
 /**

@@ -20,6 +20,11 @@
 #include "common/logging.hh"
 #include "common/types.hh"
 
+namespace hopp::check
+{
+class Access; // invariant-checker introspection (src/check)
+}
+
 namespace hopp::sim
 {
 
@@ -79,6 +84,8 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
   private:
+    friend class hopp::check::Access;
+
     struct Entry
     {
         Tick when;

@@ -15,6 +15,11 @@
 #include "common/types.hh"
 #include "vm/page.hh"
 
+namespace hopp::check
+{
+class Access; // invariant-checker introspection (src/check)
+}
+
 namespace hopp::vm
 {
 
@@ -105,6 +110,8 @@ class Cgroup
     bool lruEmpty() const { return lru_.empty(); }
 
   private:
+    friend class hopp::check::Access;
+
     Pid pid_;
     std::uint64_t limit_;
     std::uint64_t charged_ = 0;

@@ -9,6 +9,7 @@
 #ifndef HOPP_VM_PAGE_TABLE_HH
 #define HOPP_VM_PAGE_TABLE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -77,18 +78,25 @@ class PageTable
     std::size_t size() const { return pages_.size(); }
 
     /**
-     * Visit every present mapping: fn(pid, vpn, const PageInfo&).
-     * Used by HoPP's initial RPT build, which walks all page tables at
-     * startup (§III-C).
+     * Visit every present mapping: fn(pid, vpn, const PageInfo&), in
+     * sorted (pid, vpn) order so consumers — HoPP's initial RPT build,
+     * which walks all page tables at startup (§III-C) — observe the
+     * same sequence on every stdlib implementation.
      */
     template <typename Fn>
     void
     forEachPresent(Fn &&fn) const
     {
-        for (const auto &[key, pi] : pages_) {
+        std::vector<std::uint64_t> keys;
+        keys.reserve(pages_.size());
+        // Collection order is erased by the sort below.
+        for (const auto &[key, pi] : pages_) { // hopp-lint: allow(unordered-iter)
             if (pi.state == PageState::Resident)
-                fn(keyPid(key), keyVpn(key), pi);
+                keys.push_back(key);
         }
+        std::sort(keys.begin(), keys.end());
+        for (std::uint64_t key : keys)
+            fn(keyPid(key), keyVpn(key), pages_.at(key));
     }
 
     /** Count of pages in a given state (test/metrics helper). */
@@ -96,11 +104,25 @@ class PageTable
     countState(PageState s) const
     {
         std::size_t n = 0;
-        for (const auto &[key, pi] : pages_) {
+        // Commutative count: iteration order cannot leak out.
+        for (const auto &[key, pi] : pages_) { // hopp-lint: allow(unordered-iter)
             (void)key;
             n += pi.state == s;
         }
         return n;
+    }
+
+    /**
+     * Visit every record in any state: fn(key, const PageInfo&). Used
+     * by the invariant checker; order-insensitive consumers only.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        // Validation is order-insensitive by construction.
+        for (const auto &[key, pi] : pages_) // hopp-lint: allow(unordered-iter)
+            fn(key, pi);
     }
 
   private:

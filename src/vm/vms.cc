@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
+
 namespace hopp::vm
 {
 
@@ -53,6 +55,9 @@ Tick
 Vms::residentAccess(Pid pid, PageInfo &pi, VirtAddr va, bool is_write,
                     Tick now)
 {
+    HOPP_DCHECK(pi.state == PageState::Resident,
+                "data-path access to page %u:%llu in state %u", pid,
+                (unsigned long long)pageOf(va), unsigned(pi.state));
     pi.accessedBit = true;
     if (is_write) {
         pi.dirty = true;
@@ -174,9 +179,15 @@ Vms::obtainFrame(Pid pid, bool charged_alloc, Tick now, Tick *cost)
         if (evictOne(cg, now, cost != nullptr, cost))
             continue;
         Cgroup *biggest = nullptr;
-        for (auto &[p, other] : cgroups_) {
-            if (!other.lruEmpty() &&
-                (!biggest || other.lruSize() > biggest->lruSize())) {
+        // Order-independent selection: strictly larger LRU wins and
+        // ties go to the smallest pid, so the victim cgroup does not
+        // depend on hash-map iteration order.
+        for (auto &[p, other] : cgroups_) { // hopp-lint: allow(unordered-iter)
+            if (other.lruEmpty())
+                continue;
+            if (!biggest || other.lruSize() > biggest->lruSize() ||
+                (other.lruSize() == biggest->lruSize() &&
+                 p < biggest->pid())) {
                 biggest = &other;
             }
         }
@@ -224,6 +235,11 @@ void
 Vms::mapPage(Pid pid, Vpn vpn, PageInfo &pi, Ppn ppn, bool charged,
              Origin origin, bool injected, Tick now)
 {
+    HOPP_DCHECK(pi.state != PageState::Resident,
+                "double map of page %u:%llu", pid,
+                (unsigned long long)vpn);
+    HOPP_DCHECK(!pi.inflight, "mapping page %u:%llu mid-fetch", pid,
+                (unsigned long long)vpn);
     pi.state = PageState::Resident;
     pi.ppn = ppn;
     pi.origin = origin;

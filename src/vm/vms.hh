@@ -27,6 +27,11 @@
 #include "vm/listener.hh"
 #include "vm/page_table.hh"
 
+namespace hopp::check
+{
+class Access; // invariant-checker introspection (src/check)
+}
+
 namespace hopp::vm
 {
 
@@ -194,6 +199,8 @@ class Vms
     void markFlags(Pid pid, Vpn vpn, bool shared, bool huge);
 
   private:
+    friend class hopp::check::Access;
+
     /** LLC + DRAM data-path cost for a resident access. */
     Tick residentAccess(Pid pid, PageInfo &pi, VirtAddr va, bool is_write,
                         Tick now);

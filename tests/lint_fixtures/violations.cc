@@ -1,0 +1,50 @@
+// hopp_lint self-test fixture: every line carrying an expect marker
+// comment must produce exactly that diagnostic on that line. This
+// file is never compiled.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Node;
+
+struct Fixture
+{
+    std::unordered_map<int, long> counts_;
+    std::unordered_set<unsigned> seen_;
+    std::map<Node *, int> byNode_; // hopp-lint-expect(ptr-key)
+    std::set<Node *> nodes_;       // hopp-lint-expect(ptr-key)
+
+    void
+    run()
+    {
+        std::srand(42);        // hopp-lint-expect(raw-rand)
+        int x = std::rand();   // hopp-lint-expect(raw-rand)
+        std::random_device rd; // hopp-lint-expect(random-device)
+        auto wall =
+            std::chrono::system_clock::now(); // hopp-lint-expect(wall-clock)
+        auto mono =
+            std::chrono::steady_clock::now(); // hopp-lint-expect(wall-clock)
+        long stamp = time(nullptr); // hopp-lint-expect(wall-clock)
+        long cpu = clock();         // hopp-lint-expect(wall-clock)
+
+        for (const auto &kv : counts_) // hopp-lint-expect(unordered-iter)
+            x += static_cast<int>(kv.second);
+
+        for (auto it = seen_.begin(); // hopp-lint-expect(unordered-iter)
+             it != seen_.end(); ++it)
+            x += static_cast<int>(*it);
+
+        (void)rd;
+        (void)wall;
+        (void)mono;
+        (void)stamp;
+        (void)cpu;
+        (void)x;
+    }
+};

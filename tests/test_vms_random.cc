@@ -84,10 +84,12 @@ class Fuzzer : public ::testing::TestWithParam<std::uint64_t>
                     ++charged[pid];
                     ASSERT_NE(pi->state, PageState::Untouched);
                 }
-                if (pi->injected)
+                if (pi->injected) {
                     ASSERT_EQ(pi->state, PageState::Resident);
-                if (pi->state == PageState::SwapCached)
+                }
+                if (pi->state == PageState::SwapCached) {
                     ASSERT_TRUE(pi->hasSwapCopy);
+                }
             }
         }
         ASSERT_EQ(dram->usedFrames(), frames_held);

@@ -1,0 +1,536 @@
+/**
+ * @file
+ * hopp_lint: project-specific determinism and fidelity lint.
+ *
+ * The simulator's paper-figure reproducibility rests on every run being
+ * a pure function of the configuration and seed. This tool walks C++
+ * sources and flags constructs that historically break that property:
+ *
+ *   raw-rand        std::rand/srand/random/drand48 — unseeded or
+ *                   process-global RNG state; use hopp::Pcg32.
+ *   random-device   std::random_device — hardware entropy makes runs
+ *                   unrepeatable.
+ *   wall-clock      system_clock / gettimeofday / time() / clock() —
+ *                   wall-clock time inside the simulation; all time
+ *                   must be sim::EventQueue ticks.
+ *   unordered-iter  range-for or begin() iteration over a variable
+ *                   declared as std::unordered_map/unordered_set in the
+ *                   same file — iteration order is unspecified, so any
+ *                   order-sensitive consumer diverges across stdlibs.
+ *   ptr-key         std::map/std::set keyed by a pointer — iteration
+ *                   follows allocation addresses, which ASLR
+ *                   randomises run to run.
+ *
+ * Suppression:
+ *   // hopp-lint: allow(<rule>[, <rule>...])    this or next line
+ *   // hopp-lint: allow-file(<rule>)            whole file
+ * with `*` accepted as a rule wildcard. Every allow should carry a
+ * justification in the surrounding comment.
+ *
+ * Usage:
+ *   hopp_lint PATH...            lint files / directory trees
+ *   hopp_lint --self-test DIR    verify diagnostics against
+ *                                `hopp-lint-expect(<rule>)` markers
+ *
+ * Exit status: 0 clean, 1 violations (or self-test mismatch), 2 usage.
+ */
+
+// The rule patterns below necessarily spell out the very tokens they
+// hunt for, so this file suppresses its own rules wholesale.
+// hopp-lint: allow-file(*)
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+struct Diagnostic
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+
+    bool
+    operator<(const Diagnostic &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        return rule < o.rule;
+    }
+};
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Removes comment text line by line, tracking slash-star block
+ * comments across lines. Rules scan stripped text so prose never trips
+ * them; allow and expect directives are parsed from the raw line.
+ */
+class CommentStripper
+{
+  public:
+    std::string
+    strip(const std::string &line)
+    {
+        std::string out;
+        std::size_t i = 0;
+        while (i < line.size()) {
+            if (inBlock_) {
+                std::size_t end = line.find("*/", i);
+                if (end == std::string::npos)
+                    return out;
+                inBlock_ = false;
+                i = end + 2;
+                continue;
+            }
+            if (line.compare(i, 2, "//") == 0)
+                return out;
+            if (line.compare(i, 2, "/*") == 0) {
+                inBlock_ = true;
+                i += 2;
+                continue;
+            }
+            out += line[i++];
+        }
+        return out;
+    }
+
+  private:
+    bool inBlock_ = false;
+};
+
+/**
+ * Find `token` in `line` at a non-identifier boundary, optionally
+ * requiring an immediately following '('.
+ */
+bool
+hasToken(const std::string &line, const char *token, bool call_only)
+{
+    std::size_t len = std::strlen(token);
+    std::size_t pos = 0;
+    while ((pos = line.find(token, pos)) != std::string::npos) {
+        bool left_ok = pos == 0 || !isIdentChar(line[pos - 1]);
+        std::size_t end = pos + len;
+        bool right_ok = call_only
+                            ? end < line.size() && line[end] == '('
+                            : end >= line.size() || !isIdentChar(line[end]);
+        if (left_ok && right_ok)
+            return true;
+        pos += len;
+    }
+    return false;
+}
+
+/** Extract rule names from an `allow(...)` / `expect(...)` argument. */
+std::vector<std::string>
+parseRuleList(const std::string &line, std::size_t open_paren)
+{
+    std::vector<std::string> rules;
+    std::size_t close = line.find(')', open_paren);
+    if (close == std::string::npos)
+        return rules;
+    std::string args = line.substr(open_paren + 1, close - open_paren - 1);
+    std::string cur;
+    for (char c : args) {
+        if (c == ',' || c == ' ') {
+            if (!cur.empty())
+                rules.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        rules.push_back(cur);
+    return rules;
+}
+
+/** Allow directives found on one line. */
+struct AllowDirective
+{
+    std::vector<std::string> lineRules; //!< allow(...) — this/next line
+    std::vector<std::string> fileRules; //!< allow-file(...)
+};
+
+AllowDirective
+parseAllows(const std::string &line)
+{
+    AllowDirective d;
+    std::size_t pos = line.find("hopp-lint:");
+    while (pos != std::string::npos) {
+        std::size_t after = pos + std::strlen("hopp-lint:");
+        std::size_t file_kw = line.find("allow-file(", after);
+        std::size_t line_kw = line.find("allow(", after);
+        if (file_kw != std::string::npos) {
+            auto rs = parseRuleList(line, file_kw +
+                                              std::strlen("allow-file"));
+            d.fileRules.insert(d.fileRules.end(), rs.begin(), rs.end());
+        } else if (line_kw != std::string::npos) {
+            auto rs = parseRuleList(line, line_kw + std::strlen("allow"));
+            d.lineRules.insert(d.lineRules.end(), rs.begin(), rs.end());
+        }
+        pos = line.find("hopp-lint:", after);
+    }
+    return d;
+}
+
+bool
+listCovers(const std::vector<std::string> &rules, const std::string &rule)
+{
+    return std::any_of(rules.begin(), rules.end(),
+                       [&](const std::string &r) {
+                           return r == "*" || r == rule;
+                       });
+}
+
+/**
+ * Names of variables/members declared as unordered containers in this
+ * file. Single-line declarations only — a documented limitation that
+ * covers the style used throughout this tree.
+ */
+void
+recordUnorderedDecls(const std::string &line,
+                     std::vector<std::string> &names)
+{
+    for (const char *kw : {"unordered_map<", "unordered_set<"}) {
+        std::size_t pos = line.find(kw);
+        if (pos == std::string::npos)
+            continue;
+        // Walk to the matching '>' of the template argument list.
+        std::size_t i = pos + std::strlen(kw);
+        int depth = 1;
+        while (i < line.size() && depth > 0) {
+            if (line[i] == '<')
+                ++depth;
+            else if (line[i] == '>')
+                --depth;
+            ++i;
+        }
+        if (depth != 0)
+            continue;
+        // The declared name is the next identifier (skip &, *, spaces).
+        while (i < line.size() && !isIdentChar(line[i])) {
+            if (line[i] == ';' || line[i] == '(' || line[i] == ')')
+                break;
+            ++i;
+        }
+        std::string name;
+        while (i < line.size() && isIdentChar(line[i]))
+            name += line[i++];
+        if (!name.empty())
+            names.push_back(name);
+    }
+}
+
+/** True when `line` iterates over one of the recorded unordered names. */
+const std::string *
+findUnorderedIteration(const std::string &line,
+                       const std::vector<std::string> &names)
+{
+    std::size_t for_pos = line.find("for ");
+    if (for_pos == std::string::npos)
+        for_pos = line.find("for(");
+    if (for_pos == std::string::npos)
+        return nullptr;
+    // Range-for: the sequence expression after ':'; iterator-for: any
+    // name.begin() use. Either way a mention of the container inside
+    // the for header is what we flag.
+    for (const auto &name : names) {
+        if (hasToken(line.substr(for_pos), name.c_str(), false))
+            return &name;
+    }
+    return nullptr;
+}
+
+/** True when a std::map/std::set on this line has a pointer key. */
+bool
+hasPointerKeyedOrdered(const std::string &line)
+{
+    for (const char *kw : {"std::map<", "std::set<"}) {
+        std::size_t pos = line.find(kw);
+        if (pos == std::string::npos)
+            continue;
+        // First template argument: up to ',' or '>' at depth 0.
+        std::size_t i = pos + std::strlen(kw);
+        int depth = 0;
+        std::string key;
+        while (i < line.size()) {
+            char c = line[i];
+            if (c == '<')
+                ++depth;
+            else if (c == '>' && depth > 0)
+                --depth;
+            else if ((c == ',' || c == '>') && depth == 0)
+                break;
+            key += c;
+            ++i;
+        }
+        if (key.find('*') != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+struct FileScan
+{
+    std::vector<Diagnostic> diags;
+    std::vector<Diagnostic> expected; //!< self-test markers
+};
+
+bool
+readLines(const fs::path &path, std::vector<std::string> &lines)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+    return true;
+}
+
+void
+scanFile(const fs::path &path, FileScan &out)
+{
+    std::vector<std::string> lines;
+    if (!readLines(path, lines)) {
+        std::fprintf(stderr, "hopp_lint: cannot open %s\n",
+                     path.c_str());
+        return;
+    }
+
+    std::vector<std::string> unordered_names;
+
+    // Members declared in the class header are iterated from the .cc:
+    // preload sibling-header declarations so those loops are seen too.
+    auto ext = path.extension().string();
+    if (ext == ".cc" || ext == ".cpp") {
+        for (const char *hdr_ext : {".hh", ".hpp"}) {
+            fs::path hdr = path;
+            hdr.replace_extension(hdr_ext);
+            std::vector<std::string> hdr_lines;
+            if (!readLines(hdr, hdr_lines))
+                continue;
+            CommentStripper hdr_strip;
+            for (const auto &line : hdr_lines)
+                recordUnorderedDecls(hdr_strip.strip(line),
+                                     unordered_names);
+            break;
+        }
+    }
+
+    // Pass 1: stripped code for declarations, raw text for directives.
+    std::vector<std::string> code(lines.size());
+    {
+        CommentStripper stripper;
+        for (std::size_t n = 0; n < lines.size(); ++n)
+            code[n] = stripper.strip(lines[n]);
+    }
+    std::vector<std::string> file_allows;
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+        auto d = parseAllows(lines[n]);
+        file_allows.insert(file_allows.end(), d.fileRules.begin(),
+                           d.fileRules.end());
+        recordUnorderedDecls(code[n], unordered_names);
+    }
+
+    auto emit = [&](int lineno, const char *rule, std::string msg) {
+        const std::string &line = lines[lineno - 1];
+        if (listCovers(file_allows, rule))
+            return;
+        if (listCovers(parseAllows(line).lineRules, rule))
+            return;
+        if (lineno >= 2 &&
+            listCovers(parseAllows(lines[lineno - 2]).lineRules, rule))
+            return;
+        out.diags.push_back(
+            {path.string(), lineno, rule, std::move(msg)});
+    };
+
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+        const std::string &raw = lines[n];
+        const std::string &line = code[n];
+        int lineno = static_cast<int>(n + 1);
+
+        std::size_t expect = raw.find("hopp-lint-expect(");
+        if (expect != std::string::npos) {
+            for (const auto &rule : parseRuleList(
+                     raw, expect + std::strlen("hopp-lint-expect")))
+                out.expected.push_back({path.string(), lineno, rule, ""});
+        }
+
+        for (const char *tok :
+             {"rand", "srand", "rand_r", "random", "srandom", "drand48"}) {
+            if (hasToken(line, tok, /*call_only=*/true)) {
+                emit(lineno, "raw-rand",
+                     std::string(tok) +
+                         "() uses process-global RNG state; use "
+                         "hopp::Pcg32 seeded from the workload seed");
+                break;
+            }
+        }
+
+        if (hasToken(line, "random_device", false)) {
+            emit(lineno, "random-device",
+                 "std::random_device draws hardware entropy; runs "
+                 "become unrepeatable");
+        }
+
+        for (const char *tok :
+             {"system_clock", "steady_clock", "high_resolution_clock"}) {
+            if (hasToken(line, tok, false)) {
+                emit(lineno, "wall-clock",
+                     std::string(tok) +
+                         " reads wall-clock time; simulated time must "
+                         "come from sim::EventQueue ticks");
+                break;
+            }
+        }
+        for (const char *tok :
+             {"time", "clock", "gettimeofday", "clock_gettime"}) {
+            if (hasToken(line, tok, /*call_only=*/true)) {
+                emit(lineno, "wall-clock",
+                     std::string(tok) +
+                         "() reads wall-clock time; simulated time must "
+                         "come from sim::EventQueue ticks");
+                break;
+            }
+        }
+
+        if (const std::string *name =
+                findUnorderedIteration(line, unordered_names)) {
+            emit(lineno, "unordered-iter",
+                 "iteration over unordered container '" + *name +
+                     "' has unspecified order; sort keys first or "
+                     "justify order-insensitivity with an allow comment");
+        }
+
+        if (hasPointerKeyedOrdered(line)) {
+            emit(lineno, "ptr-key",
+                 "std::map/std::set keyed by a pointer iterates in "
+                 "allocation-address order, which ASLR randomises");
+        }
+    }
+}
+
+bool
+lintableFile(const fs::path &p)
+{
+    auto ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" || ext == ".hpp";
+}
+
+void
+collectFiles(const fs::path &root, std::vector<fs::path> &files)
+{
+    if (fs::is_regular_file(root)) {
+        files.push_back(root);
+        return;
+    }
+    for (const auto &entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && lintableFile(entry.path()))
+            files.push_back(entry.path());
+    }
+}
+
+int
+selfTest(const std::vector<fs::path> &files)
+{
+    FileScan scan;
+    for (const auto &f : files)
+        scanFile(f, scan);
+
+    std::set<Diagnostic> got(scan.diags.begin(), scan.diags.end());
+    std::set<Diagnostic> want(scan.expected.begin(), scan.expected.end());
+
+    int mismatches = 0;
+    for (const auto &d : want) {
+        if (!got.count(d)) {
+            std::fprintf(stderr,
+                         "self-test: MISSING %s:%d [%s] (expected but "
+                         "not emitted)\n",
+                         d.file.c_str(), d.line, d.rule.c_str());
+            ++mismatches;
+        }
+    }
+    for (const auto &d : got) {
+        if (!want.count(d)) {
+            std::fprintf(stderr,
+                         "self-test: SPURIOUS %s:%d [%s] %s\n",
+                         d.file.c_str(), d.line, d.rule.c_str(),
+                         d.message.c_str());
+            ++mismatches;
+        }
+    }
+    std::printf("hopp_lint self-test: %zu expected, %zu emitted, %d "
+                "mismatches\n",
+                want.size(), got.size(), mismatches);
+    return mismatches ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool self_test = false;
+    std::vector<fs::path> roots;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--self-test") {
+            self_test = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--self-test] PATH...\n", argv[0]);
+            return 0;
+        } else {
+            roots.emplace_back(arg);
+        }
+    }
+    if (roots.empty()) {
+        std::fprintf(stderr, "usage: %s [--self-test] PATH...\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::vector<fs::path> files;
+    for (const auto &r : roots) {
+        if (!fs::exists(r)) {
+            std::fprintf(stderr, "hopp_lint: no such path: %s\n",
+                         r.c_str());
+            return 2;
+        }
+        collectFiles(r, files);
+    }
+    std::sort(files.begin(), files.end());
+
+    if (self_test)
+        return selfTest(files);
+
+    FileScan scan;
+    for (const auto &f : files)
+        scanFile(f, scan);
+    std::sort(scan.diags.begin(), scan.diags.end());
+    for (const auto &d : scan.diags) {
+        std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.message.c_str());
+    }
+    std::printf("hopp_lint: %zu file(s), %zu violation(s)\n",
+                files.size(), scan.diags.size());
+    return scan.diags.empty() ? 0 : 1;
+}

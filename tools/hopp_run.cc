@@ -50,6 +50,8 @@ usage(const char *argv0)
         "  --batch             enable huge-batch prefetching\n"
         "  --markov            shorthand for --tiers 15\n"
         "  --eviction-advisor  enable trace-informed reclaim advice\n"
+        "  --check N           run the invariant validators every N"
+        " events (0 = off)\n"
         "  --seed N            workload seed (default 42)\n"
         "  --dump-hopp         print HoPP component statistics\n"
         "  --stats             print the full component stats dump\n"
@@ -177,6 +179,9 @@ main(int argc, char **argv)
             cfg.hopp.tierMask |= core::tiers::markov;
         } else if (arg == "--eviction-advisor") {
             cfg.hopp.evictionAdvisor = true;
+        } else if (arg == "--check") {
+            cfg.checkInterval =
+                static_cast<std::uint64_t>(std::atoll(need(i)));
         } else if (arg == "--seed") {
             seed = static_cast<std::uint64_t>(std::atoll(need(i)));
         } else if (arg == "--dump-hopp") {
