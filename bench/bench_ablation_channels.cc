@@ -54,7 +54,7 @@ main()
                  stats::Table::pct(totals.hotRatio(), 2),
                  stats::Table::num(r.coverage, 3),
                  stats::Table::num(
-                     static_cast<double>(r.makespan) / 1e6, 2)});
+                     toDouble(r.makespan) / 1e6, 2)});
         }
     }
     table.print();

@@ -40,12 +40,12 @@ main()
         auto on = run(true);
         table.row(
             {w,
-             stats::Table::num(static_cast<double>(off.makespan) / 1e6,
+             stats::Table::num(toDouble(off.makespan) / 1e6,
                                2),
-             stats::Table::num(static_cast<double>(on.makespan) / 1e6,
+             stats::Table::num(toDouble(on.makespan) / 1e6,
                                2),
-             stats::Table::num(static_cast<double>(off.makespan) /
-                                   static_cast<double>(on.makespan),
+             stats::Table::num(toDouble(off.makespan) /
+                                   toDouble(on.makespan),
                                3),
              std::to_string(off.vms.remoteFaults),
              std::to_string(on.vms.remoteFaults)});

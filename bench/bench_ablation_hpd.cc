@@ -47,7 +47,7 @@ main()
             auto r = runHpd(w, n, 4, 16);
             thr.row({w, std::to_string(n),
                      stats::Table::num(
-                         static_cast<double>(r.makespan) / 1e6, 2),
+                         toDouble(r.makespan) / 1e6, 2),
                      stats::Table::num(r.coverage, 3),
                      stats::Table::num(r.dramHitCoverage, 3)});
         }
@@ -68,7 +68,7 @@ main()
                      std::to_string(g.sets) + "x" +
                          std::to_string(g.ways),
                      stats::Table::num(
-                         static_cast<double>(r.makespan) / 1e6, 2),
+                         toDouble(r.makespan) / 1e6, 2),
                      stats::Table::num(r.coverage, 3)});
         }
     }

@@ -20,7 +20,7 @@ main()
     const char *names[] = {"microbench", "kmeans-omp", "npb-is",
                            "quicksort"};
 
-    auto sweep = [&](const char *caption, Tick issue_overhead) {
+    auto sweep = [&](const char *caption, Duration issue_overhead) {
         stats::Table table(caption);
         table.header({"Workload", "CT off (ms)", "CT on (ms)",
                       "Speedup", "page reads off", "page reads on",
@@ -54,12 +54,12 @@ main()
             auto on = run(true);
             table.row(
                 {w,
-                 stats::Table::num(static_cast<double>(off.ct) / 1e6,
+                 stats::Table::num(toDouble(off.ct) / 1e6,
                                    2),
-                 stats::Table::num(static_cast<double>(on.ct) / 1e6,
+                 stats::Table::num(toDouble(on.ct) / 1e6,
                                    2),
-                 stats::Table::num(static_cast<double>(off.ct) /
-                                       static_cast<double>(on.ct),
+                 stats::Table::num(toDouble(off.ct) /
+                                       toDouble(on.ct),
                                    3),
                  std::to_string(off.transfers),
                  std::to_string(on.transfers),

@@ -46,12 +46,12 @@ main()
         const auto &mkv = m_on->hoppSystem()->exec().tierStats(Tier::Mkv);
         table.row(
             {w,
-             stats::Table::num(static_cast<double>(off.makespan) / 1e6,
+             stats::Table::num(toDouble(off.makespan) / 1e6,
                                2),
-             stats::Table::num(static_cast<double>(on.makespan) / 1e6,
+             stats::Table::num(toDouble(on.makespan) / 1e6,
                                2),
-             stats::Table::num(static_cast<double>(off.makespan) /
-                                   static_cast<double>(on.makespan),
+             stats::Table::num(toDouble(off.makespan) /
+                                   toDouble(on.makespan),
                                3),
              std::to_string(mkv.issued),
              mkv.completed ? stats::Table::num(mkv.accuracy(), 3) : "-",

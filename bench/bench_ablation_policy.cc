@@ -37,7 +37,7 @@ base()
 std::string
 ms(Tick t)
 {
-    return hopp::stats::Table::num(static_cast<double>(t) / 1e6, 2);
+    return hopp::stats::Table::num(toDouble(t) / 1e6, 2);
 }
 
 } // namespace
@@ -49,7 +49,7 @@ main()
 
     stats::Table tmin("Ablation: T_min (grow-offset threshold)");
     tmin.header({"T_min", "CT (ms)"});
-    for (Tick t : {5_us, 20_us, 40_us, 160_us, 640_us}) {
+    for (Duration t : {5_us, 20_us, 40_us, 160_us, 640_us}) {
         MachineConfig cfg = base();
         cfg.hopp.policy.tMin = t;
         tmin.row({std::to_string(t / 1000) + "us",
@@ -69,7 +69,7 @@ main()
 
     stats::Table delay("Ablation: trainer data-path delay");
     delay.header({"delay", "CT (ms)", "coverage"});
-    for (Tick d : {0_us, 1_us, 5_us, 20_us, 100_us}) {
+    for (Duration d : {0_us, 1_us, 5_us, 20_us, 100_us}) {
         MachineConfig cfg = base();
         cfg.hopp.trainerDelay = d;
         auto r = runMicro(cfg);

@@ -23,7 +23,7 @@ static void
 BM_HpdStreamingAccess(benchmark::State &state)
 {
     core::Hpd hpd(core::HpdConfig{});
-    PhysAddr pa = 0;
+    PhysAddr pa;
     for (auto _ : state) {
         benchmark::DoNotOptimize(hpd.access(pa, false));
         pa += lineBytes;
@@ -38,7 +38,7 @@ BM_HpdHotSetAccess(benchmark::State &state)
     // Pathological reuse: every access hits the same tracked page.
     core::Hpd hpd(core::HpdConfig{});
     for (auto _ : state)
-        benchmark::DoNotOptimize(hpd.access(0x1000, false));
+        benchmark::DoNotOptimize(hpd.access(PhysAddr{0x1000}, false));
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HpdHotSetAccess);
@@ -49,11 +49,11 @@ BM_RptCacheLookupHit(benchmark::State &state)
     mem::Dram dram(16);
     core::Rpt rpt;
     core::RptCache cache(rpt, dram);
-    for (Ppn p = 0; p < 1024; ++p)
-        cache.update(p, core::RptEntry{1, p});
-    Ppn p = 0;
+    for (std::uint64_t p = 0; p < 1024; ++p)
+        cache.update(Ppn{p}, core::RptEntry{Pid{1}, Vpn{p}});
+    std::uint64_t p = 0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(cache.lookup(p));
+        benchmark::DoNotOptimize(cache.lookup(Ppn{p}));
         p = (p + 1) & 1023;
     }
     state.SetItemsProcessed(state.iterations());
@@ -66,9 +66,9 @@ BM_RptCacheUpdate(benchmark::State &state)
     mem::Dram dram(16);
     core::Rpt rpt;
     core::RptCache cache(rpt, dram);
-    Ppn p = 0;
+    std::uint64_t p = 0;
     for (auto _ : state) {
-        cache.update(p, core::RptEntry{1, p});
+        cache.update(Ppn{p}, core::RptEntry{Pid{1}, Vpn{p}});
         p = (p + 1) & ((1 << 16) - 1);
     }
     state.SetItemsProcessed(state.iterations());
@@ -79,9 +79,9 @@ static void
 BM_SttFeedSequential(benchmark::State &state)
 {
     core::Stt stt;
-    Vpn v = 0;
+    Vpn v;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(stt.feed(1, v++));
+        benchmark::DoNotOptimize(stt.feed(Pid{1}, v++));
     }
     state.SetItemsProcessed(state.iterations());
 }
@@ -92,14 +92,14 @@ BM_ThreeTierOnFullStream(benchmark::State &state)
 {
     core::Stt stt;
     core::StreamView view{};
-    Vpn v = 0;
+    Vpn v;
     // Prime one stream to full.
     for (int i = 0; i < 16; ++i) {
-        if (auto r = stt.feed(1, v++))
+        if (auto r = stt.feed(Pid{1}, v++))
             view = *r;
     }
     for (auto _ : state) {
-        auto r = stt.feed(1, v++);
+        auto r = stt.feed(Pid{1}, v++);
         if (r)
             benchmark::DoNotOptimize(core::runThreeTier(*r));
     }
@@ -114,12 +114,11 @@ BM_LspWorstCase(benchmark::State &state)
     std::vector<Vpn> vpns;
     static const unsigned off[3] = {0, 2, 1};
     for (unsigned i = 0; i < 16; ++i)
-        vpns.push_back((i / 3) * 16 + off[i % 3]);
+        vpns.push_back(Vpn{(i / 3) * 16ull + off[i % 3]});
     std::vector<std::int64_t> strides;
     for (std::size_t i = 1; i < vpns.size(); ++i)
-        strides.push_back(static_cast<std::int64_t>(vpns[i]) -
-                          static_cast<std::int64_t>(vpns[i - 1]));
-    core::StreamView view{1, 1, 100, &vpns, &strides};
+        strides.push_back(signedDelta(vpns[i - 1], vpns[i]));
+    core::StreamView view{Pid{1}, 1, 100, &vpns, &strides};
     for (auto _ : state)
         benchmark::DoNotOptimize(core::runLsp(view));
     state.SetItemsProcessed(state.iterations());
@@ -130,7 +129,7 @@ static void
 BM_LlcStreamingAccess(benchmark::State &state)
 {
     mem::Llc llc(mem::LlcConfig{});
-    PhysAddr pa = 0;
+    PhysAddr pa;
     for (auto _ : state) {
         benchmark::DoNotOptimize(llc.access(pa));
         pa += lineBytes;

@@ -53,9 +53,9 @@ main()
         std::string pair = std::string(a) + "+" + b;
         for (const std::string app : {a, b}) {
             double ct_fs =
-                static_cast<double>(fs.completionOf(app)) / 1e6;
+                toDouble(fs.completionOf(app)) / 1e6;
             double ct_hp =
-                static_cast<double>(hp.completionOf(app)) / 1e6;
+                toDouble(hp.completionOf(app)) / 1e6;
             double speedup = ct_fs / ct_hp;
             sum += speedup;
             ++count;

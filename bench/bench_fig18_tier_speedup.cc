@@ -33,7 +33,7 @@ main()
     table.header({"Workload", "SSP", "SSP+LSP", "SSP+LSP+RSP"});
 
     for (const auto &w : names) {
-        double ct_fs = static_cast<double>(
+        double ct_fs = toDouble(
             fsCache.run(w, SystemKind::Fastswap, 0.5).makespan);
         std::vector<std::string> cells{w};
         for (const auto &tier : tiers) {
@@ -46,7 +46,7 @@ main()
                 workloads::makeWorkload(w, bench::benchScale()));
             auto r = m.run();
             double speedup =
-                1.0 - static_cast<double>(r.makespan) / ct_fs;
+                1.0 - toDouble(r.makespan) / ct_fs;
             cells.push_back(stats::Table::pct(speedup, 1));
         }
         table.row(std::move(cells));

@@ -40,7 +40,7 @@ main()
     fs.system = SystemKind::Fastswap;
     fs.localMemRatio = 0.5;
     auto fs_result = runMicro(fs);
-    double ct_fs = static_cast<double>(fs_result.makespan);
+    double ct_fs = toDouble(fs_result.makespan);
 
     MachineConfig local = fs;
     local.system = SystemKind::Local;
@@ -52,10 +52,10 @@ main()
     table.header({"System", "CT (ms)", "Speedup vs Fastswap"});
 
     auto report = [&](const std::string &label, const RunResult &r) {
-        double speedup = 1.0 - static_cast<double>(r.makespan) / ct_fs;
+        double speedup = 1.0 - toDouble(r.makespan) / ct_fs;
         table.row({label,
                    stats::Table::num(
-                       static_cast<double>(r.makespan) / 1e6, 2),
+                       toDouble(r.makespan) / 1e6, 2),
                    stats::Table::pct(speedup, 1)});
     };
 

@@ -52,17 +52,17 @@ main()
         ha += ssp.accuracy;
         lc += leap.coverage;
         hc += ssp.coverage;
-        double ratio = static_cast<double>(leap.makespan) /
-                       static_cast<double>(ssp.makespan);
+        double ratio = toDouble(leap.makespan) /
+                       toDouble(ssp.makespan);
         ct_ratio += ratio;
         table.row({w, stats::Table::num(leap.accuracy, 3),
                    stats::Table::num(ssp.accuracy, 3),
                    stats::Table::num(leap.coverage, 3),
                    stats::Table::num(ssp.coverage, 3),
                    stats::Table::num(
-                       static_cast<double>(leap.makespan) / 1e6, 2),
+                       toDouble(leap.makespan) / 1e6, 2),
                    stats::Table::num(
-                       static_cast<double>(ssp.makespan) / 1e6, 2),
+                       toDouble(ssp.makespan) / 1e6, 2),
                    stats::Table::num(ratio, 2)});
     }
     double n = static_cast<double>(std::size(names));

@@ -46,11 +46,11 @@ main()
     table.header({"App", "Fastswap (ms)", "Leap (ms)", "HoPP (ms)",
                   "HoPP vs FS"});
     for (const auto &app : fs.apps) {
-        double ct_fs = static_cast<double>(app.completion) / 1e6;
+        double ct_fs = toDouble(app.completion) / 1e6;
         double ct_leap =
-            static_cast<double>(leap.completionOf(app.name)) / 1e6;
+            toDouble(leap.completionOf(app.name)) / 1e6;
         double ct_hp =
-            static_cast<double>(hp.completionOf(app.name)) / 1e6;
+            toDouble(hp.completionOf(app.name)) / 1e6;
         table.row({app.name, stats::Table::num(ct_fs, 2),
                    stats::Table::num(ct_leap, 2),
                    stats::Table::num(ct_hp, 2),

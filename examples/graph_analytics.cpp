@@ -32,7 +32,7 @@ main()
         auto r = runOne(app, sys, ratio, scale);
         table.row({systemName(sys),
                    stats::Table::num(
-                       static_cast<double>(r.makespan) / 1e6, 2),
+                       toDouble(r.makespan) / 1e6, 2),
                    stats::Table::num(
                        normalizedPerformance(local, r.makespan), 3),
                    stats::Table::num(r.accuracy, 3),

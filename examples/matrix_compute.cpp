@@ -28,8 +28,8 @@ makeBlockedKernel()
     for (unsigned t = 0; t < 2; ++t) {
         w.threads.push_back([t] {
             workloads::LadderGen::Params p;
-            p.base = 0x20'0000'0000ull +
-                     static_cast<VirtAddr>(t) * 0x1'0000'0000ull;
+            p.base = VirtAddr{0x20'0000'0000ull +
+                              t * 0x1'0000'0000ull};
             p.treadPages = 3;
             p.risePages = 16;
             p.treads = 64;
@@ -68,7 +68,7 @@ main()
     table.header({"Configuration", "CT (ms)", "NormPerf"});
     auto row = [&](const char *label, Tick ct) {
         table.row({label,
-                   stats::Table::num(static_cast<double>(ct) / 1e6, 2),
+                   stats::Table::num(toDouble(ct) / 1e6, 2),
                    stats::Table::num(normalizedPerformance(local, ct),
                                      3)});
     };

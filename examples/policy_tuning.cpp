@@ -47,7 +47,7 @@ main()
         auto r = runWith(p);
         fixed.row({stats::Table::num(i, 0),
                    stats::Table::num(
-                       static_cast<double>(r.makespan) / 1e6, 2),
+                       toDouble(r.makespan) / 1e6, 2),
                    stats::Table::num(
                        normalizedPerformance(local, r.makespan), 3),
                    stats::Table::num(r.accuracy, 3)});
@@ -62,7 +62,7 @@ main()
         auto r = runWith(p);
         adaptive.row({std::to_string(intensity),
                       stats::Table::num(
-                          static_cast<double>(r.makespan) / 1e6, 2),
+                          toDouble(r.makespan) / 1e6, 2),
                       stats::Table::num(
                           normalizedPerformance(local, r.makespan),
                           3)});

@@ -27,13 +27,13 @@ main()
     // Baseline: everything fits in local memory.
     RunResult local = runOne(app, SystemKind::Local, 1.0, scale);
     std::printf("local      : %8.2f ms\n",
-                static_cast<double>(local.makespan) / 1e6);
+                toDouble(local.makespan) / 1e6);
 
     // Fastswap: kernel swap + offset-based readahead, 50% local.
     RunResult fs = runOne(app, SystemKind::Fastswap, 0.5, scale);
     std::printf("fastswap   : %8.2f ms  (normalized %.3f, accuracy"
                 " %.3f, coverage %.3f)\n",
-                static_cast<double>(fs.makespan) / 1e6,
+                toDouble(fs.makespan) / 1e6,
                 normalizedPerformance(local.makespan, fs.makespan),
                 fs.accuracy, fs.coverage);
 
@@ -42,7 +42,7 @@ main()
     RunResult hp = runOne(app, SystemKind::Hopp, 0.5, scale);
     std::printf("hopp       : %8.2f ms  (normalized %.3f, accuracy"
                 " %.3f, coverage %.3f)\n",
-                static_cast<double>(hp.makespan) / 1e6,
+                toDouble(hp.makespan) / 1e6,
                 normalizedPerformance(local.makespan, hp.makespan),
                 hp.accuracy, hp.coverage);
 

@@ -58,7 +58,7 @@ main()
     auto loaded = trace::readTraceFile(path);
     std::map<std::int64_t, std::uint64_t> stride_census;
     std::uint64_t reads = 0;
-    Ppn last = 0;
+    Ppn last{};
     bool have_last = false;
     for (const auto &rec : loaded) {
         if (rec.isWrite)
@@ -66,8 +66,7 @@ main()
         ++reads;
         Ppn ppn = rec.ppn();
         if (have_last && ppn != last) {
-            std::int64_t stride = static_cast<std::int64_t>(ppn) -
-                                  static_cast<std::int64_t>(last);
+            std::int64_t stride = signedDelta(last, ppn);
             if (stride >= -8 && stride <= 8)
                 ++stride_census[stride];
             else

@@ -1,3 +1,6 @@
+// Validators format tagged values into printf-style diagnostics and
+// cross-check accounting by raw value; the whole file is a designated
+// raw boundary. hopp-lint: allow-file(raw)
 #include "check/invariants.hh"
 
 #include <algorithm>
@@ -229,15 +232,15 @@ validateEventQueue(const sim::EventQueue &eq, EventQueueWatch &w,
         r.fail("event-queue",
                formatMessage("pending event at tick %llu precedes "
                              "now=%llu (non-monotonic timestamp)",
-                             (unsigned long long)eq.nextTime(),
-                             (unsigned long long)eq.now()));
+                             (unsigned long long)eq.nextTime().raw(),
+                             (unsigned long long)eq.now().raw()));
     }
     if (eq.now() < w.lastNow) {
         r.fail("event-queue",
                formatMessage("simulated time went backwards: %llu "
                              "after %llu",
-                             (unsigned long long)eq.now(),
-                             (unsigned long long)w.lastNow));
+                             (unsigned long long)eq.now().raw(),
+                             (unsigned long long)w.lastNow.raw()));
     }
     if (eq.executed() < w.lastExecuted) {
         r.fail("event-queue",
@@ -263,7 +266,8 @@ validateVms(const vm::Vms &vms, Report &r)
         if (cg.charged() > cg.limit()) {
             r.fail("cgroup", formatMessage(
                                  "pid %u charged %llu beyond limit %llu",
-                                 pid, (unsigned long long)cg.charged(),
+                                 pid.raw(),
+                                 (unsigned long long)cg.charged(),
                                  (unsigned long long)cg.limit()));
         }
         const auto &lru = Access::lru(cg);
@@ -272,16 +276,16 @@ validateVms(const vm::Vms &vms, Report &r)
             if (!on_lists.insert(key).second) {
                 r.fail("lru", formatMessage(
                                   "page %u:%llu linked twice",
-                                  vm::keyPid(key),
-                                  (unsigned long long)vm::keyVpn(key)));
+                                  vm::keyPid(key).raw(),
+                                  (unsigned long long)vm::keyVpn(key).raw()));
                 continue;
             }
             if (vm::keyPid(key) != cg.pid()) {
                 r.fail("lru", formatMessage(
                                   "page %u:%llu on pid %u's list",
-                                  vm::keyPid(key),
-                                  (unsigned long long)vm::keyVpn(key),
-                                  cg.pid()));
+                                  vm::keyPid(key).raw(),
+                                  (unsigned long long)vm::keyVpn(key).raw(),
+                                  cg.pid().raw()));
             }
             const vm::PageInfo *pi =
                 table.find(vm::keyPid(key), vm::keyVpn(key));
@@ -289,16 +293,16 @@ validateVms(const vm::Vms &vms, Report &r)
                 r.fail("lru", formatMessage(
                                   "dangling key %u:%llu (no page "
                                   "record)",
-                                  vm::keyPid(key),
-                                  (unsigned long long)vm::keyVpn(key)));
+                                  vm::keyPid(key).raw(),
+                                  (unsigned long long)vm::keyVpn(key).raw()));
                 continue;
             }
             if (!pi->inLru) {
                 r.fail("lru", formatMessage(
                                   "page %u:%llu is linked but its "
                                   "inLru flag is clear (bad LRU link)",
-                                  vm::keyPid(key),
-                                  (unsigned long long)vm::keyVpn(key)));
+                                  vm::keyPid(key).raw(),
+                                  (unsigned long long)vm::keyVpn(key).raw()));
                 continue;
             }
             if (pi->lruIt != it) {
@@ -306,16 +310,16 @@ validateVms(const vm::Vms &vms, Report &r)
                                   "page %u:%llu stored iterator does "
                                   "not point at its node (bad LRU "
                                   "link)",
-                                  vm::keyPid(key),
-                                  (unsigned long long)vm::keyVpn(key)));
+                                  vm::keyPid(key).raw(),
+                                  (unsigned long long)vm::keyVpn(key).raw()));
             }
             if (pi->state != vm::PageState::Resident &&
                 pi->state != vm::PageState::SwapCached) {
                 r.fail("lru", formatMessage(
                                   "page %u:%llu on an LRU list in "
                                   "state %u",
-                                  vm::keyPid(key),
-                                  (unsigned long long)vm::keyVpn(key),
+                                  vm::keyPid(key).raw(),
+                                  (unsigned long long)vm::keyVpn(key).raw(),
                                   unsigned(pi->state)));
             }
         }
@@ -328,11 +332,13 @@ validateVms(const vm::Vms &vms, Report &r)
     std::unordered_set<Ppn> frames;
     table.forEach([&](std::uint64_t key, const vm::PageInfo &pi) {
         Pid pid = vm::keyPid(key);
-        auto vpn = static_cast<unsigned long long>(vm::keyVpn(key));
+        auto vpn =
+            static_cast<unsigned long long>(vm::keyVpn(key).raw());
         auto bad = [&](const char *what) {
             r.fail("page-state",
-                   formatMessage("page %u:%llu (state %u): %s", pid,
-                                 vpn, unsigned(pi.state), what));
+                   formatMessage("page %u:%llu (state %u): %s",
+                                 pid.raw(), vpn, unsigned(pi.state),
+                                 what));
         };
         if (pi.charged)
             ++charged_pages[pid];
@@ -400,7 +406,8 @@ validateVms(const vm::Vms &vms, Report &r)
             r.fail("cgroup", formatMessage(
                                  "pid %u charge counter %llu != %llu "
                                  "charged pages",
-                                 pid, (unsigned long long)cg.charged(),
+                                 pid.raw(),
+                                 (unsigned long long)cg.charged(),
                                  (unsigned long long)n_charged));
         }
         auto lru_it = lru_pages.find(pid);
@@ -410,7 +417,7 @@ validateVms(const vm::Vms &vms, Report &r)
             r.fail("cgroup", formatMessage(
                                  "pid %u LRU holds %zu nodes but %llu "
                                  "pages carry inLru",
-                                 pid, cg.lruSize(),
+                                 pid.raw(), cg.lruSize(),
                                  (unsigned long long)n_lru));
         }
     }
@@ -460,15 +467,16 @@ validateHopp(core::HoppSystem &hopp, const vm::Vms &vms, Report &r)
             r.fail("rpt", formatMessage(
                               "resident page %u:%llu (ppn %llu) has "
                               "no RPT mapping",
-                              pid, (unsigned long long)vpn,
-                              (unsigned long long)pi.ppn));
+                              pid.raw(), (unsigned long long)vpn.raw(),
+                              (unsigned long long)pi.ppn.raw()));
         } else if (entry->pid != pid || entry->vpn != vpn) {
             r.fail("rpt", formatMessage(
                               "ppn %llu maps to %u:%llu but the page "
                               "table says %u:%llu",
-                              (unsigned long long)pi.ppn, entry->pid,
-                              (unsigned long long)entry->vpn, pid,
-                              (unsigned long long)vpn));
+                              (unsigned long long)pi.ppn.raw(), entry->pid.raw(),
+                              (unsigned long long)entry->vpn.raw(),
+                              pid.raw(),
+                              (unsigned long long)vpn.raw()));
         }
     });
 

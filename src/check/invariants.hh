@@ -87,7 +87,7 @@ class Report
  */
 struct EventQueueWatch
 {
-    Tick lastNow = 0;
+    Tick lastNow;
     std::uint64_t lastExecuted = 0;
 };
 

@@ -74,8 +74,7 @@ runLsp(const StreamView &view)
         if (s[i] == pt0 && s[i + 1] == pt1) {
             next_stride.push_back(s[i + 2]);
             // v[i+2] ends the candidate occurrence.
-            stride_sum.push_back(static_cast<std::int64_t>(v[last_end]) -
-                                 static_cast<std::int64_t>(v[i + 2]));
+            stride_sum.push_back(signedDelta(v[i + 2], v[last_end]));
             last_end = i + 2;
         }
     }
@@ -94,11 +93,11 @@ runLsp(const StreamView &view)
     }
     if (pattern_stride == 0)
         return std::nullopt;
-    std::int64_t base = static_cast<std::int64_t>(view.vpnA()) +
-                        stride_target;
-    if (base < 0)
+    if (stride_target < 0 &&
+        static_cast<std::uint64_t>(-stride_target) > view.vpnA() - Vpn{})
         return std::nullopt;
-    return Prediction{Tier::Lsp, static_cast<Vpn>(base), pattern_stride};
+    return Prediction{Tier::Lsp, offsetBy(view.vpnA(), stride_target),
+                      pattern_stride};
 }
 
 std::optional<Prediction>

@@ -57,24 +57,21 @@ inline constexpr unsigned markov = 1u << 3;
 struct Prediction
 {
     Tier tier = Tier::Ssp;
-    Vpn base = 0;
+    Vpn base;
     std::int64_t step = 0;
 
     /** Target VPN at offset i (i >= 1); nullopt when it underflows. */
     std::optional<Vpn>
     target(std::uint64_t i) const
     {
-        std::int64_t v;
-        if (tier == Tier::Lsp) {
-            v = static_cast<std::int64_t>(base) +
-                static_cast<std::int64_t>(i - 1) * step;
-        } else {
-            v = static_cast<std::int64_t>(base) +
-                static_cast<std::int64_t>(i) * step;
-        }
-        if (v < 0)
+        std::int64_t reps = tier == Tier::Lsp
+                                ? static_cast<std::int64_t>(i - 1)
+                                : static_cast<std::int64_t>(i);
+        std::int64_t delta = reps * step;
+        if (delta < 0 &&
+            static_cast<std::uint64_t>(-delta) > base - Vpn{})
             return std::nullopt;
-        return static_cast<Vpn>(v);
+        return offsetBy(base, delta);
     }
 };
 

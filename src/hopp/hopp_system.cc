@@ -39,8 +39,10 @@ HoppSystem::channelOf(PhysAddr pa) const
         return 0;
     // Interleaved: consecutive cachelines round-robin the channels.
     // Non-interleaved: a whole page lives in one channel.
-    std::uint64_t unit = cfg_.channelInterleaved ? lineOf(pa)
-                                                 : pageOf(pa);
+    // Channel steering hashes the line/frame number's low bits.
+    std::uint64_t unit = cfg_.channelInterleaved
+                             ? lineOf(pa)
+                             : pageOf(pa).raw(); // hopp-lint: allow(raw)
     return static_cast<unsigned>(unit & (cfg_.channels - 1));
 }
 
@@ -88,7 +90,7 @@ HoppSystem::keepWarm(Pid pid, Vpn vpn, Tick now)
     if (it == lastHot_.end())
         return false;
     const Hotness &h = it->second;
-    return h.prev != 0 && now - h.last < cfg_.warmWindow &&
+    return h.prev != Tick{} && now - h.last < cfg_.warmWindow &&
            h.last - h.prev < cfg_.warmWindow;
 }
 

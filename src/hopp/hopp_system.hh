@@ -77,10 +77,10 @@ struct HoppConfig
     bool evictionAdvisor = false;
 
     /** Pages hot within this window are kept from eviction. */
-    Tick warmWindow = 2'000'000; // 2 ms
+    Duration warmWindow = 2'000'000; // 2 ms
 
     /** Latency from hot-page extraction to software processing. */
-    Tick trainerDelay = 500;
+    Duration trainerDelay = 500;
 
     /** Hot-page ring capacity (reserved DRAM area). */
     std::size_t ringCapacity = 1 << 16;
@@ -175,8 +175,8 @@ class HoppSystem : public mem::McObserver,
     /** Advisor state: last two hot-extraction times per page. */
     struct Hotness
     {
-        Tick last = 0;
-        Tick prev = 0;
+        Tick last;
+        Tick prev;
     };
 
     std::unordered_map<std::uint64_t, Hotness> lastHot_;

@@ -18,18 +18,20 @@ namespace hopp::core
 /** One hot page delivered from the MC to HoPP software. */
 struct HotPage
 {
-    Pid pid = 0;
-    Vpn vpn = 0;
-    Ppn ppn = 0;
+    Pid pid;
+    Vpn vpn;
+    Ppn ppn;
     bool shared = false;
     bool huge = false;
-    Tick time = 0;
+    Tick time;
 };
 
 /** The reserved-DRAM hot-page area. */
 using HotPageRing = trace::RingBuffer<HotPage>;
 
-/** Bytes one packed hot-page record occupies in DRAM (64-bit combo). */
+/** Bytes one packed hot-page record occupies in DRAM (64-bit combo) —
+ *  a size, not an address. */
+// hopp-lint: allow(raw-int-addr)
 inline constexpr std::uint64_t hotPageRecordBytes = 8;
 
 } // namespace hopp::core

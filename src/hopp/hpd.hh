@@ -129,7 +129,7 @@ class Hpd
     };
 
     HpdConfig cfg_;
-    mem::SetAssocCache<Entry> table_;
+    mem::SetAssocCache<Entry, Ppn> table_;
     HpdStats stats_;
 };
 

@@ -80,7 +80,7 @@ class MarkovTable
   private:
     struct Entry
     {
-        Vpn succ[MarkovConfig::slots] = {0, 0};
+        Vpn succ[MarkovConfig::slots] = {};
         std::uint16_t count[MarkovConfig::slots] = {0, 0};
     };
 

@@ -30,8 +30,8 @@ struct PolicyConfig
     double alpha = 0.2;
     double offsetInit = 1.0;
     double offsetMax = 1024.0;
-    Tick tMin = 40'000;      // 40 us
-    Tick tMax = 5'000'000;   // 5 ms
+    Duration tMin = 40'000;    // 40 us
+    Duration tMax = 5'000'000; // 5 ms
     unsigned intensity = 1;  // pages prefetched per hot page
 
     /**
@@ -89,7 +89,7 @@ class PolicyEngine
         if (!cfg_.adaptive)
             return;
         State &s = stateRef(stream_id);
-        Tick t = hit_at > ready_at ? hit_at - ready_at : 0;
+        Duration t = hit_at > ready_at ? hit_at - ready_at : 0;
         s.tSum += static_cast<double>(t);
         if (++s.tCount < cfg_.adjustEpoch)
             return;

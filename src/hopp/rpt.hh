@@ -31,8 +31,8 @@ namespace hopp::core
 /** One RPT entry: 16-bit PID + 40-bit VPN + flags = 64 bits. */
 struct RptEntry
 {
-    Pid pid = 0;
-    Vpn vpn = 0;
+    Pid pid;
+    Vpn vpn;
     bool shared = false;
     std::uint8_t hugeBits = 0; //!< 2-bit huge-page flag (§III-C)
 };
@@ -156,7 +156,7 @@ class RptCache
     Rpt &rpt_;
     mem::Dram &dram_;
     RptCacheConfig cfg_;
-    mem::SetAssocCache<Line> cache_;
+    mem::SetAssocCache<Line, Ppn> cache_;
     RptCacheStats stats_;
 };
 

@@ -37,8 +37,7 @@ Stt::append(Entry &e, Vpn vpn)
         ++stats_.duplicates;
         return std::nullopt;
     }
-    std::int64_t stride = static_cast<std::int64_t>(vpn) -
-                          static_cast<std::int64_t>(last);
+    std::int64_t stride = signedDelta(last, vpn);
     if (e.vpns.size() == cfg_.historyLen) {
         e.vpns.erase(e.vpns.begin());
         e.strides.erase(e.strides.begin());

@@ -47,7 +47,7 @@ struct SttConfig
  */
 struct StreamView
 {
-    Pid pid = 0;
+    Pid pid;
     std::uint64_t streamId = 0;
 
     /** Total pages ever appended to this stream (stream length). */
@@ -113,7 +113,7 @@ class Stt
     struct Entry
     {
         bool valid = false;
-        Pid pid = 0;
+        Pid pid;
         std::uint64_t id = 0;
         std::uint64_t lastUse = 0;
         std::uint64_t length = 0; //!< pages appended over the lifetime

@@ -145,9 +145,9 @@ class Trainer
             return;
         Vpn first = pred.step > 0
                         ? *start
-                        : (*start >= batch_.batchPages - 1
+                        : (*start - Vpn{} >= batch_.batchPages - 1
                                ? *start - (batch_.batchPages - 1)
-                               : 0);
+                               : Vpn{});
         unsigned bundled = exec_.requestBatch(
             view.pid, first, batch_.batchPages, view.streamId,
             Tier::Ssp, now);
@@ -182,8 +182,8 @@ class Trainer
         // The correlation tier has no STT stream; key the policy
         // offset on a per-PID pseudo-stream and chase the successor
         // chain as deep as the adaptive offset asks.
-        std::uint64_t stream_id =
-            (1ull << 62) | static_cast<std::uint64_t>(hp.pid);
+        // Pseudo-stream id packing. hopp-lint: allow(raw)
+        std::uint64_t stream_id = (1ull << 62) | hp.pid.raw();
         auto depth = static_cast<unsigned>(std::min<std::uint64_t>(
             16, std::max<std::uint64_t>(
                     2, policy_.offsets(stream_id).front())));

@@ -3,7 +3,7 @@
 namespace hopp::mem
 {
 
-Dram::Dram(std::uint64_t frames) : total_(frames), base_(1)
+Dram::Dram(std::uint64_t frames) : total_(frames), base_(Ppn{1})
 {
     hopp_assert(frames > 0, "DRAM needs at least one frame");
     // PPN 0 is reserved as an invalid sentinel; frames are [base_,
@@ -30,11 +30,13 @@ Dram::allocate()
 void
 Dram::release(Ppn ppn)
 {
+    // Diagnostic formatting of the frame number. hopp-lint: allow(raw)
     hopp_assert(ppn >= base_ && ppn < base_ + total_,
                 "release of foreign frame %llu",
-                static_cast<unsigned long long>(ppn));
+                static_cast<unsigned long long>(ppn.raw()));
+    // Diagnostic formatting of the frame number. hopp-lint: allow(raw)
     hopp_assert(allocated_[ppn - base_], "double free of frame %llu",
-                static_cast<unsigned long long>(ppn));
+                static_cast<unsigned long long>(ppn.raw()));
     allocated_[ppn - base_] = false;
     freeList_.push_back(ppn);
 }

@@ -101,7 +101,7 @@ class Dram
     friend class hopp::check::Access;
 
     std::uint64_t total_;
-    std::uint64_t base_; // first PPN managed by this module
+    Ppn base_; // first PPN managed by this module
     Pcg32 rng_{0x0ddba11};
     std::vector<Ppn> freeList_;
     std::vector<bool> allocated_;

@@ -25,9 +25,10 @@ Llc::Llc(const LlcConfig &cfg) : tags_(setsFor(cfg), cfg.ways) {}
 std::uint64_t
 Llc::taggedLine(PhysAddr pa)
 {
-    Ppn ppn = pageOf(pa);
+    // Frame number as dense per-frame vector index. hopp-lint: allow(raw)
+    std::uint64_t frame = pageOf(pa).raw();
     std::uint32_t epoch =
-        ppn < epochs_.size() ? epochs_[ppn] : 0;
+        frame < epochs_.size() ? epochs_[frame] : 0;
     // The set index comes from the low line-address bits; the epoch
     // only disambiguates tags, so invalidated lines conflict in the
     // same set they always occupied.
@@ -50,9 +51,11 @@ Llc::access(PhysAddr pa)
 void
 Llc::invalidatePage(Ppn ppn)
 {
-    if (ppn >= epochs_.size())
-        epochs_.resize(ppn + 1, 0);
-    ++epochs_[ppn];
+    // Frame number as dense per-frame vector index. hopp-lint: allow(raw)
+    std::uint64_t frame = ppn.raw();
+    if (frame >= epochs_.size())
+        epochs_.resize(frame + 1, 0);
+    ++epochs_[frame];
 }
 
 } // namespace hopp::mem

@@ -3,9 +3,10 @@
  * Generic set-associative, LRU-replaced lookup structure.
  *
  * Models the small hardware tables HoPP adds to the memory controller
- * (HPD table, RPT cache) as well as the LLC tag array. Keys are arbitrary
- * 64-bit tags; the set index is the low bits of the key, exactly as the
- * paper indexes the HPD table with the low PPN bits.
+ * (HPD table, RPT cache) as well as the LLC tag array. Keys are 64-bit
+ * tags — raw integers or TaggedU64 wrappers (e.g. Ppn for the
+ * frame-indexed MC tables); the set index is the low bits of the key,
+ * exactly as the paper indexes the HPD table with the low PPN bits.
  */
 
 #ifndef HOPP_MEM_SET_ASSOC_HH
@@ -30,15 +31,16 @@ namespace hopp::mem
  * Fixed-geometry set-associative cache with true-LRU replacement.
  *
  * @tparam Value payload stored per tag.
+ * @tparam Key   tag type: a raw 64-bit integer or a TaggedU64 wrapper.
  */
-template <typename Value>
+template <typename Value, typename Key = std::uint64_t>
 class SetAssocCache
 {
   public:
     /** An evicted (tag, value) pair returned from insert(). */
     struct Eviction
     {
-        std::uint64_t tag;
+        Key tag;
         Value value;
     };
 
@@ -71,7 +73,7 @@ class SetAssocCache
      * @return pointer to the payload, or nullptr on miss.
      */
     Value *
-    touch(std::uint64_t tag)
+    touch(Key tag)
     {
         Line *line = findLine(tag);
         if (!line)
@@ -82,7 +84,7 @@ class SetAssocCache
 
     /** Look up a tag without disturbing LRU state. */
     Value *
-    peek(std::uint64_t tag)
+    peek(Key tag)
     {
         Line *line = findLine(tag);
         return line ? &line->value : nullptr;
@@ -90,7 +92,7 @@ class SetAssocCache
 
     /** Const lookup without disturbing LRU state. */
     const Value *
-    peek(std::uint64_t tag) const
+    peek(Key tag) const
     {
         const Line *line =
             const_cast<SetAssocCache *>(this)->findLine(tag);
@@ -102,7 +104,7 @@ class SetAssocCache
      * @return the LRU victim if a valid entry had to be evicted.
      */
     std::optional<Eviction>
-    insert(std::uint64_t tag, Value value)
+    insert(Key tag, Value value)
     {
         if (Line *line = findLine(tag)) {
             line->value = std::move(value);
@@ -138,7 +140,7 @@ class SetAssocCache
      * @return the removed payload.
      */
     std::optional<Value>
-    erase(std::uint64_t tag)
+    erase(Key tag)
     {
         Line *line = findLine(tag);
         if (!line)
@@ -175,19 +177,30 @@ class SetAssocCache
     struct Line
     {
         bool valid = false;
-        std::uint64_t tag = 0;
+        Key tag{};
         std::uint64_t age = 0; // lower = more recently used
         Value value{};
     };
 
-    std::size_t
-    setIndex(std::uint64_t tag) const
+    static constexpr std::uint64_t
+    rawKey(Key tag)
     {
-        return static_cast<std::size_t>(tag & (sets_ - 1));
+        // Set indexing needs the key's bits regardless of its tag
+        // type. hopp-lint: allow(raw)
+        if constexpr (requires { tag.raw(); })
+            return tag.raw(); // hopp-lint: allow(raw)
+        else
+            return static_cast<std::uint64_t>(tag);
+    }
+
+    std::size_t
+    setIndex(Key tag) const
+    {
+        return static_cast<std::size_t>(rawKey(tag) & (sets_ - 1));
     }
 
     Line *
-    findLine(std::uint64_t tag)
+    findLine(Key tag)
     {
         std::size_t set = setIndex(tag);
         for (std::size_t w = 0; w < ways_; ++w) {

@@ -28,14 +28,14 @@ struct LinkConfig
     double gbps = 56.0;
 
     /** Fixed one-way latency added after serialization. */
-    Tick baseLatency = 3400;
+    Duration baseLatency = 3400;
 
     /**
      * Per-transfer issue overhead occupying the engine (doorbell, WQE
      * processing). Makes one 32-page batch cheaper than 32 single-page
      * reads, as on real NICs.
      */
-    Tick perTransferOverhead = 150;
+    Duration perTransferOverhead = 150;
 };
 
 /**
@@ -44,30 +44,44 @@ struct LinkConfig
 class Link
 {
   public:
-    explicit Link(const LinkConfig &cfg) : cfg_(cfg) {}
+    explicit Link(const LinkConfig &cfg)
+        : cfg_(cfg),
+          milliGbps_(static_cast<std::uint64_t>(cfg.gbps * 1000.0 + 0.5))
+    {
+        hopp_assert(milliGbps_ > 0, "link rate must be positive");
+    }
 
     /**
      * Enqueue a transfer of @p bytes at time @p now.
      * @return the absolute tick at which the last byte arrives.
      */
     Tick
-    transfer(std::uint64_t bytes, Tick now)
+    transfer(Bytes bytes, Tick now)
     {
         Tick start = busyUntil_ > now ? busyUntil_ : now;
-        Tick ser = cfg_.perTransferOverhead + serializationDelay(bytes);
+        Duration ser =
+            cfg_.perTransferOverhead + serializationDelay(bytes);
         busyUntil_ = start + ser;
         bytesSent_ += bytes;
         ++transfers_;
-        queueDelay_.sample(start - now);
+        queueDelay_.sample(static_cast<double>(start - now));
         return busyUntil_ + cfg_.baseLatency;
     }
 
-    /** Pure serialization time of @p bytes at the configured rate. */
-    Tick
-    serializationDelay(std::uint64_t bytes) const
+    /**
+     * Pure serialization time of @p bytes at the configured rate.
+     *
+     * Computed in exact integer arithmetic so the result is identical
+     * on every compiler/FPU configuration: the configured rate is
+     * quantised once (at construction) to milli-gigabits per second,
+     * and the delay is round-half-up of bytes*8000 / milliGbps. With
+     * bytes < 2^50 the numerator cannot overflow 64 bits.
+     */
+    Duration
+    serializationDelay(Bytes bytes) const
     {
-        double ns = static_cast<double>(bytes) * 8.0 / cfg_.gbps;
-        return static_cast<Tick>(ns + 0.5);
+        std::uint64_t millibits = bytes * 8000ull;
+        return (millibits + milliGbps_ / 2) / milliGbps_;
     }
 
     /** Earliest tick a new transfer could start serialization. */
@@ -87,7 +101,8 @@ class Link
 
   private:
     LinkConfig cfg_;
-    Tick busyUntil_ = 0;
+    std::uint64_t milliGbps_; //!< wire rate quantised to integer mGbps
+    Tick busyUntil_;
     std::uint64_t bytesSent_ = 0;
     std::uint64_t transfers_ = 0;
     stats::Average queueDelay_;

@@ -18,8 +18,7 @@ Leap::detectStride() const
     strides.reserve(history_.size() - 1);
     for (std::size_t i = 1; i < history_.size(); ++i) {
         strides.push_back(
-            static_cast<std::int64_t>(history_[i].second) -
-            static_cast<std::int64_t>(history_[i - 1].second));
+            signedDelta(history_[i - 1].second, history_[i].second));
     }
     // Try growing windows over the newest strides; accept the first
     // Boyer-Moore candidate that is a true majority.
@@ -79,13 +78,13 @@ Leap::onFault(const vm::FaultContext &ctx)
     std::int64_t stride = detectStride();
     if (stride != 0) {
         for (unsigned i = 1; i <= depth_; ++i) {
-            std::int64_t target =
-                static_cast<std::int64_t>(ctx.vpn) +
-                stride * static_cast<std::int64_t>(i);
-            if (target < 0)
+            std::int64_t delta = stride * static_cast<std::int64_t>(i);
+            // Reject targets below page 0 (ctx.vpn - Vpn{} is the
+            // page's unsigned distance from zero).
+            if (delta < 0 &&
+                static_cast<std::uint64_t>(-delta) > ctx.vpn - Vpn{})
                 break;
-            vms_.prefetchToSwapCache(ctx.pid,
-                                     static_cast<Vpn>(target),
+            vms_.prefetchToSwapCache(ctx.pid, offsetBy(ctx.vpn, delta),
                                      origin::leap, ctx.now);
         }
         return;

@@ -43,7 +43,7 @@ class VmaPrefetcher : public Prefetcher
         for (unsigned i = 1; i <= half; ++i) {
             vms_.prefetchToSwapCache(ctx.pid, ctx.vpn + i, origin::vma,
                                      ctx.now);
-            if (ctx.vpn >= i) {
+            if (ctx.vpn - Vpn{} >= i) {
                 vms_.prefetchToSwapCache(ctx.pid, ctx.vpn - i,
                                          origin::vma, ctx.now);
             }

@@ -36,9 +36,9 @@ RunResult::completionOf(const std::string &name) const
 double
 normalizedPerformance(Tick ct_local, Tick ct_system)
 {
-    hopp_assert(ct_system > 0, "zero completion time");
-    return static_cast<double>(ct_local) /
-           static_cast<double>(ct_system);
+    hopp_assert(ct_system > Tick{}, "zero completion time");
+    return static_cast<double>(ct_local - Tick{}) /
+           static_cast<double>(ct_system - Tick{});
 }
 
 Machine::Machine(const MachineConfig &cfg) : cfg_(cfg) {}
@@ -89,8 +89,8 @@ Machine::build()
     vms_->addListener(&stats_);
 
     // Processes + threads.
-    Pid pid = 1;
     for (std::size_t i = 0; i < apps_.size(); ++i) {
+        Pid pid{static_cast<std::uint16_t>(i + 1)};
         vms_->createProcess(pid, limits[i]);
         for (const auto &make : apps_[i].threads) {
             auto t = std::make_unique<Thread>();
@@ -98,7 +98,6 @@ Machine::build()
             t->gen = make();
             threads_.push_back(std::move(t));
         }
-        ++pid;
     }
 
     // The system under test.
@@ -216,7 +215,7 @@ Machine::run()
     prepare();
     for (auto &t : threads_) {
         Thread *tp = t.get();
-        eq_.schedule(0, [this, tp] { step(*tp); });
+        eq_.schedule(Tick{}, [this, tp] { step(*tp); });
     }
     eq_.run();
     if (cfg_.checkInterval) {
@@ -225,9 +224,10 @@ Machine::run()
     }
 
     RunResult r;
-    Pid pid = 1;
-    for (const auto &w : apps_) {
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+        const auto &w = apps_[i];
         AppResult ar;
+        Pid pid{static_cast<std::uint16_t>(i + 1)};
         ar.pid = pid;
         ar.name = w.name;
         for (const auto &t : threads_) {
@@ -239,7 +239,6 @@ Machine::run()
         }
         r.makespan = std::max(r.makespan, ar.completion);
         r.apps.push_back(std::move(ar));
-        ++pid;
     }
     r.accuracy = stats_.accuracy();
     r.coverage = stats_.coverage();

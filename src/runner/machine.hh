@@ -86,9 +86,9 @@ struct MachineConfig
 /** Per-application outcome. */
 struct AppResult
 {
-    Pid pid = 0;
+    Pid pid;
     std::string name;
-    Tick completion = 0;       //!< slowest thread's finish time
+    Tick completion;           //!< slowest thread's finish time
     std::uint64_t accesses = 0;
 };
 
@@ -96,7 +96,7 @@ struct AppResult
 struct RunResult
 {
     std::vector<AppResult> apps;
-    Tick makespan = 0;
+    Tick makespan;
 
     // §VI-A metrics (all origins combined).
     double accuracy = 0.0;
@@ -169,8 +169,8 @@ class Machine
     {
         Pid pid;
         workloads::GeneratorPtr gen;
-        Tick now = 0;
-        Tick completion = 0;
+        Tick now;
+        Tick completion;
         std::uint64_t accesses = 0;
         bool done = false;
     };

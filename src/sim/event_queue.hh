@@ -45,9 +45,9 @@ class EventQueue
         heap_.push(Entry{when, seq_++, std::move(fn)});
     }
 
-    /** Schedule fn to run delay ticks from now. */
+    /** Schedule fn to run delay nanoseconds from now. */
     void
-    scheduleIn(Tick delay, EventFn fn)
+    scheduleIn(Duration delay, EventFn fn)
     {
         schedule(now_ + delay, std::move(fn));
     }
@@ -102,7 +102,7 @@ class EventQueue
     };
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    Tick now_ = 0;
+    Tick now_;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
 };

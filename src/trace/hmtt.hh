@@ -32,7 +32,7 @@ struct HmttConfig
     std::uint64_t bytesPerRecord = 8;
 
     /** Coarse timestamp granularity of the 8-bit wrapping stamp. */
-    Tick timestampQuantum = 100;
+    Duration timestampQuantum = 100;
 };
 
 /**
@@ -52,8 +52,9 @@ class Hmtt : public mem::McObserver
     {
         HmttRecord r;
         r.seq = seq_++;
+        // Wrapping 8-bit wire timestamp quantisation. hopp-lint: allow(raw)
         r.timestamp =
-            static_cast<std::uint8_t>(now / cfg_.timestampQuantum);
+            static_cast<std::uint8_t>(now.raw() / cfg_.timestampQuantum);
         r.isWrite = is_write;
         r.addr29 = toAddr29(pa);
         r.fullTime = now;

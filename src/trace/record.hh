@@ -5,7 +5,12 @@
  * physical address (cacheline granularity). We keep the exact field
  * widths so the packed encoding round-trips the way the hardware's
  * does, and carry a full-resolution shadow timestamp for analysis.
+ *
+ * This file is a designated raw boundary: packing addresses and times
+ * into the fixed-width wire format is exactly what .raw() exists for.
  */
+
+// Wire-format packing boundary. hopp-lint: allow-file(raw, page-shift)
 
 #ifndef HOPP_TRACE_RECORD_HH
 #define HOPP_TRACE_RECORD_HH
@@ -33,10 +38,10 @@ struct HmttRecord
     std::uint32_t addr29 = 0;
 
     /** Full-resolution simulation time (not part of the wire format). */
-    Tick fullTime = 0;
+    Tick fullTime;
 
     /** Full physical address (not part of the wire format). */
-    PhysAddr fullAddr = 0;
+    PhysAddr fullAddr;
 
     /** Pack the 46-bit wire format into the low bits of a uint64. */
     std::uint64_t
@@ -64,7 +69,8 @@ struct HmttRecord
     Ppn
     ppn() const
     {
-        return static_cast<Ppn>(addr29) >> (pageShift - lineShift);
+        return Ppn{static_cast<std::uint64_t>(addr29) >>
+                   (pageShift - lineShift)};
     }
 };
 
@@ -72,8 +78,7 @@ struct HmttRecord
 constexpr std::uint32_t
 toAddr29(PhysAddr pa)
 {
-    return static_cast<std::uint32_t>((pa >> lineShift) &
-                                      ((1u << 29) - 1));
+    return static_cast<std::uint32_t>(lineOf(pa) & ((1u << 29) - 1));
 }
 
 } // namespace hopp::trace

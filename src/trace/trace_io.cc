@@ -1,3 +1,6 @@
+// Binary trace serialisation is a designated raw boundary.
+// hopp-lint: allow-file(raw, page-shift)
+
 #include "trace_io.hh"
 
 #include <cstdio>
@@ -31,7 +34,7 @@ writeTraceFile(const std::string &path,
     if (!f)
         return false;
     for (const auto &r : records) {
-        std::uint64_t words[2] = {r.pack(), r.fullTime};
+        std::uint64_t words[2] = {r.pack(), r.fullTime.raw()};
         if (std::fwrite(words, sizeof(words), 1, f.get()) != 1)
             return false;
     }
@@ -48,8 +51,9 @@ readTraceFile(const std::string &path)
     std::uint64_t words[2];
     while (std::fread(words, sizeof(words), 1, f.get()) == 1) {
         HmttRecord r = HmttRecord::unpack(words[0]);
-        r.fullTime = words[1];
-        r.fullAddr = static_cast<PhysAddr>(r.addr29) << lineShift;
+        r.fullTime = Tick{words[1]};
+        r.fullAddr =
+            PhysAddr{static_cast<std::uint64_t>(r.addr29) << lineShift};
         out.push_back(r);
     }
     return out;

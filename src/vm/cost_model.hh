@@ -21,19 +21,19 @@ namespace hopp::vm
 struct CostModel
 {
     /** Step 1: page-fault context switch. */
-    Tick contextSwitch = 300;
+    Duration contextSwitch = 300;
 
     /** Step 2: kernel page-table walk to locate the PTE. */
-    Tick pageWalk = 600;
+    Duration pageWalk = 600;
 
     /** Step 3: swapcache query (+ page/swap-entry allocation on miss). */
-    Tick swapCacheQuery = 400;
+    Duration swapCacheQuery = 400;
 
     /** Step 5: direct (synchronous) reclaim, per reclaimed page. */
-    Tick directReclaimPerPage = 3000;
+    Duration directReclaimPerPage = 3000;
 
     /** Step 6: establish PTE and return to user space. */
-    Tick pteEstablish = 1000;
+    Duration pteEstablish = 1000;
 
     /**
      * Per-access occupancy of an LLC miss served by DRAM. The paper's
@@ -42,23 +42,23 @@ struct CostModel
      * miss is ~25 ns; anything larger makes applications artificially
      * compute-bound relative to the 4-9 us swap path.
      */
-    Tick dramHit = 25;
+    Duration dramHit = 25;
 
     /** LLC hit occupancy (pipelined). */
-    Tick llcHit = 5;
+    Duration llcHit = 5;
 
     /**
      * Prefetch-hit: a fault that finds its page in the swapcache still
      * pays steps 1+2+3+6 = 2.3 us (post Linux v5.8, §II-A).
      */
-    Tick
+    Duration
     prefetchHitOverhead() const
     {
         return contextSwitch + pageWalk + swapCacheQuery + pteEstablish;
     }
 
     /** First-touch (zero-fill) minor fault: same kernel path, no IO. */
-    Tick
+    Duration
     coldFaultOverhead() const
     {
         return contextSwitch + pageWalk + swapCacheQuery + pteEstablish;
@@ -68,7 +68,7 @@ struct CostModel
      * Fixed kernel overhead of a remote (major) fault excluding the
      * RDMA transfer and any reclaim: steps 1+2+3+6.
      */
-    Tick
+    Duration
     remoteFaultOverhead() const
     {
         return contextSwitch + pageWalk + swapCacheQuery + pteEstablish;

@@ -81,7 +81,8 @@ class PageEventListener
 
     /** Any fault was resolved, with its total latency. */
     virtual void
-    onFaultResolved(Pid, Vpn, FaultKind, Tick /*latency*/, Tick /*now*/)
+    onFaultResolved(Pid, Vpn, FaultKind, Duration /*latency*/,
+                    Tick /*now*/)
     {
     }
 

@@ -31,25 +31,30 @@ using Origin = std::uint8_t;
 /** Demand (fault) path origin. */
 inline constexpr Origin originDemand = 0;
 
-/** Composite (pid, vpn) key used by the page table and LRU lists. */
+/**
+ * Composite (pid, vpn) key used by the page table and LRU lists. The
+ * pid/vpn bit-packing below is a designated raw boundary: the key is a
+ * deliberate 64-bit encoding, not address arithmetic.
+ */
 constexpr std::uint64_t
-pageKey(Pid pid, Vpn vpn)
+pageKey(Pid pid, Vpn vpn) // hopp-lint: allow(raw-int-addr)
 {
-    return (static_cast<std::uint64_t>(pid) << 48) | vpn;
+    // Packing into the 16:48 key layout. hopp-lint: allow(raw)
+    return (static_cast<std::uint64_t>(pid.raw()) << 48) | vpn.raw();
 }
 
 /** Extract the pid from a page key. */
 constexpr Pid
 keyPid(std::uint64_t key)
 {
-    return static_cast<Pid>(key >> 48);
+    return Pid{key >> 48};
 }
 
 /** Extract the vpn from a page key. */
 constexpr Vpn
 keyVpn(std::uint64_t key)
 {
-    return key & ((1ull << 48) - 1);
+    return Vpn{key & ((1ull << 48) - 1)};
 }
 
 /**
@@ -60,7 +65,7 @@ struct PageInfo
     PageState state = PageState::Untouched;
 
     /** Local frame; valid in Resident / SwapCached. */
-    Ppn ppn = 0;
+    Ppn ppn;
 
     /** Remote slot; valid when a swap copy exists or the page is out. */
     remote::SwapSlot slot = remote::noSlot;
@@ -99,10 +104,10 @@ struct PageInfo
     Origin origin = originDemand;
 
     /** Completion tick of the fetch that produced the local copy. */
-    Tick fetchedAt = 0;
+    Tick fetchedAt;
 
     /** Completion tick of the outstanding fetch while inflight. */
-    Tick completesAt = 0;
+    Tick completesAt;
 
     /** Position in the owning cgroup's LRU list while in DRAM. */
     std::list<std::uint64_t>::iterator lruIt{};

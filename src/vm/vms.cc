@@ -16,7 +16,9 @@ Vms::Vms(sim::EventQueue &eq, mem::Dram &dram, mem::MemCtrl &mc,
 void
 Vms::createProcess(Pid pid, std::uint64_t limit_frames)
 {
-    hopp_assert(!cgroups_.contains(pid), "process %u already exists", pid);
+    // Diagnostic formatting of the pid. hopp-lint: allow(raw)
+    hopp_assert(!cgroups_.contains(pid), "process %u already exists",
+                pid.raw());
     cgroups_.emplace(pid, Cgroup(pid, limit_frames));
     kswapdActive_[pid] = false;
 }
@@ -25,7 +27,8 @@ Cgroup &
 Vms::cgroup(Pid pid)
 {
     auto it = cgroups_.find(pid);
-    hopp_assert(it != cgroups_.end(), "unknown process %u", pid);
+    // Diagnostic formatting of the pid. hopp-lint: allow(raw)
+    hopp_assert(it != cgroups_.end(), "unknown process %u", pid.raw());
     return it->second;
 }
 
@@ -51,13 +54,14 @@ Vms::firePteClear(Pid pid, Vpn vpn, Ppn ppn, Tick now)
         h->onPteClear(pid, vpn, ppn, now);
 }
 
-Tick
+Duration
 Vms::residentAccess(Pid pid, PageInfo &pi, VirtAddr va, bool is_write,
                     Tick now)
 {
+    // Diagnostic formatting of pid/vpn. hopp-lint: allow(raw)
     HOPP_DCHECK(pi.state == PageState::Resident,
-                "data-path access to page %u:%llu in state %u", pid,
-                (unsigned long long)pageOf(va), unsigned(pi.state));
+                "data-path access to page %u:%llu in state %u", pid.raw(),
+                (unsigned long long)pageOf(va).raw(), unsigned(pi.state));
     pi.accessedBit = true;
     if (is_write) {
         pi.dirty = true;
@@ -72,7 +76,7 @@ Vms::residentAccess(Pid pid, PageInfo &pi, VirtAddr va, bool is_write,
             l->onPrefetchHit(pid, pageOf(va), pi.origin, pi.fetchedAt, now,
                              true);
     }
-    PhysAddr pa = pageBase(pi.ppn) + (va & (pageBytes - 1));
+    PhysAddr pa = pageBase(pi.ppn) + pageOffset(va);
     if (llc_.access(pa)) {
         ++stats_.llcHits;
         return cfg_.cost.llcHit;
@@ -85,7 +89,7 @@ Vms::residentAccess(Pid pid, PageInfo &pi, VirtAddr va, bool is_write,
 }
 
 bool
-Vms::evictOne(Cgroup &cg, Tick now, bool direct, Tick *cost)
+Vms::evictOne(Cgroup &cg, Tick now, bool direct, Duration *cost)
 {
     unsigned rotations = 0;
     while (!cg.lruEmpty()) {
@@ -144,7 +148,7 @@ Vms::evictOne(Cgroup &cg, Tick now, bool direct, Tick *cost)
         v.state = PageState::Swapped;
         llc_.invalidatePage(v.ppn);
         dram_.release(v.ppn);
-        v.ppn = 0;
+        v.ppn = Ppn{};
         cg.lruRemove(v);
         if (v.charged) {
             cg.uncharge();
@@ -164,7 +168,7 @@ Vms::evictOne(Cgroup &cg, Tick now, bool direct, Tick *cost)
 }
 
 Ppn
-Vms::obtainFrame(Pid pid, bool charged_alloc, Tick now, Tick *cost)
+Vms::obtainFrame(Pid pid, bool charged_alloc, Tick now, Duration *cost)
 {
     Cgroup &cg = cgroup(pid);
     if (charged_alloc) {
@@ -235,11 +239,13 @@ void
 Vms::mapPage(Pid pid, Vpn vpn, PageInfo &pi, Ppn ppn, bool charged,
              Origin origin, bool injected, Tick now)
 {
+    // Diagnostic formatting of pid/vpn. hopp-lint: allow(raw)
     HOPP_DCHECK(pi.state != PageState::Resident,
-                "double map of page %u:%llu", pid,
-                (unsigned long long)vpn);
-    HOPP_DCHECK(!pi.inflight, "mapping page %u:%llu mid-fetch", pid,
-                (unsigned long long)vpn);
+                "double map of page %u:%llu", pid.raw(),
+                (unsigned long long)vpn.raw());
+    // Diagnostic formatting of pid/vpn. hopp-lint: allow(raw)
+    HOPP_DCHECK(!pi.inflight, "mapping page %u:%llu mid-fetch", pid.raw(),
+                (unsigned long long)vpn.raw());
     pi.state = PageState::Resident;
     pi.ppn = ppn;
     pi.origin = origin;
@@ -256,7 +262,7 @@ Vms::mapPage(Pid pid, Vpn vpn, PageInfo &pi, Ppn ppn, bool charged,
     firePteSet(pid, vpn, pi, now);
 }
 
-Tick
+Duration
 Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
 {
     ++stats_.accesses;
@@ -270,7 +276,7 @@ Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
       case PageState::Untouched: {
         // First touch: zero-fill minor fault. The fresh page has no
         // remote copy, so it is born dirty.
-        Tick cost = cfg_.cost.coldFaultOverhead();
+        Duration cost = cfg_.cost.coldFaultOverhead();
         Ppn ppn = obtainFrame(pid, true, now, &cost);
         mapPage(pid, vpn, pi, ppn, true, originDemand, false, now + cost);
         pi.dirty = true;
@@ -285,7 +291,7 @@ Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
       case PageState::SwapCached: {
         // Prefetch-hit: the page is in DRAM but the fault still costs
         // the 2.3 us kernel path (§II-A / §II-C).
-        Tick cost = cfg_.cost.prefetchHitOverhead();
+        Duration cost = cfg_.cost.prefetchHitOverhead();
         bool was_prefetched = pi.prefetched;
         Origin origin = pi.origin;
         Tick ready_at = pi.fetchedAt;
@@ -327,8 +333,9 @@ Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
             // Fault on a page whose prefetch is still in the air: the
             // kernel waits on the in-flight IO, then takes the
             // swapcache-hit path.
-            Tick wait = pi.completesAt > now ? pi.completesAt - now : 0;
-            Tick cost = wait + cfg_.cost.prefetchHitOverhead();
+            Duration wait =
+                pi.completesAt > now ? pi.completesAt - now : 0;
+            Duration cost = wait + cfg_.cost.prefetchHitOverhead();
             Origin origin = pi.origin;
             Tick ready_at = pi.completesAt;
             pi.inflight = false; // completion handler will drop it
@@ -359,8 +366,8 @@ Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
         }
 
         // Full remote fault: kernel path + RDMA + PTE establish.
-        Tick cost = cfg_.cost.contextSwitch + cfg_.cost.pageWalk +
-                    cfg_.cost.swapCacheQuery;
+        Duration cost = cfg_.cost.contextSwitch + cfg_.cost.pageWalk +
+                        cfg_.cost.swapCacheQuery;
         Ppn ppn = obtainFrame(pid, true, now, &cost);
         Tick completion = backend_.demandRead(now + cost);
         cost = (completion - now) + cfg_.cost.pteEstablish;

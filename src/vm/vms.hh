@@ -52,7 +52,7 @@ struct VmsConfig
     double lowWatermark = 0.94;
 
     /** Dispatch delay of a background reclaim pass. */
-    Tick kswapdDelay = 10'000; // 10 us
+    Duration kswapdDelay = 10'000; // 10 us
 
     /** Max LRU rotations (second chances) per eviction scan. */
     unsigned secondChanceCap = 64;
@@ -104,7 +104,7 @@ class Vms
      * @param now the issuing thread's local time.
      * @return the access latency charged to the thread.
      */
-    Tick access(Pid pid, VirtAddr va, bool is_write, Tick now);
+    Duration access(Pid pid, VirtAddr va, bool is_write, Tick now);
 
     /**
      * Issue an asynchronous prefetch that lands in the swapcache
@@ -202,7 +202,7 @@ class Vms
     friend class hopp::check::Access;
 
     /** LLC + DRAM data-path cost for a resident access. */
-    Tick residentAccess(Pid pid, PageInfo &pi, VirtAddr va, bool is_write,
+    Duration residentAccess(Pid pid, PageInfo &pi, VirtAddr va, bool is_write,
                         Tick now);
 
     /**
@@ -211,10 +211,11 @@ class Vms
      * caller is the faulting thread; nullptr means reclaim is free
      * (kernel-thread context).
      */
-    Ppn obtainFrame(Pid pid, bool charged_alloc, Tick now, Tick *cost);
+    Ppn obtainFrame(Pid pid, bool charged_alloc, Tick now,
+                    Duration *cost);
 
     /** Evict one page from the cgroup LRU. @return false when empty. */
-    bool evictOne(Cgroup &cg, Tick now, bool direct, Tick *cost);
+    bool evictOne(Cgroup &cg, Tick now, bool direct, Duration *cost);
 
     /** Schedule background reclaim when above the high watermark. */
     void maybeKickKswapd(Pid pid, Tick now);

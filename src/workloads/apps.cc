@@ -16,7 +16,7 @@ namespace
 constexpr VirtAddr
 threadBase(unsigned t)
 {
-    return 0x10'0000'0000ull + static_cast<VirtAddr>(t) * 0x1'0000'0000ull;
+    return VirtAddr{0x10'0000'0000ull} + t * 0x1'0000'0000ull;
 }
 
 /** Scaled page count (minimum 16 to keep generators sane). */
@@ -126,8 +126,7 @@ npbFtThread(const WorkloadScale &s, unsigned t, std::uint64_t seed)
         // Each transpose stream reads a distant row band: streams live
         // in separate address subspaces, so they cluster into separate
         // STT entries (Δ_stream = 64) rather than one mixed pattern.
-        p.base = threadBase(t) +
-                 (static_cast<VirtAddr>(k) * 0x1000'0000ull);
+        p.base = threadBase(t) + k * 0x1000'0000ull;
         p.pages = visits;
         p.pageStride = static_cast<std::int64_t>(stride);
         p.linesPerPage = 64;
@@ -254,8 +253,7 @@ sparkKmeansThread(const WorkloadScale &s, unsigned t, std::uint64_t seed)
     unsigned n_stages = it(s, 4);
     std::uint64_t area = sp(s, 512); // fresh area per stage
     for (unsigned st = 0; st < n_stages; ++st) {
-        VirtAddr base =
-            threadBase(t) + static_cast<VirtAddr>(st) * (area << pageShift);
+        VirtAddr base = threadBase(t) + st * (area * pageBytes);
         std::vector<GeneratorPtr> subs;
         SequentialScan::Params scan;
         scan.base = base;

@@ -24,7 +24,7 @@ namespace hopp::workloads
 /** One application memory access. */
 struct Access
 {
-    VirtAddr va = 0;
+    VirtAddr va;
     bool write = false;
 };
 

@@ -26,7 +26,7 @@ SequentialScan::next(Access &out)
         return false;
     std::uint64_t idx = p_.backward ? visits_ - 1 - visit_ : visit_;
     std::int64_t page_off = static_cast<std::int64_t>(idx) * p_.pageStride;
-    out.va = p_.base + (static_cast<std::uint64_t>(page_off) << pageShift) +
+    out.va = p_.base + static_cast<std::uint64_t>(page_off) * pageBytes +
              static_cast<std::uint64_t>(line_) * lineBytes;
     out.write = p_.write;
     if (++line_ >= p_.linesPerPage) {
@@ -63,7 +63,7 @@ LadderGen::next(Access &out)
         offset = page_ < evens ? page_ * 2 : (page_ - evens) * 2 + 1;
     }
     std::uint64_t page = tread_ * p_.risePages + offset;
-    out.va = p_.base + (page << pageShift) +
+    out.va = p_.base + page * pageBytes +
              static_cast<std::uint64_t>(line_) * lineBytes;
     out.write = false;
     if (++line_ >= p_.linesPerPage) {
@@ -100,7 +100,7 @@ RippleGen::next(Access &out)
     std::int64_t page = static_cast<std::int64_t>(front_) + pendingHop_;
     page = std::clamp<std::int64_t>(
         page, 0, static_cast<std::int64_t>(p_.pages) - 1);
-    out.va = p_.base + (static_cast<std::uint64_t>(page) << pageShift) +
+    out.va = p_.base + static_cast<std::uint64_t>(page) * pageBytes +
              static_cast<std::uint64_t>(line_) * lineBytes;
     out.write = false;
     if (++line_ >= p_.linesPerPage) {
@@ -149,7 +149,7 @@ GatherGen::next(Access &out)
     if (gatherDebt_ >= 1.0) {
         gatherDebt_ -= 1.0;
         std::uint64_t tp = zipf_.sample(rng_);
-        out.va = p_.targetBase + (tp << pageShift) +
+        out.va = p_.targetBase + tp * pageBytes +
                  rng_.below(static_cast<std::uint32_t>(linesPerPage)) *
                      lineBytes;
         out.write = false;
@@ -164,7 +164,7 @@ GatherGen::next(Access &out)
         rng_ = Pcg32(p_.seed);
         pendingReset_ = false;
     }
-    out.va = p_.seqBase + (page_ << pageShift) +
+    out.va = p_.seqBase + page_ * pageBytes +
              static_cast<std::uint64_t>(line_) * lineBytes;
     out.write = false;
     gatherDebt_ += p_.gatherPerLine;
@@ -206,7 +206,7 @@ HotColdGen::next(Access &out)
         return false;
     if (line_ == 0)
         page_ = zipf_.sample(rng_);
-    out.va = p_.base + (page_ << pageShift) +
+    out.va = p_.base + page_ * pageBytes +
              static_cast<std::uint64_t>(line_) * lineBytes;
     out.write = false;
     if (++line_ >= p_.linesPerVisit) {
@@ -266,7 +266,7 @@ ShortRunsGen::next(Access &out)
             return false;
         startRun();
     }
-    out.va = p_.base + ((runStart_ + page_) << pageShift) +
+    out.va = p_.base + (runStart_ + page_) * pageBytes +
              static_cast<std::uint64_t>(line_) * lineBytes;
     out.write = false;
     if (++line_ >= p_.linesPerPage) {
@@ -317,7 +317,7 @@ PermutationGen::next(Access &out)
     if (pass_ >= p_.passes)
         return false;
     out.va = p_.base +
-             (static_cast<std::uint64_t>(order_[idx_]) << pageShift) +
+             static_cast<std::uint64_t>(order_[idx_]) * pageBytes +
              static_cast<std::uint64_t>(line_) * lineBytes;
     out.write = false;
     if (++line_ >= p_.linesPerPage) {
@@ -358,7 +358,7 @@ QuicksortGen::next(Access &out)
 {
     for (;;) {
         if (scanning_) {
-            out.va = p_.base + (scanPage_ << pageShift) +
+            out.va = p_.base + scanPage_ * pageBytes +
                      static_cast<std::uint64_t>(line_) * lineBytes;
             out.write = false;
             if (++line_ >= p_.linesPerPage) {
@@ -370,7 +370,7 @@ QuicksortGen::next(Access &out)
         }
         if (partitioning_) {
             std::uint64_t page = fromLeft_ ? left_ : right_ - 1;
-            out.va = p_.base + (page << pageShift) +
+            out.va = p_.base + page * pageBytes +
                      static_cast<std::uint64_t>(line_) * lineBytes;
             out.write = (line_ & 3) == 3; // some swaps write back
             if (++line_ >= p_.linesPerPage) {

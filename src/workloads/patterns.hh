@@ -31,7 +31,7 @@ class SequentialScan : public AccessGenerator
   public:
     struct Params
     {
-        VirtAddr base = 0;
+        VirtAddr base;
         std::uint64_t pages = 1;      //!< region length in pages
         std::int64_t pageStride = 1;  //!< stride between visited pages
         unsigned linesPerPage = 64;   //!< lines touched per page visit
@@ -63,7 +63,7 @@ class LadderGen : public AccessGenerator
   public:
     struct Params
     {
-        VirtAddr base = 0;
+        VirtAddr base;
         std::uint64_t treadPages = 4;  //!< pages touched per tread
         std::uint64_t risePages = 32;  //!< page distance between treads
         std::uint64_t treads = 16;     //!< treads per pass
@@ -87,6 +87,7 @@ class LadderGen : public AccessGenerator
   private:
     Params p_;
     std::uint64_t tread_ = 0;
+    // Footprint-relative page cursor, not a VPN. hopp-lint: allow(raw-int-addr)
     std::uint64_t page_ = 0;
     unsigned line_ = 0;
     unsigned pass_ = 0;
@@ -102,7 +103,7 @@ class RippleGen : public AccessGenerator
   public:
     struct Params
     {
-        VirtAddr base = 0;
+        VirtAddr base;
         std::uint64_t pages = 64;
         unsigned linesPerPage = 16;
         unsigned passes = 1;
@@ -137,10 +138,10 @@ class GatherGen : public AccessGenerator
   public:
     struct Params
     {
-        VirtAddr seqBase = 0;
+        VirtAddr seqBase;
         std::uint64_t seqPages = 64;
         unsigned seqLinesPerPage = 64;
-        VirtAddr targetBase = 0;
+        VirtAddr targetBase;
         std::uint64_t targetPages = 64;
         /** Gather accesses per sequential line access. */
         double gatherPerLine = 0.5;
@@ -166,6 +167,7 @@ class GatherGen : public AccessGenerator
     Params p_;
     Pcg32 rng_;
     ZipfSampler zipf_;
+    // Footprint-relative page cursor, not a VPN. hopp-lint: allow(raw-int-addr)
     std::uint64_t page_ = 0;
     unsigned line_ = 0;
     unsigned pass_ = 0;
@@ -183,7 +185,7 @@ class HotColdGen : public AccessGenerator
   public:
     struct Params
     {
-        VirtAddr base = 0;
+        VirtAddr base;
         std::uint64_t pages = 64;
         std::uint64_t accesses = 1024;
         double zipfTheta = 0.9;
@@ -201,6 +203,7 @@ class HotColdGen : public AccessGenerator
     Pcg32 rng_;
     ZipfSampler zipf_;
     std::uint64_t count_ = 0;
+    // Footprint-relative page cursor, not a VPN. hopp-lint: allow(raw-int-addr)
     std::uint64_t page_ = 0;
     unsigned line_ = 0;
 };
@@ -215,7 +218,7 @@ class ShortRunsGen : public AccessGenerator
   public:
     struct Params
     {
-        VirtAddr base = 0;
+        VirtAddr base;
         std::uint64_t pages = 256;
         std::uint64_t runs = 64;
         std::uint64_t runPagesMin = 4;
@@ -249,6 +252,7 @@ class ShortRunsGen : public AccessGenerator
     std::uint64_t run_ = 0;
     std::uint64_t runStart_ = 0;
     std::uint64_t runLen_ = 0;
+    // Footprint-relative page cursor, not a VPN. hopp-lint: allow(raw-int-addr)
     std::uint64_t page_ = 0;
     unsigned line_ = 0;
     bool inGc_ = false;
@@ -267,7 +271,7 @@ class PermutationGen : public AccessGenerator
   public:
     struct Params
     {
-        VirtAddr base = 0;
+        VirtAddr base;
         std::uint64_t pages = 256;
         unsigned linesPerPage = 48;
         unsigned passes = 1;
@@ -296,7 +300,7 @@ class QuicksortGen : public AccessGenerator
   public:
     struct Params
     {
-        VirtAddr base = 0;
+        VirtAddr base;
         std::uint64_t pages = 256;
         std::uint64_t cutoffPages = 8; //!< switch to sequential below
         unsigned linesPerPage = 64;
@@ -328,6 +332,7 @@ class QuicksortGen : public AccessGenerator
     unsigned line_ = 0;
     // Sequential (cutoff) state
     bool scanning_ = false;
+    // Footprint-relative scan cursor, not a VPN. hopp-lint: allow(raw-int-addr)
     std::uint64_t scanPage_ = 0, scanEnd_ = 0;
     Range cur_{0, 0};
 };

@@ -33,4 +33,14 @@ struct CleanFixture
         (void)t0;
         return sum;
     }
+
+    unsigned long long
+    serialize(Vpn vpn)
+    {
+        // Serialization boundary: the record layout is defined in raw
+        // page numbers, so unwrapping here is the point.
+        auto packed = vpn.raw(); // hopp-lint: allow(raw)
+        // Wire format packs the page number into the address field.
+        return packed << pageShift; // hopp-lint: allow(page-shift)
+    }
 };

@@ -47,4 +47,12 @@ struct Fixture
         (void)cpu;
         (void)x;
     }
+
+    unsigned long long
+    typeDiscipline(Tick tick, unsigned long long addr)
+    {
+        auto vpn = addr >> pageShift;      // hopp-lint-expect(page-shift)
+        auto base = vpn << pageShift;      // hopp-lint-expect(page-shift)
+        return base + tick.raw();          // hopp-lint-expect(raw)
+    }
 };

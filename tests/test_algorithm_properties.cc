@@ -27,16 +27,14 @@ struct ViewHolder
 
     explicit ViewHolder(std::vector<Vpn> seq) : vpns(std::move(seq))
     {
-        for (std::size_t i = 1; i < vpns.size(); ++i) {
-            strides.push_back(static_cast<std::int64_t>(vpns[i]) -
-                              static_cast<std::int64_t>(vpns[i - 1]));
-        }
+        for (std::size_t i = 1; i < vpns.size(); ++i)
+            strides.push_back(signedDelta(vpns[i - 1], vpns[i]));
     }
 
     StreamView
     view() const
     {
-        return StreamView{1, 7, 1000, &vpns, &strides};
+        return StreamView{Pid{1}, 7, 1000, &vpns, &strides};
     }
 };
 
@@ -54,7 +52,8 @@ randomLadder(Pcg32 &rng, unsigned n)
         std::swap(offs[i], offs[rng.below(i + 1)]);
     std::vector<Vpn> v;
     for (unsigned i = 0; i < n; ++i)
-        v.push_back(1000 + (i / tread) * rise + offs[i % tread]);
+        v.push_back(Vpn{1000ull + (i / tread) * rise +
+                        offs[i % tread]});
     return v;
 }
 
@@ -73,11 +72,11 @@ TEST_P(AlgoFuzz, SimpleStreamPredictionsAreOnTheStream)
             static_cast<std::int64_t>(rng_.below(64)) - 32;
         if (stride == 0)
             stride = 1;
-        Vpn base = 100000 + rng_.below(1000);
+        Vpn base{100000ull + rng_.below(1000)};
         std::vector<Vpn> seq;
         for (unsigned i = 0; i < 16; ++i)
-            seq.push_back(static_cast<Vpn>(
-                static_cast<std::int64_t>(base) + stride * i));
+            seq.push_back(
+                offsetBy(base, stride * static_cast<std::int64_t>(i)));
         ViewHolder h(seq);
         auto p = runSsp(h.view());
         ASSERT_TRUE(p.has_value());
@@ -86,8 +85,7 @@ TEST_P(AlgoFuzz, SimpleStreamPredictionsAreOnTheStream)
             if (!t)
                 continue;
             // Target must be a future member of the arithmetic stream.
-            std::int64_t delta = static_cast<std::int64_t>(*t) -
-                                 static_cast<std::int64_t>(seq.back());
+            std::int64_t delta = signedDelta(seq.back(), *t);
             ASSERT_EQ(delta % stride, 0);
             ASSERT_GT(delta / stride, 0);
         }
@@ -139,7 +137,7 @@ TEST_P(AlgoFuzz, RippleIdentificationRobustToBoundedJitter)
                 rng_.chance(0.35)
                     ? static_cast<std::int64_t>(rng_.below(3)) - 1
                     : 0;
-            seq.push_back(static_cast<Vpn>(front + jitter));
+            seq.push_back(Vpn{static_cast<std::uint64_t>(front + jitter)});
             ++front;
         }
         ViewHolder h(seq);
@@ -156,7 +154,7 @@ TEST_P(AlgoFuzz, PureNoiseIsMostlyRejected)
     for (int round = 0; round < 200; ++round) {
         std::vector<Vpn> seq;
         for (unsigned i = 0; i < 16; ++i)
-            seq.push_back(rng_.below64(1u << 20));
+            seq.push_back(Vpn{rng_.below64(1u << 20)});
         ViewHolder h(seq);
         accepted += runThreeTier(h.view()).has_value();
     }

@@ -26,16 +26,14 @@ struct ViewHolder
 
     explicit ViewHolder(std::vector<Vpn> seq) : vpns(std::move(seq))
     {
-        for (std::size_t i = 1; i < vpns.size(); ++i) {
-            strides.push_back(static_cast<std::int64_t>(vpns[i]) -
-                              static_cast<std::int64_t>(vpns[i - 1]));
-        }
+        for (std::size_t i = 1; i < vpns.size(); ++i)
+            strides.push_back(signedDelta(vpns[i - 1], vpns[i]));
     }
 
     StreamView
     view() const
     {
-        return StreamView{1, 7, 100, &vpns, &strides};
+        return StreamView{Pid{1}, 7, 100, &vpns, &strides};
     }
 };
 
@@ -45,8 +43,7 @@ arith(Vpn base, std::int64_t stride, unsigned n = 16)
 {
     std::vector<Vpn> v;
     for (unsigned i = 0; i < n; ++i)
-        v.push_back(static_cast<Vpn>(
-            static_cast<std::int64_t>(base) + stride * i));
+        v.push_back(offsetBy(base, stride * static_cast<std::int64_t>(i)));
     return v;
 }
 
@@ -65,11 +62,21 @@ ladder(Vpn base, unsigned rise, unsigned n = 16)
     return v;
 }
 
+/** Vpn vector from plain page numbers (test shorthand). */
+std::vector<Vpn>
+vpnsOf(std::initializer_list<std::uint64_t> xs)
+{
+    std::vector<Vpn> v;
+    for (auto x : xs)
+        v.push_back(Vpn{x});
+    return v;
+}
+
 } // namespace
 
 TEST(Ssp, DetectsDominantStride)
 {
-    ViewHolder h(arith(100, 3));
+    ViewHolder h(arith(Vpn{100}, 3));
     auto p = runSsp(h.view());
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->tier, Tier::Ssp);
@@ -81,7 +88,7 @@ TEST(Ssp, DetectsDominantStride)
 
 TEST(Ssp, DetectsNegativeStride)
 {
-    ViewHolder h(arith(1000, -2));
+    ViewHolder h(arith(Vpn{1000}, -2));
     auto p = runSsp(h.view());
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->step, -2);
@@ -91,8 +98,8 @@ TEST(Ssp, DetectsNegativeStride)
 TEST(Ssp, MajorityWithNoiseStillDetected)
 {
     // 10 of 15 strides are +1: dominant (>= L/2 = 8).
-    std::vector<Vpn> seq{0,  1,  2,  3,  4,  40, 41, 42,
-                         43, 44, 45, 46, 47, 48, 49, 50};
+    auto seq = vpnsOf({0,  1,  2,  3,  4,  40, 41, 42,
+                       43, 44, 45, 46, 47, 48, 49, 50});
     ViewHolder h(seq);
     auto p = runSsp(h.view());
     ASSERT_TRUE(p.has_value());
@@ -103,7 +110,7 @@ TEST(Ssp, NoDominantStrideFails)
 {
     // Cross-stream ladder: strides cycle (+2, -1, +14), 5 occurrences
     // each in a 15-stride history — none reaches the L/2 = 8 majority.
-    ViewHolder h(ladder(0, 16));
+    ViewHolder h(ladder(Vpn{0}, 16));
     EXPECT_FALSE(runSsp(h.view()).has_value());
 }
 
@@ -114,7 +121,7 @@ TEST(Ssp, ExactlyHalfCountsAsDominant)
     // 15-stride history, so SSP *does* claim it.
     std::vector<Vpn> v;
     for (unsigned i = 0; i < 16; ++i)
-        v.push_back((i / 2) * 16 + i % 2);
+        v.push_back(Vpn{(i / 2) * 16ull + i % 2});
     ViewHolder h(v);
     auto p = runSsp(h.view());
     ASSERT_TRUE(p.has_value());
@@ -123,7 +130,7 @@ TEST(Ssp, ExactlyHalfCountsAsDominant)
 
 TEST(Ssp, UnderflowTargetIsNull)
 {
-    ViewHolder h(arith(30, -2));
+    ViewHolder h(arith(Vpn{30}, -2));
     auto p = runSsp(h.view());
     ASSERT_TRUE(p.has_value());
     EXPECT_FALSE(p->target(10).has_value()); // 0 - 2*... < 0
@@ -135,7 +142,7 @@ TEST(Lsp, DetectsLadderRepetition)
     // repeats every tread. The stride after each occurrence is +2 and
     // occurrences are 16 pages apart, so LSP predicts vpnA + 2 and
     // then +16 per repetition — exactly the future pages.
-    auto seq = ladder(0, 16, 64);
+    auto seq = ladder(Vpn{0}, 16, 64);
     ViewHolder h({seq.begin(), seq.begin() + 16});
     auto p = runLsp(h.view());
     ASSERT_TRUE(p.has_value());
@@ -152,10 +159,10 @@ TEST(Lsp, NoRepetitionFails)
 {
     // Strictly increasing strides: no pattern pair ever repeats.
     std::vector<Vpn> seq;
-    Vpn cur = 0;
+    Vpn cur{};
     for (int i = 0; i < 16; ++i) {
         seq.push_back(cur);
-        cur += 3 + static_cast<Vpn>(i);
+        cur += 3 + static_cast<std::uint64_t>(i);
     }
     ViewHolder h(seq);
     EXPECT_FALSE(runLsp(h.view()).has_value());
@@ -165,7 +172,7 @@ TEST(Lsp, WindowAlignmentStillPredictsFuturePages)
 {
     // Same ladder, but the window ends mid-tread: whatever the target
     // pattern alignment, predicted pages must lie in the future.
-    auto seq = ladder(0, 16, 64);
+    auto seq = ladder(Vpn{0}, 16, 64);
     for (unsigned start = 0; start < 3; ++start) {
         ViewHolder h({seq.begin() + start, seq.begin() + start + 16});
         auto p = runLsp(h.view());
@@ -178,7 +185,7 @@ TEST(Lsp, WindowAlignmentStillPredictsFuturePages)
 
 TEST(Rsp, DetectsPureSequential)
 {
-    ViewHolder h(arith(10, 1));
+    ViewHolder h(arith(Vpn{10}, 1));
     auto p = runRsp(h.view());
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->tier, Tier::Rsp);
@@ -189,8 +196,8 @@ TEST(Rsp, DetectsPureSequential)
 TEST(Rsp, DetectsRippleWithOutOfOrderHops)
 {
     // Net stride-1 progress with +/-2 excursions that cancel out.
-    std::vector<Vpn> seq{100, 102, 101, 103, 102, 104, 103, 105,
-                         104, 106, 105, 107, 106, 108, 107, 109};
+    auto seq = vpnsOf({100, 102, 101, 103, 102, 104, 103, 105,
+                       104, 106, 105, 107, 106, 108, 107, 109});
     ViewHolder h(seq);
     auto p = runRsp(h.view());
     ASSERT_TRUE(p.has_value());
@@ -199,21 +206,21 @@ TEST(Rsp, DetectsRippleWithOutOfOrderHops)
 
 TEST(Rsp, RejectsLargeStrideStream)
 {
-    ViewHolder h(arith(0, 16));
+    ViewHolder h(arith(Vpn{0}, 16));
     EXPECT_FALSE(runRsp(h.view()).has_value());
 }
 
 TEST(Rsp, RejectsRandomJumps)
 {
-    std::vector<Vpn> seq{0,   900, 13,  700, 45,  333, 801, 99,
-                         555, 222, 777, 31,  650, 480, 12,  999};
+    auto seq = vpnsOf({0,   900, 13,  700, 45,  333, 801, 99,
+                       555, 222, 777, 31,  650, 480, 12,  999});
     ViewHolder h(seq);
     EXPECT_FALSE(runRsp(h.view()).has_value());
 }
 
 TEST(ThreeTier, SspWinsOverRspForSimpleStream)
 {
-    ViewHolder h(arith(0, 1));
+    ViewHolder h(arith(Vpn{0}, 1));
     auto p = runThreeTier(h.view());
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->tier, Tier::Ssp);
@@ -221,7 +228,7 @@ TEST(ThreeTier, SspWinsOverRspForSimpleStream)
 
 TEST(ThreeTier, LadderFallsThroughToLsp)
 {
-    ViewHolder h(ladder(0, 16));
+    ViewHolder h(ladder(Vpn{0}, 16));
     auto p = runThreeTier(h.view());
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->tier, Tier::Lsp);
@@ -229,11 +236,11 @@ TEST(ThreeTier, LadderFallsThroughToLsp)
 
 TEST(ThreeTier, MaskDisablesTiers)
 {
-    ViewHolder h(ladder(0, 16));
+    ViewHolder h(ladder(Vpn{0}, 16));
     EXPECT_FALSE(runThreeTier(h.view(), tiers::ssp).has_value());
     EXPECT_TRUE(runThreeTier(h.view(), tiers::ssp | tiers::lsp)
                     .has_value());
-    ViewHolder seq(arith(0, 1));
+    ViewHolder seq(arith(Vpn{0}, 1));
     auto p = runThreeTier(seq.view(), tiers::rsp);
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->tier, Tier::Rsp);
@@ -241,8 +248,8 @@ TEST(ThreeTier, MaskDisablesTiers)
 
 TEST(ThreeTier, NothingMatchesRandom)
 {
-    std::vector<Vpn> seq{0,   900, 13,  700, 45,  333, 801, 99,
-                         555, 222, 777, 31,  650, 480, 12,  999};
+    auto seq = vpnsOf({0,   900, 13,  700, 45,  333, 801, 99,
+                       555, 222, 777, 31,  650, 480, 12,  999});
     ViewHolder h(seq);
     EXPECT_FALSE(runThreeTier(h.view()).has_value());
 }

@@ -14,7 +14,7 @@ using namespace hopp::vm;
 
 TEST(Cgroup, ChargeUnchargeTracksCount)
 {
-    Cgroup cg(1, 4);
+    Cgroup cg(Pid{1}, 4);
     EXPECT_EQ(cg.charged(), 0u);
     cg.charge();
     cg.charge();
@@ -29,96 +29,97 @@ TEST(Cgroup, ChargeUnchargeTracksCount)
 
 TEST(CgroupDeath, ChargeBeyondLimitPanics)
 {
-    Cgroup cg(1, 1);
+    Cgroup cg(Pid{1}, 1);
     cg.charge();
     EXPECT_DEATH(cg.charge(), "beyond");
 }
 
 TEST(CgroupDeath, UnchargeBelowZeroPanics)
 {
-    Cgroup cg(1, 1);
+    Cgroup cg(Pid{1}, 1);
     EXPECT_DEATH(cg.uncharge(), "below zero");
 }
 
 TEST(Cgroup, LruInsertVictimOrder)
 {
-    Cgroup cg(1, 8);
+    Cgroup cg(Pid{1}, 8);
     PageInfo a, b, c;
-    cg.lruInsert(pageKey(1, 10), a);
-    cg.lruInsert(pageKey(1, 11), b);
-    cg.lruInsert(pageKey(1, 12), c);
+    cg.lruInsert(pageKey(Pid{1}, Vpn{10}), a);
+    cg.lruInsert(pageKey(Pid{1}, Vpn{11}), b);
+    cg.lruInsert(pageKey(Pid{1}, Vpn{12}), c);
     EXPECT_EQ(cg.lruSize(), 3u);
-    EXPECT_EQ(cg.lruVictim(), pageKey(1, 10)); // oldest
+    EXPECT_EQ(cg.lruVictim(), pageKey(Pid{1}, Vpn{10})); // oldest
 }
 
 TEST(Cgroup, LruRotateMovesToMru)
 {
-    Cgroup cg(1, 8);
+    Cgroup cg(Pid{1}, 8);
     PageInfo a, b;
-    cg.lruInsert(pageKey(1, 10), a);
-    cg.lruInsert(pageKey(1, 11), b);
+    cg.lruInsert(pageKey(Pid{1}, Vpn{10}), a);
+    cg.lruInsert(pageKey(Pid{1}, Vpn{11}), b);
     cg.lruRotate(a); // 10 becomes MRU
-    EXPECT_EQ(cg.lruVictim(), pageKey(1, 11));
+    EXPECT_EQ(cg.lruVictim(), pageKey(Pid{1}, Vpn{11}));
 }
 
 TEST(Cgroup, LruRemoveClearsMembership)
 {
-    Cgroup cg(1, 8);
+    Cgroup cg(Pid{1}, 8);
     PageInfo a, b;
-    cg.lruInsert(pageKey(1, 10), a);
-    cg.lruInsert(pageKey(1, 11), b);
+    cg.lruInsert(pageKey(Pid{1}, Vpn{10}), a);
+    cg.lruInsert(pageKey(Pid{1}, Vpn{11}), b);
     cg.lruRemove(a);
     EXPECT_FALSE(a.inLru);
     EXPECT_EQ(cg.lruSize(), 1u);
-    EXPECT_EQ(cg.lruVictim(), pageKey(1, 11));
+    EXPECT_EQ(cg.lruVictim(), pageKey(Pid{1}, Vpn{11}));
 }
 
 TEST(CgroupDeath, DoubleInsertPanics)
 {
-    Cgroup cg(1, 8);
+    Cgroup cg(Pid{1}, 8);
     PageInfo a;
-    cg.lruInsert(pageKey(1, 10), a);
-    EXPECT_DEATH(cg.lruInsert(pageKey(1, 10), a), "already");
+    cg.lruInsert(pageKey(Pid{1}, Vpn{10}), a);
+    EXPECT_DEATH(cg.lruInsert(pageKey(Pid{1}, Vpn{10}), a), "already");
 }
 
 TEST(PageKey, RoundTripsPidAndVpn)
 {
-    std::uint64_t k = pageKey(0xBEEF, 0xABCDEF123456ull);
-    EXPECT_EQ(keyPid(k), 0xBEEF);
-    EXPECT_EQ(keyVpn(k), 0xABCDEF123456ull);
+    std::uint64_t k = pageKey(Pid{0xBEEF}, Vpn{0xABCDEF123456ull});
+    EXPECT_EQ(keyPid(k), Pid{0xBEEF});
+    EXPECT_EQ(keyVpn(k), Vpn{0xABCDEF123456ull});
 }
 
 TEST(PageTable, GetCreatesUntouched)
 {
     PageTable pt;
-    PageInfo &pi = pt.get(1, 42);
+    PageInfo &pi = pt.get(Pid{1}, Vpn{42});
     EXPECT_EQ(pi.state, PageState::Untouched);
     EXPECT_EQ(pt.size(), 1u);
-    EXPECT_EQ(pt.find(1, 42), &pi);
-    EXPECT_EQ(pt.find(1, 43), nullptr);
+    EXPECT_EQ(pt.find(Pid{1}, Vpn{42}), &pi);
+    EXPECT_EQ(pt.find(Pid{1}, Vpn{43}), nullptr);
 }
 
 TEST(PageTable, PresentOnlyForResident)
 {
     PageTable pt;
-    PageInfo &pi = pt.get(1, 42);
-    EXPECT_FALSE(pt.present(1, 42));
+    PageInfo &pi = pt.get(Pid{1}, Vpn{42});
+    EXPECT_FALSE(pt.present(Pid{1}, Vpn{42}));
     pi.state = PageState::Resident;
-    EXPECT_TRUE(pt.present(1, 42));
+    EXPECT_TRUE(pt.present(Pid{1}, Vpn{42}));
     pi.state = PageState::SwapCached;
-    EXPECT_FALSE(pt.present(1, 42));
+    EXPECT_FALSE(pt.present(Pid{1}, Vpn{42}));
 }
 
 TEST(PageTable, ForEachPresentVisitsOnlyMapped)
 {
     PageTable pt;
-    pt.get(1, 1).state = PageState::Resident;
-    pt.get(1, 2).state = PageState::Swapped;
-    pt.get(2, 3).state = PageState::Resident;
+    pt.get(Pid{1}, Vpn{1}).state = PageState::Resident;
+    pt.get(Pid{1}, Vpn{2}).state = PageState::Swapped;
+    pt.get(Pid{2}, Vpn{3}).state = PageState::Resident;
     int visits = 0;
     pt.forEachPresent([&](Pid pid, Vpn vpn, const PageInfo &) {
         ++visits;
-        EXPECT_TRUE((pid == 1 && vpn == 1) || (pid == 2 && vpn == 3));
+        EXPECT_TRUE((pid == Pid{1} && vpn == Vpn{1}) ||
+                    (pid == Pid{2} && vpn == Vpn{3}));
     });
     EXPECT_EQ(visits, 2);
 }
@@ -126,9 +127,9 @@ TEST(PageTable, ForEachPresentVisitsOnlyMapped)
 TEST(PageTable, CountStateTallies)
 {
     PageTable pt;
-    pt.get(1, 1).state = PageState::Resident;
-    pt.get(1, 2).state = PageState::Resident;
-    pt.get(1, 3).state = PageState::Swapped;
+    pt.get(Pid{1}, Vpn{1}).state = PageState::Resident;
+    pt.get(Pid{1}, Vpn{2}).state = PageState::Resident;
+    pt.get(Pid{1}, Vpn{3}).state = PageState::Swapped;
     EXPECT_EQ(pt.countState(PageState::Resident), 2u);
     EXPECT_EQ(pt.countState(PageState::Swapped), 1u);
     EXPECT_EQ(pt.countState(PageState::Untouched), 0u);

@@ -38,8 +38,8 @@ TEST(Channels, SingleChannelRoutesEverythingToChannelZero)
                                           {0.08, 0.25}));
     m.run();
     auto *h = m.hoppSystem();
-    EXPECT_EQ(h->channelOf(0x0), 0u);
-    EXPECT_EQ(h->channelOf(0xFFFFFF), 0u);
+    EXPECT_EQ(h->channelOf(PhysAddr{0x0}), 0u);
+    EXPECT_EQ(h->channelOf(PhysAddr{0xFFFFFF}), 0u);
     EXPECT_GT(h->hpd(0).stats().reads, 0u);
 }
 
@@ -52,10 +52,10 @@ TEST(Channels, InterleavedRoutingIsLineGranular)
     auto *h = m.hoppSystem();
     // Consecutive lines round-robin channels.
     for (unsigned i = 0; i < 8; ++i)
-        EXPECT_EQ(h->channelOf(i * lineBytes), i % 4);
+        EXPECT_EQ(h->channelOf(PhysAddr{i * lineBytes}), i % 4);
     // Lines of one page spread over all channels.
-    EXPECT_NE(h->channelOf(pageBase(5)),
-              h->channelOf(pageBase(5) + lineBytes));
+    EXPECT_NE(h->channelOf(pageBase(Ppn{5})),
+              h->channelOf(pageBase(Ppn{5}) + lineBytes));
 }
 
 TEST(Channels, NonInterleavedRoutingIsPageGranular)
@@ -66,10 +66,10 @@ TEST(Channels, NonInterleavedRoutingIsPageGranular)
     m.prepare();
     auto *h = m.hoppSystem();
     for (unsigned line = 0; line < 64; ++line) {
-        EXPECT_EQ(h->channelOf(pageBase(5) + line * lineBytes),
-                  h->channelOf(pageBase(5)));
+        EXPECT_EQ(h->channelOf(pageBase(Ppn{5}) + line * lineBytes),
+                  h->channelOf(pageBase(Ppn{5})));
     }
-    EXPECT_NE(h->channelOf(pageBase(4)), h->channelOf(pageBase(5)));
+    EXPECT_NE(h->channelOf(pageBase(Ppn{4})), h->channelOf(pageBase(Ppn{5})));
 }
 
 TEST(Channels, InterleavedScalesThresholdDown)

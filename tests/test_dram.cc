@@ -23,7 +23,7 @@ TEST(Dram, AllocateAllFramesThenExhausted)
     EXPECT_EQ(seen.size(), 4u);
     EXPECT_TRUE(dram.exhausted());
     EXPECT_EQ(dram.usedFrames(), 4u);
-    EXPECT_EQ(seen.count(0), 0u) << "PPN 0 must stay reserved";
+    EXPECT_EQ(seen.count(Ppn{}), 0u) << "PPN 0 must stay reserved";
 }
 
 TEST(Dram, ReleaseMakesFrameReusable)
@@ -87,16 +87,16 @@ TEST(MemCtrl, ObserversSeeReadsAndWritesWithFlags)
     RecordingObserver obs;
     mc.attach(&obs);
 
-    mc.demandRead(0x1040, 100);
-    mc.writeback(0x2000, 200);
-    mc.pageDma(7, 300);
+    mc.demandRead(PhysAddr{0x1040}, Tick{100});
+    mc.writeback(PhysAddr{0x2000}, Tick{200});
+    mc.pageDma(Ppn{7}, Tick{300});
 
     ASSERT_EQ(obs.events.size(), 3u);
     EXPECT_EQ(obs.events[0], std::make_tuple(PhysAddr{0x1040}, false,
                                              Tick{100}));
     EXPECT_EQ(obs.events[1], std::make_tuple(PhysAddr{0x2000}, true,
                                              Tick{200}));
-    EXPECT_EQ(std::get<0>(obs.events[2]), pageBase(7));
+    EXPECT_EQ(std::get<0>(obs.events[2]), pageBase(Ppn{7}));
     EXPECT_TRUE(std::get<1>(obs.events[2]));
 }
 
@@ -104,9 +104,9 @@ TEST(MemCtrl, TrafficChargedToRightSources)
 {
     Dram dram(8);
     MemCtrl mc(dram);
-    mc.demandRead(0, 0);
-    mc.writeback(64, 0);
-    mc.pageDma(3, 0);
+    mc.demandRead(PhysAddr{}, Tick{});
+    mc.writeback(PhysAddr{64}, Tick{});
+    mc.pageDma(Ppn{3}, Tick{});
     EXPECT_EQ(dram.traffic(TrafficSource::AppRead), lineBytes);
     EXPECT_EQ(dram.traffic(TrafficSource::AppWrite), lineBytes);
     EXPECT_EQ(dram.traffic(TrafficSource::PageTransfer), pageBytes);
@@ -118,8 +118,8 @@ TEST(MemCtrl, DetachStopsCallbacks)
     MemCtrl mc(dram);
     RecordingObserver obs;
     mc.attach(&obs);
-    mc.demandRead(0, 0);
+    mc.demandRead(PhysAddr{}, Tick{});
     mc.detach(&obs);
-    mc.demandRead(64, 0);
+    mc.demandRead(PhysAddr{64}, Tick{});
     EXPECT_EQ(obs.events.size(), 1u);
 }

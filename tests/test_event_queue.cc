@@ -17,7 +17,7 @@ TEST(EventQueue, StartsEmptyAtTickZero)
 {
     EventQueue eq;
     EXPECT_TRUE(eq.empty());
-    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.now(), Tick{});
     EXPECT_EQ(eq.nextTime(), maxTick);
     EXPECT_FALSE(eq.runOne());
 }
@@ -26,12 +26,12 @@ TEST(EventQueue, RunsEventsInTimeOrder)
 {
     EventQueue eq;
     std::vector<int> order;
-    eq.schedule(30, [&] { order.push_back(3); });
-    eq.schedule(10, [&] { order.push_back(1); });
-    eq.schedule(20, [&] { order.push_back(2); });
+    eq.schedule(Tick{30}, [&] { order.push_back(3); });
+    eq.schedule(Tick{10}, [&] { order.push_back(1); });
+    eq.schedule(Tick{20}, [&] { order.push_back(2); });
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.now(), Tick{30});
 }
 
 TEST(EventQueue, SameTickEventsRunFifo)
@@ -39,7 +39,7 @@ TEST(EventQueue, SameTickEventsRunFifo)
     EventQueue eq;
     std::vector<int> order;
     for (int i = 0; i < 8; ++i)
-        eq.schedule(5, [&order, i] { order.push_back(i); });
+        eq.schedule(Tick{5}, [&order, i] { order.push_back(i); });
     eq.run();
     for (int i = 0; i < 8; ++i)
         EXPECT_EQ(order[i], i);
@@ -49,25 +49,25 @@ TEST(EventQueue, EventsMayScheduleMoreEvents)
 {
     EventQueue eq;
     int fired = 0;
-    eq.schedule(1, [&] {
+    eq.schedule(Tick{1}, [&] {
         ++fired;
         eq.scheduleIn(1, [&] { ++fired; });
     });
     eq.run();
     EXPECT_EQ(fired, 2);
-    EXPECT_EQ(eq.now(), 2u);
+    EXPECT_EQ(eq.now(), Tick{2});
 }
 
 TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
 {
     EventQueue eq;
     int fired = 0;
-    eq.schedule(10, [&] { ++fired; });
-    eq.schedule(20, [&] { ++fired; });
-    eq.schedule(21, [&] { ++fired; });
-    EXPECT_EQ(eq.runUntil(20), 2u);
+    eq.schedule(Tick{10}, [&] { ++fired; });
+    eq.schedule(Tick{20}, [&] { ++fired; });
+    eq.schedule(Tick{21}, [&] { ++fired; });
+    EXPECT_EQ(eq.runUntil(Tick{20}), 2u);
     EXPECT_EQ(fired, 2);
-    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.now(), Tick{20});
     eq.run();
     EXPECT_EQ(fired, 3);
 }
@@ -75,8 +75,8 @@ TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
 TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
 {
     EventQueue eq;
-    eq.runUntil(500);
-    EXPECT_EQ(eq.now(), 500u);
+    eq.runUntil(Tick{500});
+    EXPECT_EQ(eq.now(), Tick{500});
 }
 
 TEST(EventQueue, RunLimitStopsEarly)
@@ -84,7 +84,7 @@ TEST(EventQueue, RunLimitStopsEarly)
     EventQueue eq;
     int fired = 0;
     for (int i = 0; i < 10; ++i)
-        eq.schedule(static_cast<Tick>(i), [&] { ++fired; });
+        eq.schedule(Tick{static_cast<std::uint64_t>(i)}, [&] { ++fired; });
     EXPECT_EQ(eq.run(4), 4u);
     EXPECT_EQ(fired, 4);
     EXPECT_EQ(eq.size(), 6u);
@@ -98,17 +98,17 @@ TEST(EventQueue, SelfReschedulingActorTerminates)
         if (++steps < 100)
             eq.scheduleIn(3, step);
     };
-    eq.schedule(0, step);
+    eq.schedule(Tick{0}, step);
     eq.run();
     EXPECT_EQ(steps, 100);
-    EXPECT_EQ(eq.now(), 99u * 3u);
+    EXPECT_EQ(eq.now(), Tick{99 * 3});
 }
 
 TEST(EventQueue, ExecutedCountsLifetime)
 {
     EventQueue eq;
-    eq.schedule(1, [] {});
-    eq.schedule(2, [] {});
+    eq.schedule(Tick{1}, [] {});
+    eq.schedule(Tick{2}, [] {});
     eq.run();
     EXPECT_EQ(eq.executed(), 2u);
 }
@@ -116,7 +116,7 @@ TEST(EventQueue, ExecutedCountsLifetime)
 TEST(EventQueueDeath, SchedulingIntoThePastPanics)
 {
     EventQueue eq;
-    eq.schedule(10, [] {});
+    eq.schedule(Tick{10}, [] {});
     eq.run();
-    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+    EXPECT_DEATH(eq.schedule(Tick{5}, [] {}), "past");
 }

@@ -19,7 +19,7 @@ namespace
 class ExecTest : public ::testing::Test
 {
   protected:
-    static constexpr Pid pid = 1;
+    static constexpr Pid pid{1};
 
     ExecTest()
     {
@@ -40,8 +40,8 @@ class ExecTest : public ::testing::Test
         exec = std::make_unique<ExecEngine>(*vms, *policy);
     }
 
-    Tick
-    touch(Vpn v, Tick now = 0)
+    Duration
+    touch(Vpn v, Tick now = Tick{})
     {
         return vms->access(pid, pageBase(v), false, now);
     }
@@ -50,9 +50,9 @@ class ExecTest : public ::testing::Test
     Tick
     fill(std::uint64_t n)
     {
-        Tick t = 0;
-        for (Vpn v = 0; v < n; ++v)
-            t += touch(v, t);
+        Tick t{};
+        for (std::uint64_t v = 0; v < n; ++v)
+            t += touch(Vpn{v}, t);
         return t;
     }
 
@@ -73,7 +73,7 @@ class ExecTest : public ::testing::Test
 TEST_F(ExecTest, IssuesInjectionForSwappedPage)
 {
     Tick t = fill(9); // page 0 swapped out
-    exec->request(pid, 0, /*stream=*/7, Tier::Ssp, t);
+    exec->request(pid, Vpn{0}, /*stream=*/7, Tier::Ssp, t);
     EXPECT_EQ(exec->tierStats(Tier::Ssp).issued, 1u);
     EXPECT_EQ(exec->outstanding(), 1u);
     eq->run();
@@ -82,8 +82,8 @@ TEST_F(ExecTest, IssuesInjectionForSwappedPage)
 TEST_F(ExecTest, DedupsResidentAndUntouchedPages)
 {
     Tick t = fill(4);
-    exec->request(pid, 2, 7, Tier::Ssp, t);    // resident
-    exec->request(pid, 9999, 7, Tier::Ssp, t); // untouched
+    exec->request(pid, Vpn{2}, 7, Tier::Ssp, t);    // resident
+    exec->request(pid, Vpn{9999}, 7, Tier::Ssp, t); // untouched
     EXPECT_EQ(exec->deduped(), 2u);
     EXPECT_EQ(exec->tierStats(Tier::Ssp).issued, 0u);
 }
@@ -91,8 +91,8 @@ TEST_F(ExecTest, DedupsResidentAndUntouchedPages)
 TEST_F(ExecTest, DedupsInflightRequests)
 {
     Tick t = fill(9);
-    exec->request(pid, 0, 7, Tier::Ssp, t);
-    exec->request(pid, 0, 7, Tier::Ssp, t); // duplicate while in flight
+    exec->request(pid, Vpn{0}, 7, Tier::Ssp, t);
+    exec->request(pid, Vpn{0}, 7, Tier::Ssp, t); // duplicate while in flight
     EXPECT_EQ(exec->deduped(), 1u);
     EXPECT_EQ(exec->tierStats(Tier::Ssp).issued, 1u);
     eq->run();
@@ -101,20 +101,20 @@ TEST_F(ExecTest, DedupsInflightRequests)
 TEST_F(ExecTest, AdoptsSwapCachedPageInstantly)
 {
     Tick t = fill(9);
-    ASSERT_TRUE(vms->prefetchToSwapCache(pid, 0, 2, t));
+    ASSERT_TRUE(vms->prefetchToSwapCache(pid, Vpn{0}, 2, t));
     eq->run();
-    exec->request(pid, 0, 7, Tier::Lsp, eq->now());
+    exec->request(pid, Vpn{0}, 7, Tier::Lsp, eq->now());
     const auto &ts = exec->tierStats(Tier::Lsp);
     EXPECT_EQ(ts.issued, 1u);
     EXPECT_EQ(ts.completed, 1u); // instantly complete
-    EXPECT_TRUE(vms->pageTable().present(pid, 0));
+    EXPECT_TRUE(vms->pageTable().present(pid, Vpn{0}));
     EXPECT_EQ(vms->stats().adoptions, 1u);
 }
 
 TEST_F(ExecTest, HitFeedsPolicyAndCountsPerTier)
 {
     Tick t = fill(9);
-    exec->request(pid, 0, /*stream=*/42, Tier::Rsp, t);
+    exec->request(pid, Vpn{0}, /*stream=*/42, Tier::Rsp, t);
     eq->run(); // injection completes
     // Wire the VMS listener path manually: first touch fires
     // onPrefetchHit, which the HoppSystem would route to exec->onHit.
@@ -131,7 +131,7 @@ TEST_F(ExecTest, HitFeedsPolicyAndCountsPerTier)
     } router;
     router.exec = exec.get();
     vms->addListener(&router);
-    touch(0, eq->now() + 1000); // immediate touch: T ~ 0 -> late
+    touch(Vpn{0}, eq->now() + 1000); // immediate touch: T ~ 0 -> late
     EXPECT_EQ(exec->tierStats(Tier::Rsp).hits, 1u);
     EXPECT_EQ(exec->outstanding(), 0u);
     EXPECT_EQ(policy->stats().feedbacks, 1u);
@@ -143,7 +143,7 @@ TEST_F(ExecTest, HitFeedsPolicyAndCountsPerTier)
 TEST_F(ExecTest, EvictionCountsUnused)
 {
     Tick t = fill(9);
-    exec->request(pid, 0, 7, Tier::Ssp, t);
+    exec->request(pid, Vpn{0}, 7, Tier::Ssp, t);
     eq->run();
     struct Router : vm::PageEventListener
     {
@@ -159,8 +159,8 @@ TEST_F(ExecTest, EvictionCountsUnused)
     vms->addListener(&router);
     // Stream fresh pages so page 0 (injected, never touched) evicts.
     Tick now = eq->now();
-    for (Vpn v = 100; v < 130; ++v)
-        now += touch(v, now);
+    for (std::uint64_t v = 100; v < 130; ++v)
+        now += touch(Vpn{v}, now);
     EXPECT_EQ(exec->tierStats(Tier::Ssp).evictedUnused, 1u);
     EXPECT_EQ(exec->outstanding(), 0u);
 }

@@ -21,7 +21,7 @@ namespace
 
 struct BatchRig
 {
-    static constexpr Pid pid = 1;
+    static constexpr Pid pid{1};
 
     BatchRig()
     {
@@ -43,7 +43,7 @@ struct BatchRig
         vms->createProcess(pid, 128);
     }
 
-    Tick
+    Duration
     touch(Vpn v, Tick t)
     {
         return vms->access(pid, pageBase(v), false, t);
@@ -53,11 +53,11 @@ struct BatchRig
     Tick
     spill(std::uint64_t n)
     {
-        Tick t = 0;
-        for (Vpn v = 0; v < n; ++v)
-            t += touch(v, t);
-        for (Vpn v = 1000; v < 1000 + 128; ++v)
-            t += touch(v, t);
+        Tick t{};
+        for (std::uint64_t v = 0; v < n; ++v)
+            t += touch(Vpn{v}, t);
+        for (std::uint64_t v = 1000; v < 1000 + 128; ++v)
+            t += touch(Vpn{v}, t);
         return t;
     }
 
@@ -78,14 +78,15 @@ TEST(BatchPrefetch, BundlesConsecutiveSwappedPages)
     BatchRig rig;
     Tick t = rig.spill(64); // pages 0..63 are remote now
     unsigned bundled =
-        rig.vms->prefetchInjectBatch(BatchRig::pid, 0, 32, 5, t);
+        rig.vms->prefetchInjectBatch(BatchRig::pid, Vpn{0}, 32, 5, t);
     EXPECT_EQ(bundled, 32u);
     EXPECT_EQ(rig.backend->batchReads(), 1u);
     rig.eq->run();
-    for (Vpn v = 0; v < 32; ++v) {
-        EXPECT_TRUE(rig.vms->pageTable().present(BatchRig::pid, v))
+    for (std::uint64_t v = 0; v < 32; ++v) {
+        EXPECT_TRUE(rig.vms->pageTable().present(BatchRig::pid, Vpn{v}))
             << "vpn " << v;
-        EXPECT_TRUE(rig.vms->pageTable().find(BatchRig::pid, v)->injected);
+        EXPECT_TRUE(
+            rig.vms->pageTable().find(BatchRig::pid, Vpn{v})->injected);
     }
 }
 
@@ -94,20 +95,20 @@ TEST(BatchPrefetch, SkipsNonSwappedPages)
     BatchRig rig;
     Tick t = rig.spill(8); // only 0..7 swapped; 8.. untouched
     unsigned bundled =
-        rig.vms->prefetchInjectBatch(BatchRig::pid, 4, 16, 5, t);
+        rig.vms->prefetchInjectBatch(BatchRig::pid, Vpn{4}, 16, 5, t);
     EXPECT_EQ(bundled, 4u); // pages 4..7 only
     rig.eq->run();
-    EXPECT_TRUE(rig.vms->pageTable().present(BatchRig::pid, 7));
-    EXPECT_EQ(rig.vms->pageTable().find(BatchRig::pid, 9), nullptr);
+    EXPECT_TRUE(rig.vms->pageTable().present(BatchRig::pid, Vpn{7}));
+    EXPECT_EQ(rig.vms->pageTable().find(BatchRig::pid, Vpn{9}), nullptr);
 }
 
 TEST(BatchPrefetch, EmptyBundleIssuesNothing)
 {
     BatchRig rig;
-    Tick t = 0;
-    for (Vpn v = 0; v < 8; ++v)
-        t += rig.touch(v, t); // all resident
-    EXPECT_EQ(rig.vms->prefetchInjectBatch(BatchRig::pid, 0, 8, 5, t),
+    Tick t{};
+    for (std::uint64_t v = 0; v < 8; ++v)
+        t += rig.touch(Vpn{v}, t); // all resident
+    EXPECT_EQ(rig.vms->prefetchInjectBatch(BatchRig::pid, Vpn{0}, 8, 5, t),
               0u);
     EXPECT_EQ(rig.backend->batchReads(), 0u);
 }
@@ -120,13 +121,13 @@ TEST(BatchPrefetch, OneTransferIsCheaperThanManySmall)
     net::RdmaFabric fabric(eq, cfg);
     remote::RemoteNode node(1024);
     remote::SwapBackend backend(fabric, node);
-    Tick batch_done = backend.readBatchAsync(32, 0, [](Tick) {});
+    Tick batch_done = backend.readBatchAsync(32, Tick{}, [](Tick) {});
     sim::EventQueue eq2;
     net::RdmaFabric fabric2(eq2, cfg);
     remote::SwapBackend backend2(fabric2, node);
-    Tick last = 0;
+    Tick last{};
     for (int i = 0; i < 32; ++i)
-        last = backend2.readAsync(0, [](Tick) {});
+        last = backend2.readAsync(Tick{}, [](Tick) {});
     EXPECT_LT(batch_done, last);
     eq.run();
     eq2.run();
@@ -183,19 +184,19 @@ TEST(EvictionAdvisor, WarmPagesSurviveReclaim)
 {
     BatchRig rig;
     WarmAdvisor advisor;
-    advisor.warm = {0, 1};
+    advisor.warm = {Vpn{0}, Vpn{1}};
     rig.vms->setEvictionAdvisor(&advisor);
-    Tick t = 0;
-    for (Vpn v = 0; v < 128; ++v)
-        t += rig.touch(v, t);
+    Tick t{};
+    for (std::uint64_t v = 0; v < 128; ++v)
+        t += rig.touch(Vpn{v}, t);
     // Next allocations must evict, but pages 0 and 1 get rotations.
-    for (Vpn v = 500; v < 510; ++v)
-        t += rig.touch(v, t);
+    for (std::uint64_t v = 500; v < 510; ++v)
+        t += rig.touch(Vpn{v}, t);
     EXPECT_GT(advisor.consulted, 0);
-    EXPECT_TRUE(rig.vms->pageTable().present(BatchRig::pid, 0));
-    EXPECT_TRUE(rig.vms->pageTable().present(BatchRig::pid, 1));
+    EXPECT_TRUE(rig.vms->pageTable().present(BatchRig::pid, Vpn{0}));
+    EXPECT_TRUE(rig.vms->pageTable().present(BatchRig::pid, Vpn{1}));
     // A cold page of the same vintage was evicted instead.
-    EXPECT_FALSE(rig.vms->pageTable().present(BatchRig::pid, 2));
+    EXPECT_FALSE(rig.vms->pageTable().present(BatchRig::pid, Vpn{2}));
 }
 
 TEST(EvictionAdvisor, HoppSystemTracksHotness)
@@ -207,7 +208,7 @@ TEST(EvictionAdvisor, HoppSystemTracksHotness)
     Machine m(cfg);
     m.addWorkload(workloads::makeWorkload("kmeans-omp", {}));
     auto r = m.run();
-    EXPECT_GT(r.makespan, 0u);
+    EXPECT_GT(r.makespan, Tick{});
     // The advisor answered from real hot-page history: a page that was
     // just extracted must be warm at that instant.
     auto *h = m.hoppSystem();

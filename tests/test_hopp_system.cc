@@ -20,7 +20,7 @@ namespace
 /** A hand-wired single-process machine with a HoPP system. */
 struct Rig
 {
-    static constexpr Pid pid = 1;
+    static constexpr Pid pid{1};
 
     explicit Rig(std::uint64_t limit = 64)
     {
@@ -82,9 +82,9 @@ class HoppSystemTest : public ::testing::Test
 TEST_F(HoppSystemTest, InitialRptBuildCoversPresentPages)
 {
     // Map a few pages before starting HoPP.
-    Tick t = 0;
-    for (Vpn v = 0; v < 8; ++v)
-        t += rig.vms->access(Rig::pid, pageBase(v), false, t);
+    Tick t{};
+    for (std::uint64_t v = 0; v < 8; ++v)
+        t += rig.vms->access(Rig::pid, pageBase(Vpn{v}), false, t);
     rig.hopp->start();
     EXPECT_EQ(rig.hopp->rpt().size(), 8u);
 }
@@ -92,7 +92,7 @@ TEST_F(HoppSystemTest, InitialRptBuildCoversPresentPages)
 TEST_F(HoppSystemTest, HotPagesFlowThroughThePipeline)
 {
     rig.hopp->start();
-    rig.streamPages(0, 31, 0);
+    rig.streamPages(Vpn{0}, Vpn{31}, Tick{});
     EXPECT_GT(rig.hopp->hpd().stats().hotPages, 20u);
     EXPECT_GT(rig.hopp->trainer().stats().hotPages, 20u);
     EXPECT_EQ(rig.hopp->unmappedHotPages(), 0u)
@@ -105,8 +105,8 @@ TEST_F(HoppSystemTest, SequentialStreamTriggersInjections)
     // Pass 1: cold-faults 128 pages into a 64-frame cgroup; the early
     // half is swapped out. Pass 2 re-streams: HoPP must identify the
     // stream and inject ahead.
-    Tick t = rig.streamPages(0, 127, 0);
-    t = rig.streamPages(0, 127, t);
+    Tick t = rig.streamPages(Vpn{0}, Vpn{127}, Tick{});
+    t = rig.streamPages(Vpn{0}, Vpn{127}, t);
     rig.eq->run();
     const auto &ssp = rig.hopp->exec().tierStats(Tier::Ssp);
     EXPECT_GT(ssp.issued, 30u);
@@ -119,13 +119,13 @@ TEST_F(HoppSystemTest, SequentialStreamTriggersInjections)
 TEST_F(HoppSystemTest, InjectionsReduceFaultsVersusNoPrefetch)
 {
     Rig bare;
-    Tick t0 = bare.streamPages(0, 127, 0);
-    bare.streamPages(0, 127, t0);
+    Tick t0 = bare.streamPages(Vpn{0}, Vpn{127}, Tick{});
+    bare.streamPages(Vpn{0}, Vpn{127}, t0);
     bare.eq->run();
 
     rig.hopp->start();
-    Tick t = rig.streamPages(0, 127, 0);
-    rig.streamPages(0, 127, t);
+    Tick t = rig.streamPages(Vpn{0}, Vpn{127}, Tick{});
+    rig.streamPages(Vpn{0}, Vpn{127}, t);
     rig.eq->run();
 
     // Two 128-page passes are mostly offset-ramp-up warmup, so demand
@@ -139,7 +139,7 @@ TEST_F(HoppSystemTest, InjectionsReduceFaultsVersusNoPrefetch)
 TEST_F(HoppSystemTest, PteClearKeepsRptCacheConsistent)
 {
     rig.hopp->start();
-    rig.streamPages(0, 127, 0); // reclaim cleared many PTEs
+    rig.streamPages(Vpn{0}, Vpn{127}, Tick{}); // reclaim cleared many PTEs
     rig.eq->run();
     EXPECT_GT(rig.hopp->rptCache().stats().invalidates, 0u);
     // Every extraction either resolved through the RPT or was counted
@@ -157,15 +157,15 @@ TEST_F(HoppSystemTest, RingOverflowDropsInsteadOfBlocking)
     auto tiny =
         std::make_unique<HoppSystem>(*rig.eq, *rig.vms, *rig.mc, hcfg);
     tiny->start();
-    rig.streamPages(0, 63, 0);
+    rig.streamPages(Vpn{0}, Vpn{63}, Tick{});
     EXPECT_GT(tiny->ring().dropped(), 0u);
 }
 
 TEST_F(HoppSystemTest, DramHitCoverageReportedByStats)
 {
     rig.hopp->start();
-    Tick t = rig.streamPages(0, 127, 0);
-    rig.streamPages(0, 127, t);
+    Tick t = rig.streamPages(Vpn{0}, Vpn{127}, Tick{});
+    rig.streamPages(Vpn{0}, Vpn{127}, t);
     rig.eq->run();
     EXPECT_GT(rig.pstats.dramHitCoverage(), 0.1);
     EXPECT_GT(rig.pstats.accuracy(), 0.7);
@@ -174,7 +174,7 @@ TEST_F(HoppSystemTest, DramHitCoverageReportedByStats)
 TEST_F(HoppSystemTest, HotPageWriteBandwidthCharged)
 {
     rig.hopp->start();
-    rig.streamPages(0, 63, 0);
+    rig.streamPages(Vpn{0}, Vpn{63}, Tick{});
     std::uint64_t hot = rig.hopp->hpd().stats().hotPages -
                         rig.hopp->unmappedHotPages();
     EXPECT_EQ(rig.dram->traffic(mem::TrafficSource::HotPageWrite),

@@ -39,18 +39,18 @@ touchLines(Hpd &hpd, Ppn ppn, unsigned n)
 TEST(Hpd, PageBecomesHotAtThreshold)
 {
     Hpd hpd(cfg(8));
-    EXPECT_EQ(touchLines(hpd, 100, 7), 0u);
-    auto hot = hpd.access(pageBase(100) + 7 * lineBytes, false);
+    EXPECT_EQ(touchLines(hpd, Ppn{100}, 7), 0u);
+    auto hot = hpd.access(pageBase(Ppn{100}) + 7 * lineBytes, false);
     ASSERT_TRUE(hot.has_value());
-    EXPECT_EQ(*hot, 100u);
+    EXPECT_EQ(*hot, Ppn{100});
     EXPECT_EQ(hpd.stats().hotPages, 1u);
 }
 
 TEST(Hpd, SendBitSuppressesRepeatedExtraction)
 {
     Hpd hpd(cfg(4));
-    touchLines(hpd, 100, 4); // extracted
-    EXPECT_EQ(touchLines(hpd, 100, 20), 0u);
+    touchLines(hpd, Ppn{100}, 4); // extracted
+    EXPECT_EQ(touchLines(hpd, Ppn{100}, 20), 0u);
     EXPECT_EQ(hpd.stats().hotPages, 1u);
     EXPECT_EQ(hpd.stats().suppressed, 20u);
 }
@@ -59,7 +59,7 @@ TEST(Hpd, WritesAreIgnored)
 {
     Hpd hpd(cfg(2));
     for (int i = 0; i < 10; ++i)
-        EXPECT_FALSE(hpd.access(pageBase(5), true).has_value());
+        EXPECT_FALSE(hpd.access(pageBase(Ppn{5}), true).has_value());
     EXPECT_EQ(hpd.stats().writesIgnored, 10u);
     EXPECT_EQ(hpd.stats().reads, 0u);
     EXPECT_EQ(hpd.tracked(), 0u);
@@ -69,23 +69,23 @@ TEST(Hpd, EvictionAllowsReExtraction)
 {
     // 4 sets x 16 ways; flood set 0 (ppn % 4 == 0) to evict page 0.
     Hpd hpd(cfg(4));
-    touchLines(hpd, 0, 4); // hot, send bit set
+    touchLines(hpd, Ppn{0}, 4); // hot, send bit set
     EXPECT_EQ(hpd.stats().hotPages, 1u);
-    for (Ppn p = 4; p <= 4 * 16; p += 4)
-        touchLines(hpd, p, 1); // 16 new pages in set 0 evict page 0
+    for (std::uint64_t p = 4; p <= 4 * 16; p += 4)
+        touchLines(hpd, Ppn{p}, 1); // 16 new pages in set 0 evict page 0
     EXPECT_GT(hpd.stats().evictions, 0u);
     // Page 0 can be detected hot again (repeated detection after
     // eviction — why small N inflates Table II's ratio).
-    touchLines(hpd, 0, 4);
+    touchLines(hpd, Ppn{0}, 4);
     EXPECT_EQ(hpd.stats().hotPages, 2u);
 }
 
 TEST(Hpd, ThresholdOneExtractsImmediately)
 {
     Hpd hpd(cfg(1));
-    auto hot = hpd.access(pageBase(9), false);
+    auto hot = hpd.access(pageBase(Ppn{9}), false);
     ASSERT_TRUE(hot.has_value());
-    EXPECT_EQ(*hot, 9u);
+    EXPECT_EQ(*hot, Ppn{9});
 }
 
 TEST(Hpd, StreamingRatioIsOneOverLinesPerPage)
@@ -93,8 +93,8 @@ TEST(Hpd, StreamingRatioIsOneOverLinesPerPage)
     // Full-page streaming: each page read 64 times, N=8 -> exactly one
     // hot page per 64 reads = 1.5625% (Table II's K-means row).
     Hpd hpd(cfg(8));
-    for (Ppn p = 0; p < 512; ++p)
-        touchLines(hpd, p, 64);
+    for (std::uint64_t p = 0; p < 512; ++p)
+        touchLines(hpd, Ppn{p}, 64);
     EXPECT_NEAR(hpd.stats().hotRatio(), 1.0 / 64.0, 1e-9);
 }
 
@@ -108,8 +108,8 @@ TEST(Hpd, SmallerThresholdNeverLowersRatio)
         // Sparse revisits: pages get 16 touches in 4-touch bursts with
         // interleaved conflict traffic.
         for (int round = 0; round < 4; ++round) {
-            for (Ppn p = 0; p < 256; ++p)
-                touchLines(hpd, p, 4);
+            for (std::uint64_t p = 0; p < 256; ++p)
+                touchLines(hpd, Ppn{p}, 4);
         }
         double ratio = hpd.stats().hotRatio();
         EXPECT_LE(ratio, prev + 1e-12) << "N=" << n;
@@ -120,18 +120,18 @@ TEST(Hpd, SmallerThresholdNeverLowersRatio)
 TEST(Hpd, TracksAtMostSetsTimesWays)
 {
     Hpd hpd(cfg(8));
-    for (Ppn p = 0; p < 1000; ++p)
-        touchLines(hpd, p, 1);
+    for (std::uint64_t p = 0; p < 1000; ++p)
+        touchLines(hpd, Ppn{p}, 1);
     EXPECT_LE(hpd.tracked(), 64u);
 }
 
 TEST(Hpd, ResetStatsKeepsTableContents)
 {
     Hpd hpd(cfg(4));
-    touchLines(hpd, 7, 3);
+    touchLines(hpd, Ppn{7}, 3);
     hpd.resetStats();
     EXPECT_EQ(hpd.stats().reads, 0u);
     // One more read completes the threshold: contents were kept.
-    auto hot = hpd.access(pageBase(7), false);
+    auto hot = hpd.access(pageBase(Ppn{7}), false);
     EXPECT_TRUE(hot.has_value());
 }

@@ -40,7 +40,7 @@ tiny()
 class InvariantVmsTest : public ::testing::Test
 {
   protected:
-    static constexpr Pid pid = 1;
+    static constexpr Pid pid{1};
 
     InvariantVmsTest()
     {
@@ -65,9 +65,9 @@ class InvariantVmsTest : public ::testing::Test
     void
     fill(std::uint64_t n)
     {
-        Tick t = 0;
-        for (Vpn v = 0; v < n; ++v)
-            t += vms->access(pid, pageBase(v), v % 3 == 0, t);
+        Tick t{};
+        for (std::uint64_t v = 0; v < n; ++v)
+            t += vms->access(pid, pageBase(Vpn{v}), v % 3 == 0, t);
         eq->run();
     }
 
@@ -92,9 +92,9 @@ class InvariantVmsTest : public ::testing::Test
 TEST(InvariantEventQueue, CleanQueuePasses)
 {
     sim::EventQueue eq;
-    eq.schedule(10, [] {});
-    eq.schedule(10, [] {});
-    eq.schedule(25, [] {});
+    eq.schedule(Tick{10}, [] {});
+    eq.schedule(Tick{10}, [] {});
+    eq.schedule(Tick{25}, [] {});
     EventQueueWatch w;
     Report r;
     validateEventQueue(eq, w, r);
@@ -109,9 +109,9 @@ TEST(InvariantEventQueue, CleanQueuePasses)
 TEST(InvariantEventQueue, DetectsEventScheduledInThePast)
 {
     sim::EventQueue eq;
-    eq.schedule(100, [] {});
+    eq.schedule(Tick{100}, [] {});
     eq.runOne(); // now() == 100
-    hopp::check::testing::pushEventInPast(eq, 40);
+    hopp::check::testing::pushEventInPast(eq, Tick{40});
 
     EventQueueWatch w;
     Report r;
@@ -124,7 +124,7 @@ TEST(InvariantEventQueue, DetectsTimeMovingBackwards)
 {
     // Two queues observed through one watch model a rewound clock.
     sim::EventQueue ran;
-    ran.schedule(500, [] {});
+    ran.schedule(Tick{500}, [] {});
     ran.runOne();
     EventQueueWatch w;
     Report r;
@@ -142,8 +142,8 @@ TEST(InvariantLlc, DetectsLeakedOccupancy)
     mem::LlcConfig cfg;
     cfg.capacityBytes = 64 << 10;
     mem::Llc llc(cfg);
-    for (PhysAddr pa = 0; pa < 256 * 64; pa += 64)
-        llc.access(pa);
+    for (std::uint64_t pa = 0; pa < 256 * 64; pa += 64)
+        llc.access(PhysAddr{pa});
 
     Report clean;
     validateLlc(llc, clean);
@@ -169,8 +169,8 @@ TEST_F(InvariantVmsTest, HealthyVmsWithPrefetchesPasses)
 {
     fill(24);
     // One swapcache prefetch and one injected prefetch, completed.
-    ASSERT_TRUE(vms->prefetchToSwapCache(pid, 0, 1, eq->now()));
-    EXPECT_NE(vms->prefetchInject(pid, 1, 1, eq->now()),
+    ASSERT_TRUE(vms->prefetchToSwapCache(pid, Vpn{0}, 1, eq->now()));
+    EXPECT_NE(vms->prefetchInject(pid, Vpn{1}, 1, eq->now()),
               vm::Vms::InjectResult::NotIssued);
     eq->run();
     Report r = validate();
@@ -180,8 +180,8 @@ TEST_F(InvariantVmsTest, HealthyVmsWithPrefetchesPasses)
 TEST_F(InvariantVmsTest, DetectsBadLruLink)
 {
     fill(6);
-    vm::PageInfo &a = vms->pageTable().get(pid, 0);
-    vm::PageInfo &b = vms->pageTable().get(pid, 1);
+    vm::PageInfo &a = vms->pageTable().get(pid, Vpn{0});
+    vm::PageInfo &b = vms->pageTable().get(pid, Vpn{1});
     ASSERT_TRUE(a.inLru);
     ASSERT_TRUE(b.inLru);
     std::swap(a.lruIt, b.lruIt);
@@ -194,7 +194,7 @@ TEST_F(InvariantVmsTest, DetectsBadLruLink)
 TEST_F(InvariantVmsTest, DetectsUnlinkedResidentPage)
 {
     fill(6);
-    vm::PageInfo &pi = vms->pageTable().get(pid, 2);
+    vm::PageInfo &pi = vms->pageTable().get(pid, Vpn{2});
     ASSERT_TRUE(pi.inLru);
     pi.inLru = false; // page claims to be off-list; the list disagrees
 
@@ -206,7 +206,7 @@ TEST_F(InvariantVmsTest, DetectsUnlinkedResidentPage)
 TEST_F(InvariantVmsTest, DetectsChargeAccountingDrift)
 {
     fill(6);
-    vm::PageInfo &pi = vms->pageTable().get(pid, 3);
+    vm::PageInfo &pi = vms->pageTable().get(pid, Vpn{3});
     ASSERT_TRUE(pi.charged);
     pi.charged = false; // counter now overstates by one
 
@@ -219,7 +219,7 @@ TEST_F(InvariantVmsTest, DetectsChargeAccountingDrift)
 TEST_F(InvariantVmsTest, DetectsIllegalStateFlagCombination)
 {
     fill(6);
-    vm::PageInfo &pi = vms->pageTable().get(pid, 4);
+    vm::PageInfo &pi = vms->pageTable().get(pid, Vpn{4});
     ASSERT_EQ(pi.state, vm::PageState::Resident);
     pi.state = vm::PageState::SwapCached; // still charged: illegal
 
@@ -231,7 +231,7 @@ TEST_F(InvariantVmsTest, DetectsIllegalStateFlagCombination)
 TEST_F(InvariantVmsTest, DetectsFrameAccountingDrift)
 {
     fill(6);
-    vm::PageInfo &pi = vms->pageTable().get(pid, 5);
+    vm::PageInfo &pi = vms->pageTable().get(pid, Vpn{5});
     ASSERT_EQ(pi.state, vm::PageState::Resident);
     pi.ppn += 1000; // point at a frame the allocator never handed out
 
@@ -249,7 +249,7 @@ TEST(InvariantMachine, CleanRunPassesWithPeriodicChecks)
     Machine m(cfg);
     m.addWorkload(workloads::makeWorkload("quicksort", tiny()));
     RunResult r = m.run(); // enforce() panics if any validator trips
-    EXPECT_GT(r.makespan, 0u);
+    EXPECT_GT(r.makespan, Tick{});
     EXPECT_TRUE(m.checkInvariants().ok());
 }
 
@@ -262,7 +262,7 @@ TEST(InvariantMachine, CleanHoppRunPassesWithPeriodicChecks)
     Machine m(cfg);
     m.addWorkload(workloads::makeWorkload("kmeans-omp", tiny()));
     RunResult r = m.run();
-    EXPECT_GT(r.makespan, 0u);
+    EXPECT_GT(r.makespan, Tick{});
     EXPECT_TRUE(m.checkInvariants().ok());
 }
 
@@ -278,9 +278,9 @@ TEST(InvariantMachine, DetectsRptMappingLoss)
 
     // Remap a resident frame in both the DRAM RPT and every RPT cache
     // to a different process: the PTE <-> RPT cross-check must notice.
-    Vpn vpn = 0;
+    Vpn vpn;
     bool found = false;
-    Ppn ppn = 0;
+    Ppn ppn;
     m.vms().pageTable().forEachPresent(
         [&](Pid, Vpn v, const vm::PageInfo &pi) {
             if (found)
@@ -292,7 +292,7 @@ TEST(InvariantMachine, DetectsRptMappingLoss)
     ASSERT_TRUE(found);
     core::HoppSystem &hopp = *m.hoppSystem();
     core::RptEntry bogus;
-    bogus.pid = 999;
+    bogus.pid = Pid{999};
     bogus.vpn = vpn + 12345;
     for (unsigned c = 0; c < hopp.config().channels; ++c)
         hopp.rptCache(c).update(ppn, bogus);

@@ -16,9 +16,9 @@ TEST(Link, UncontendedPageTransferIsAboutFourMicroseconds)
 {
     // Paper §II-A step 4: a 4 KB page over 56 Gbps RDMA ~ 4 us.
     Link link(LinkConfig{});
-    Tick done = link.transfer(pageBytes, 0);
+    Tick done = link.transfer(pageBytes, Tick{});
     // 585 ns serialization + 150 ns issue overhead + 3.4 us latency.
-    EXPECT_NEAR(static_cast<double>(done), 4135.0, 150.0);
+    EXPECT_NEAR(static_cast<double>(done.raw()), 4135.0, 150.0);
 }
 
 TEST(Link, SerializationScalesWithBytes)
@@ -37,11 +37,11 @@ TEST(Link, BackToBackTransfersQueueFifo)
     cfg.baseLatency = 100;
     cfg.perTransferOverhead = 0;
     Link link(cfg);
-    Tick first = link.transfer(1000, 0);   // ser 1000 + 100
-    Tick second = link.transfer(1000, 0);  // starts at 1000
-    EXPECT_EQ(first, 1100u);
-    EXPECT_EQ(second, 2100u);
-    EXPECT_EQ(link.busyUntil(), 2000u);
+    Tick first = link.transfer(1000, Tick{});  // ser 1000 + 100
+    Tick second = link.transfer(1000, Tick{}); // starts at 1000
+    EXPECT_EQ(first, Tick{1100});
+    EXPECT_EQ(second, Tick{2100});
+    EXPECT_EQ(link.busyUntil(), Tick{2000});
 }
 
 TEST(Link, IdleLinkDoesNotQueue)
@@ -51,17 +51,17 @@ TEST(Link, IdleLinkDoesNotQueue)
     cfg.baseLatency = 0;
     cfg.perTransferOverhead = 0;
     Link link(cfg);
-    link.transfer(1000, 0);
-    Tick done = link.transfer(1000, 5000); // link idle again
-    EXPECT_EQ(done, 6000u);
+    link.transfer(1000, Tick{});
+    Tick done = link.transfer(1000, Tick{5000}); // link idle again
+    EXPECT_EQ(done, Tick{6000});
     EXPECT_DOUBLE_EQ(link.queueDelay().max(), 0.0);
 }
 
 TEST(Link, TracksBytesAndTransferCounts)
 {
     Link link(LinkConfig{});
-    link.transfer(100, 0);
-    link.transfer(200, 0);
+    link.transfer(100, Tick{});
+    link.transfer(200, Tick{});
     EXPECT_EQ(link.bytesSent(), 300u);
     EXPECT_EQ(link.transfers(), 2u);
 }
@@ -74,11 +74,11 @@ TEST(RdmaFabric, ReadAndWriteUseIndependentLinks)
     cfg.baseLatency = 0;
     cfg.perTransferOverhead = 0;
     RdmaFabric fabric(eq, cfg);
-    Tick r = fabric.read(1000, 0);
-    Tick w = fabric.write(1000, 0);
+    Tick r = fabric.read(1000, Tick{});
+    Tick w = fabric.write(1000, Tick{});
     // No cross-direction contention: both complete at 1000.
-    EXPECT_EQ(r, 1000u);
-    EXPECT_EQ(w, 1000u);
+    EXPECT_EQ(r, Tick{1000});
+    EXPECT_EQ(w, Tick{1000});
 }
 
 TEST(RdmaFabric, AsyncReadFiresCompletionAtTheRightTick)
@@ -89,13 +89,13 @@ TEST(RdmaFabric, AsyncReadFiresCompletionAtTheRightTick)
     cfg.baseLatency = 50;
     cfg.perTransferOverhead = 0;
     RdmaFabric fabric(eq, cfg);
-    Tick seen = 0;
+    Tick seen;
     Tick predicted =
-        fabric.readAsync(1000, 0, [&](Tick t) { seen = t; });
-    EXPECT_EQ(predicted, 1050u);
+        fabric.readAsync(1000, Tick{}, [&](Tick t) { seen = t; });
+    EXPECT_EQ(predicted, Tick{1050});
     eq.run();
-    EXPECT_EQ(seen, 1050u);
-    EXPECT_EQ(eq.now(), 1050u);
+    EXPECT_EQ(seen, Tick{1050});
+    EXPECT_EQ(eq.now(), Tick{1050});
 }
 
 TEST(RdmaFabric, ConcurrentReadsContend)
@@ -108,9 +108,10 @@ TEST(RdmaFabric, ConcurrentReadsContend)
     RdmaFabric fabric(eq, cfg);
     std::vector<Tick> completions;
     for (int i = 0; i < 4; ++i)
-        fabric.readAsync(1000, 0, [&](Tick t) { completions.push_back(t); });
+        fabric.readAsync(1000, Tick{},
+                         [&](Tick t) { completions.push_back(t); });
     eq.run();
     ASSERT_EQ(completions.size(), 4u);
     for (int i = 0; i < 4; ++i)
-        EXPECT_EQ(completions[i], 1000u * (i + 1));
+        EXPECT_EQ(completions[i], Tick{1000ull * (i + 1)});
 }

@@ -28,8 +28,8 @@ smallLlc(std::uint64_t kb = 64, std::size_t ways = 4)
 TEST(Llc, FirstAccessMissesSecondHits)
 {
     Llc llc(smallLlc());
-    EXPECT_FALSE(llc.access(0x1000));
-    EXPECT_TRUE(llc.access(0x1000));
+    EXPECT_FALSE(llc.access(PhysAddr{0x1000}));
+    EXPECT_TRUE(llc.access(PhysAddr{0x1000}));
     EXPECT_EQ(llc.hits(), 1u);
     EXPECT_EQ(llc.misses(), 1u);
 }
@@ -37,10 +37,10 @@ TEST(Llc, FirstAccessMissesSecondHits)
 TEST(Llc, SameLineDifferentBytesHit)
 {
     Llc llc(smallLlc());
-    llc.access(0x1000);
-    EXPECT_TRUE(llc.access(0x1004));
-    EXPECT_TRUE(llc.access(0x103F));
-    EXPECT_FALSE(llc.access(0x1040)); // next line
+    llc.access(PhysAddr{0x1000});
+    EXPECT_TRUE(llc.access(PhysAddr{0x1004}));
+    EXPECT_TRUE(llc.access(PhysAddr{0x103F}));
+    EXPECT_FALSE(llc.access(PhysAddr{0x1040})); // next line
 }
 
 TEST(Llc, ResidentWorkingSetEventuallyAllHits)
@@ -49,11 +49,11 @@ TEST(Llc, ResidentWorkingSetEventuallyAllHits)
     // 32 KB working set in a 64 KB cache: after warmup, no misses.
     for (int pass = 0; pass < 2; ++pass) {
         for (std::uint64_t a = 0; a < (32 << 10); a += lineBytes)
-            llc.access(a);
+            llc.access(PhysAddr{a});
     }
     llc.resetStats();
     for (std::uint64_t a = 0; a < (32 << 10); a += lineBytes)
-        llc.access(a);
+        llc.access(PhysAddr{a});
     EXPECT_EQ(llc.misses(), 0u);
 }
 
@@ -64,7 +64,7 @@ TEST(Llc, StreamingFootprintLargerThanCacheAlwaysMisses)
     std::uint64_t miss_before = llc.misses();
     for (int pass = 0; pass < 2; ++pass) {
         for (std::uint64_t a = 0; a < (1 << 20); a += lineBytes)
-            llc.access(a);
+            llc.access(PhysAddr{a});
     }
     std::uint64_t accesses = 2 * (1 << 20) / lineBytes;
     EXPECT_EQ(llc.misses() - miss_before, accesses);
@@ -75,13 +75,13 @@ TEST(Llc, InvalidatePageForcesMissesOnThatPageOnly)
     Llc llc(smallLlc(256, 8));
     // Touch two pages.
     for (std::uint64_t off = 0; off < pageBytes; off += lineBytes) {
-        llc.access(pageBase(5) + off);
-        llc.access(pageBase(6) + off);
+        llc.access(pageBase(Ppn{5}) + off);
+        llc.access(pageBase(Ppn{6}) + off);
     }
-    llc.invalidatePage(5);
+    llc.invalidatePage(Ppn{5});
     llc.resetStats();
-    llc.access(pageBase(5));     // invalidated -> miss
-    llc.access(pageBase(6));     // untouched -> hit
+    llc.access(pageBase(Ppn{5})); // invalidated -> miss
+    llc.access(pageBase(Ppn{6})); // untouched -> hit
     EXPECT_EQ(llc.misses(), 1u);
     EXPECT_EQ(llc.hits(), 1u);
 }

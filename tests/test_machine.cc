@@ -34,7 +34,7 @@ TEST(Machine, AllSystemsCompleteKmeans)
                      SystemKind::Vma, SystemKind::DepthN,
                      SystemKind::Hopp, SystemKind::HoppOnly}) {
         auto r = runOne("kmeans-omp", sys, 0.5, tiny());
-        EXPECT_GT(r.makespan, 0u) << systemName(sys);
+        EXPECT_GT(r.makespan, Tick{}) << systemName(sys);
         EXPECT_GT(r.vms.accesses, 1000u) << systemName(sys);
         ASSERT_EQ(r.apps.size(), 1u);
         EXPECT_EQ(r.apps[0].completion, r.makespan);
@@ -105,11 +105,13 @@ TEST(Machine, MultiAppRunsIsolateCgroups)
     ASSERT_EQ(r.apps.size(), 2u);
     EXPECT_EQ(r.apps[0].name, "kmeans-omp");
     EXPECT_EQ(r.apps[1].name, "quicksort");
-    EXPECT_GT(r.completionOf("kmeans-omp"), 0u);
-    EXPECT_GT(r.completionOf("quicksort"), 0u);
+    EXPECT_GT(r.completionOf("kmeans-omp"), Tick{});
+    EXPECT_GT(r.completionOf("quicksort"), Tick{});
     // Both cgroups stayed within their limits.
-    EXPECT_LE(m.vms().cgroup(1).charged(), m.vms().cgroup(1).limit());
-    EXPECT_LE(m.vms().cgroup(2).charged(), m.vms().cgroup(2).limit());
+    EXPECT_LE(m.vms().cgroup(Pid{1}).charged(),
+              m.vms().cgroup(Pid{1}).limit());
+    EXPECT_LE(m.vms().cgroup(Pid{2}).charged(),
+              m.vms().cgroup(Pid{2}).limit());
 }
 
 TEST(Machine, HoppSystemExposedOnlyForHoppKinds)
@@ -131,8 +133,8 @@ TEST(Machine, HoppSystemExposedOnlyForHoppKinds)
 
 TEST(Machine, NormalizedPerformanceHelper)
 {
-    EXPECT_DOUBLE_EQ(normalizedPerformance(50, 100), 0.5);
-    EXPECT_DOUBLE_EQ(normalizedPerformance(100, 100), 1.0);
+    EXPECT_DOUBLE_EQ(normalizedPerformance(Tick{50}, Tick{100}), 0.5);
+    EXPECT_DOUBLE_EQ(normalizedPerformance(Tick{100}, Tick{100}), 1.0);
 }
 
 TEST(Machine, CompletionOfUnknownAppDies)

@@ -17,12 +17,12 @@ using namespace hopp::runner;
 TEST(MarkovTable, PredictsAfterMinCountObservations)
 {
     MarkovTable t;
-    t.train(1, 10, 77);
-    EXPECT_TRUE(t.predict(1, 10).empty()) << "one observation is noise";
-    t.train(1, 10, 77);
-    auto p = t.predict(1, 10);
+    t.train(Pid{1}, Vpn{10}, Vpn{77});
+    EXPECT_TRUE(t.predict(Pid{1}, Vpn{10}).empty()) << "one observation is noise";
+    t.train(Pid{1}, Vpn{10}, Vpn{77});
+    auto p = t.predict(Pid{1}, Vpn{10});
     ASSERT_FALSE(p.empty());
-    EXPECT_EQ(p[0], 77u);
+    EXPECT_EQ(p[0], Vpn{77});
 }
 
 TEST(MarkovTable, ChainsDominantSuccessors)
@@ -30,52 +30,52 @@ TEST(MarkovTable, ChainsDominantSuccessors)
     MarkovTable t;
     // 10 -> 20 -> 30 -> 40, seen twice each.
     for (int i = 0; i < 2; ++i) {
-        t.train(1, 10, 20);
-        t.train(1, 20, 30);
-        t.train(1, 30, 40);
+        t.train(Pid{1}, Vpn{10}, Vpn{20});
+        t.train(Pid{1}, Vpn{20}, Vpn{30});
+        t.train(Pid{1}, Vpn{30}, Vpn{40});
     }
-    auto p = t.predict(1, 10, /*depth=*/3);
+    auto p = t.predict(Pid{1}, Vpn{10}, /*depth=*/3);
     ASSERT_GE(p.size(), 3u);
-    EXPECT_EQ(p[0], 20u);
-    EXPECT_EQ(p[1], 30u);
-    EXPECT_EQ(p[2], 40u);
+    EXPECT_EQ(p[0], Vpn{20});
+    EXPECT_EQ(p[1], Vpn{30});
+    EXPECT_EQ(p[2], Vpn{40});
 }
 
 TEST(MarkovTable, KeepsTwoSuccessorsAndPrefersDominant)
 {
     MarkovTable t;
     for (int i = 0; i < 5; ++i)
-        t.train(1, 10, 20);
+        t.train(Pid{1}, Vpn{10}, Vpn{20});
     for (int i = 0; i < 2; ++i)
-        t.train(1, 10, 99);
-    auto p = t.predict(1, 10, 1);
+        t.train(Pid{1}, Vpn{10}, Vpn{99});
+    auto p = t.predict(Pid{1}, Vpn{10}, 1);
     ASSERT_EQ(p.size(), 2u);
-    EXPECT_EQ(p[0], 20u); // slot order: dominant first
+    EXPECT_EQ(p[0], Vpn{20}); // slot order: dominant first
 }
 
 TEST(MarkovTable, WeakSuccessorDisplacedByFrequencyDecay)
 {
     MarkovTable t;
-    t.train(1, 10, 20);
-    t.train(1, 10, 21);
+    t.train(Pid{1}, Vpn{10}, Vpn{20});
+    t.train(Pid{1}, Vpn{10}, Vpn{21});
     // A third successor decays and eventually displaces a weak slot.
-    t.train(1, 10, 22); // decays one slot to 0? (count 1 -> 0, replaced)
-    t.train(1, 10, 22);
-    t.train(1, 10, 22);
-    auto p = t.predict(1, 10, 1);
+    t.train(Pid{1}, Vpn{10}, Vpn{22}); // decays one slot to 0? (count 1 -> 0, replaced)
+    t.train(Pid{1}, Vpn{10}, Vpn{22});
+    t.train(Pid{1}, Vpn{10}, Vpn{22});
+    auto p = t.predict(Pid{1}, Vpn{10}, 1);
     bool has22 = false;
     for (Vpn v : p)
-        has22 |= v == 22;
+        has22 |= v == Vpn{22};
     EXPECT_TRUE(has22);
 }
 
 TEST(MarkovTable, PidsAreIndependent)
 {
     MarkovTable t;
-    t.train(1, 10, 20);
-    t.train(1, 10, 20);
-    EXPECT_FALSE(t.predict(1, 10).empty());
-    EXPECT_TRUE(t.predict(2, 10).empty());
+    t.train(Pid{1}, Vpn{10}, Vpn{20});
+    t.train(Pid{1}, Vpn{10}, Vpn{20});
+    EXPECT_FALSE(t.predict(Pid{1}, Vpn{10}).empty());
+    EXPECT_TRUE(t.predict(Pid{2}, Vpn{10}).empty());
 }
 
 TEST(MarkovTable, CapacityBoundedByConfig)
@@ -84,9 +84,9 @@ TEST(MarkovTable, CapacityBoundedByConfig)
     cfg.entries = 64;
     cfg.ways = 8;
     MarkovTable t(cfg);
-    for (Vpn v = 0; v < 1000; ++v) {
-        t.train(1, v, v + 1);
-        t.train(1, v, v + 1);
+    for (std::uint64_t v = 0; v < 1000; ++v) {
+        t.train(Pid{1}, Vpn{v}, Vpn{v + 1});
+        t.train(Pid{1}, Vpn{v}, Vpn{v + 1});
     }
     EXPECT_LE(t.size(), 64u);
 }

@@ -46,14 +46,14 @@ drainCount(AccessGenerator &gen)
 TEST(SequentialScanGen, CoversAllPagesInOrder)
 {
     SequentialScan::Params p;
-    p.base = pageBase(100);
+    p.base = pageBase(Vpn{100});
     p.pages = 8;
     p.linesPerPage = 4;
     SequentialScan gen(p);
     auto pages = pageTrace(gen);
     ASSERT_EQ(pages.size(), 8u);
     for (std::size_t i = 0; i < 8; ++i)
-        EXPECT_EQ(pages[i], 100 + i);
+        EXPECT_EQ(pages[i], Vpn{100 + i});
 }
 
 TEST(SequentialScanGen, AccessCountMatchesGeometry)
@@ -74,7 +74,7 @@ TEST(SequentialScanGen, StrideSkipsPages)
     p.linesPerPage = 1;
     SequentialScan gen(p);
     auto pages = pageTrace(gen);
-    EXPECT_EQ(pages, (std::vector<Vpn>{0, 16, 32, 48}));
+    EXPECT_EQ(pages, (std::vector<Vpn>{Vpn{0}, Vpn{16}, Vpn{32}, Vpn{48}}));
 }
 
 TEST(SequentialScanGen, BackwardScansDescend)
@@ -85,7 +85,7 @@ TEST(SequentialScanGen, BackwardScansDescend)
     p.backward = true;
     SequentialScan gen(p);
     auto pages = pageTrace(gen);
-    EXPECT_EQ(pages, (std::vector<Vpn>{3, 2, 1, 0}));
+    EXPECT_EQ(pages, (std::vector<Vpn>{Vpn{3}, Vpn{2}, Vpn{1}, Vpn{0}}));
 }
 
 TEST(SequentialScanGen, ResetReplaysIdentically)
@@ -109,7 +109,8 @@ TEST(LadderGenPattern, TreadsAndRises)
     p.linesPerPage = 1;
     LadderGen gen(p);
     auto pages = pageTrace(gen);
-    EXPECT_EQ(pages, (std::vector<Vpn>{0, 1, 16, 17, 32, 33}));
+    EXPECT_EQ(pages, (std::vector<Vpn>{Vpn{0}, Vpn{1}, Vpn{16}, Vpn{17}, Vpn{32},
+                            Vpn{33}}));
 }
 
 TEST(RippleGenPattern, NetProgressCoversRegion)
@@ -123,7 +124,7 @@ TEST(RippleGenPattern, NetProgressCoversRegion)
     std::set<Vpn> distinct(pages.begin(), pages.end());
     // The advancing front guarantees full coverage.
     EXPECT_EQ(distinct.size(), 64u);
-    EXPECT_LT(*distinct.begin(), 2u);
+    EXPECT_LT(*distinct.begin(), Vpn{2});
 }
 
 TEST(RippleGenPattern, HopsAreBounded)
@@ -149,14 +150,14 @@ TEST(GatherGenPattern, MixesSequentialAndGathers)
     GatherGen::Params p;
     p.seqPages = 16;
     p.seqLinesPerPage = 4;
-    p.targetBase = pageBase(1000);
+    p.targetBase = pageBase(Vpn{1000});
     p.targetPages = 32;
     p.gatherPerLine = 1.0; // one gather per sequential line
     GatherGen gen(p);
     Access a;
     unsigned seq = 0, gather = 0;
     while (gen.next(a)) {
-        if (pageOf(a.va) >= 1000)
+        if (pageOf(a.va) >= Vpn{1000})
             ++gather;
         else
             ++seq;
@@ -176,7 +177,7 @@ TEST(HotColdGenPattern, SkewFavoursHotPages)
     std::vector<unsigned> counts(100, 0);
     Access a;
     while (gen.next(a))
-        ++counts[pageOf(a.va)];
+        ++counts[pageOf(a.va).raw()];
     EXPECT_GT(counts[0], counts[50] * 5);
 }
 
@@ -194,7 +195,7 @@ TEST(ShortRunsGenPattern, RunsStayInRegionAndGcScans)
     ShortRunsGen gen(p);
     auto pages = pageTrace(gen);
     for (Vpn v : pages)
-        EXPECT_LT(v, 128u);
+        EXPECT_LT(v, Vpn{128});
     // GC bursts produce runs of ~64 consecutive pages: find one.
     unsigned longest = 1, cur = 1;
     for (std::size_t i = 1; i < pages.size(); ++i) {
@@ -216,8 +217,8 @@ TEST(QuicksortGenPattern, TouchesWholeArrayAndTerminates)
     EXPECT_EQ(distinct.size(), 64u);
     // Partitioning alternates ends: early trace hops between the two
     // halves of the range.
-    EXPECT_EQ(pages[0], 0u);
-    EXPECT_EQ(pages[1], 63u);
+    EXPECT_EQ(pages[0], Vpn{0});
+    EXPECT_EQ(pages[1], Vpn{63});
 }
 
 TEST(PermutationGenPattern, VisitsEveryPageOncePerPass)
@@ -273,7 +274,7 @@ TEST(GatherGenPattern, FixedSequenceRepeatsAcrossPasses)
     GatherGen::Params p;
     p.seqPages = 8;
     p.seqLinesPerPage = 4;
-    p.targetBase = pageBase(1000);
+    p.targetBase = pageBase(Vpn{1000});
     p.targetPages = 64;
     p.gatherPerLine = 1.0;
     p.passes = 2;
@@ -282,7 +283,7 @@ TEST(GatherGenPattern, FixedSequenceRepeatsAcrossPasses)
     std::vector<Vpn> gathers;
     Access a;
     while (gen.next(a)) {
-        if (pageOf(a.va) >= 1000)
+        if (pageOf(a.va) >= Vpn{1000})
             gathers.push_back(pageOf(a.va));
     }
     ASSERT_EQ(gathers.size() % 2, 0u);
@@ -299,13 +300,13 @@ TEST(PhasedGenCombinator, RunsPhasesInSequence)
     a.linesPerPage = 1;
     phases.push_back(std::make_unique<SequentialScan>(a));
     SequentialScan::Params b;
-    b.base = pageBase(100);
+    b.base = pageBase(Vpn{100});
     b.pages = 2;
     b.linesPerPage = 1;
     phases.push_back(std::make_unique<SequentialScan>(b));
     PhasedGen gen(std::move(phases));
     auto pages = pageTrace(gen);
-    EXPECT_EQ(pages, (std::vector<Vpn>{0, 1, 100, 101}));
+    EXPECT_EQ(pages, (std::vector<Vpn>{Vpn{0}, Vpn{1}, Vpn{100}, Vpn{101}}));
 }
 
 TEST(InterleaveGenCombinator, AlternatesBursts)
@@ -316,13 +317,14 @@ TEST(InterleaveGenCombinator, AlternatesBursts)
     a.linesPerPage = 1;
     subs.push_back(std::make_unique<SequentialScan>(a));
     SequentialScan::Params b;
-    b.base = pageBase(100);
+    b.base = pageBase(Vpn{100});
     b.pages = 4;
     b.linesPerPage = 1;
     subs.push_back(std::make_unique<SequentialScan>(b));
     InterleaveGen gen(std::move(subs), /*burst=*/2);
     auto pages = pageTrace(gen);
-    EXPECT_EQ(pages, (std::vector<Vpn>{0, 1, 100, 101, 2, 3, 102, 103}));
+    EXPECT_EQ(pages, (std::vector<Vpn>{Vpn{0}, Vpn{1}, Vpn{100}, Vpn{101}, Vpn{2},
+                            Vpn{3}, Vpn{102}, Vpn{103}}));
 }
 
 TEST(InterleaveGenCombinator, DrainsUnevenSubstreams)
@@ -333,7 +335,7 @@ TEST(InterleaveGenCombinator, DrainsUnevenSubstreams)
     a.linesPerPage = 1;
     subs.push_back(std::make_unique<SequentialScan>(a));
     SequentialScan::Params b;
-    b.base = pageBase(100);
+    b.base = pageBase(Vpn{100});
     b.pages = 5;
     b.linesPerPage = 1;
     subs.push_back(std::make_unique<SequentialScan>(b));

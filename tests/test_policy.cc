@@ -41,7 +41,7 @@ TEST(Policy, LatePageGrowsOffset)
 {
     auto pe = perSample();
     // T = 10 us < T_min = 40 us: nearly late -> i *= 1.2.
-    pe.feedback(1, 100_us, 110_us);
+    pe.feedback(1, Tick{100_us}, Tick{110_us});
     EXPECT_NEAR(pe.offsetOf(1), 1.2, 1e-9);
     EXPECT_EQ(pe.stats().increases, 1u);
 }
@@ -49,14 +49,14 @@ TEST(Policy, LatePageGrowsOffset)
 TEST(Policy, HitBeforeArrivalGrowsOffset)
 {
     auto pe = perSample();
-    pe.feedback(1, 100_us, 90_us); // waited on the wire: T = 0
+    pe.feedback(1, Tick{100_us}, Tick{90_us}); // waited on the wire: T = 0
     EXPECT_NEAR(pe.offsetOf(1), 1.2, 1e-9);
 }
 
 TEST(Policy, EarlyPageShrinksOffset)
 {
     auto pe = perSample(100.0);
-    pe.feedback(1, 0, 6_ms); // T = 6 ms > T_max = 5 ms
+    pe.feedback(1, Tick{}, Tick{6_ms}); // T = 6 ms > T_max = 5 ms
     EXPECT_NEAR(pe.offsetOf(1), 80.0, 1e-9);
     EXPECT_EQ(pe.stats().decreases, 1u);
 }
@@ -64,7 +64,7 @@ TEST(Policy, EarlyPageShrinksOffset)
 TEST(Policy, TimelyPageLeavesOffsetAlone)
 {
     auto pe = perSample();
-    pe.feedback(1, 0, 1_ms); // 40 us < T < 5 ms
+    pe.feedback(1, Tick{}, Tick{1_ms}); // 40 us < T < 5 ms
     EXPECT_DOUBLE_EQ(pe.offsetOf(1), 1.0);
     EXPECT_EQ(pe.stats().feedbacks, 1u);
     EXPECT_EQ(pe.stats().increases, 0u);
@@ -76,9 +76,9 @@ TEST(Policy, EpochAveragingAdjustsOncePerEpoch)
     cfg.adjustEpoch = 8;
     PolicyEngine pe(cfg);
     for (int i = 0; i < 7; ++i)
-        pe.feedback(1, 0, 0); // very late, but epoch not full
+        pe.feedback(1, Tick{}, Tick{}); // very late, but epoch not full
     EXPECT_DOUBLE_EQ(pe.offsetOf(1), 1.0);
-    pe.feedback(1, 0, 0); // 8th sample closes the epoch
+    pe.feedback(1, Tick{}, Tick{}); // 8th sample closes the epoch
     EXPECT_NEAR(pe.offsetOf(1), 1.2, 1e-9);
     EXPECT_EQ(pe.stats().increases, 1u);
 }
@@ -90,9 +90,9 @@ TEST(Policy, StaleSmallSamplesDilutedByAverage)
     PolicyConfig cfg;
     cfg.adjustEpoch = 8;
     PolicyEngine pe(cfg);
-    pe.feedback(1, 0, 0);
+    pe.feedback(1, Tick{}, Tick{});
     for (int i = 0; i < 7; ++i)
-        pe.feedback(1, 0, 1_ms);
+        pe.feedback(1, Tick{}, Tick{1_ms});
     EXPECT_DOUBLE_EQ(pe.offsetOf(1), 1.0);
     EXPECT_EQ(pe.stats().increases, 0u);
 }
@@ -101,7 +101,7 @@ TEST(Policy, OffsetClampsAtMax)
 {
     auto pe = perSample();
     for (int i = 0; i < 100; ++i)
-        pe.feedback(1, 0, 0);
+        pe.feedback(1, Tick{}, Tick{});
     EXPECT_DOUBLE_EQ(pe.offsetOf(1), 1024.0);
 }
 
@@ -109,14 +109,14 @@ TEST(Policy, OffsetNeverDropsBelowOne)
 {
     auto pe = perSample();
     for (int i = 0; i < 50; ++i)
-        pe.feedback(1, 0, 6_ms);
+        pe.feedback(1, Tick{}, Tick{6_ms});
     EXPECT_DOUBLE_EQ(pe.offsetOf(1), 1.0);
 }
 
 TEST(Policy, StreamsAdaptIndependently)
 {
     auto pe = perSample();
-    pe.feedback(1, 0, 0);
+    pe.feedback(1, Tick{}, Tick{});
     EXPECT_GT(pe.offsetOf(1), 1.0);
     EXPECT_DOUBLE_EQ(pe.offsetOf(2), 1.0);
 }
@@ -142,7 +142,7 @@ TEST(Policy, NonAdaptiveKeepsFixedOffset)
     cfg.adjustEpoch = 1;
     PolicyEngine pe(cfg);
     for (int i = 0; i < 10; ++i)
-        pe.feedback(1, 0, 0);
+        pe.feedback(1, Tick{}, Tick{});
     EXPECT_DOUBLE_EQ(pe.offsetOf(1), 20.0);
     EXPECT_EQ(pe.offsets(1)[0], 20u);
 }
@@ -150,8 +150,8 @@ TEST(Policy, NonAdaptiveKeepsFixedOffset)
 TEST(Policy, OffsetsRoundToNearest)
 {
     auto pe = perSample(2.0);
-    pe.feedback(1, 0, 0); // 2.4
+    pe.feedback(1, Tick{}, Tick{}); // 2.4
     EXPECT_EQ(pe.offsets(1)[0], 2u);
-    pe.feedback(1, 0, 0); // 2.88
+    pe.feedback(1, Tick{}, Tick{}); // 2.88
     EXPECT_EQ(pe.offsets(1)[0], 3u);
 }

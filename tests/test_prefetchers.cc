@@ -26,7 +26,7 @@ namespace
 class PrefetcherTest : public ::testing::Test
 {
   public:
-    static constexpr Pid pid = 1;
+    static constexpr Pid pid{1};
 
     PrefetcherTest()
     {
@@ -46,10 +46,10 @@ class PrefetcherTest : public ::testing::Test
         vms->createProcess(pid, 32);
     }
 
-    Tick
+    Duration
     touch(Vpn v, Tick t)
     {
-        Tick c = vms->access(pid, pageBase(v), false, t);
+        Duration c = vms->access(pid, pageBase(v), false, t);
         eq->runUntil(t + c);
         return c;
     }
@@ -58,9 +58,9 @@ class PrefetcherTest : public ::testing::Test
     Tick
     fill(std::uint64_t n)
     {
-        Tick t = 0;
-        for (Vpn v = 0; v < n; ++v)
-            t += touch(v, t);
+        Tick t{};
+        for (std::uint64_t v = 0; v < n; ++v)
+            t += touch(Vpn{v}, t);
         return t;
     }
 
@@ -85,11 +85,11 @@ TEST_F(PrefetcherTest, ReadaheadFetchesSwapOffsetNeighbors)
     // LRU order, so their swap slots are consecutive.
     Tick t = fill(64);
     // Fault on page 10: neighbors by slot are pages ~6..14.
-    t += touch(10, t);
+    t += touch(Vpn{10}, t);
     eq->run();
     unsigned cached = 0;
-    for (Vpn v = 5; v <= 15; ++v) {
-        auto *pi = vms->pageTable().find(pid, v);
+    for (std::uint64_t v = 5; v <= 15; ++v) {
+        auto *pi = vms->pageTable().find(pid, Vpn{v});
         cached += pi && pi->state == vm::PageState::SwapCached;
     }
     EXPECT_GE(cached, 6u);
@@ -101,10 +101,10 @@ TEST_F(PrefetcherTest, VmaFetchesVirtualNeighborsRegardlessOfSlots)
     VmaPrefetcher vp(*vms);
     vms->setFaultCallback([&](const FaultContext &c) { vp.onFault(c); });
     Tick t = fill(64);
-    t += touch(20, t);
+    t += touch(Vpn{20}, t);
     eq->run();
-    for (Vpn v : {18u, 19u, 21u, 22u}) {
-        auto *pi = vms->pageTable().find(pid, v);
+    for (std::uint64_t v : {18u, 19u, 21u, 22u}) {
+        auto *pi = vms->pageTable().find(pid, Vpn{v});
         ASSERT_NE(pi, nullptr);
         EXPECT_TRUE(pi->state == vm::PageState::SwapCached ||
                     pi->state == vm::PageState::Resident)
@@ -117,11 +117,11 @@ TEST_F(PrefetcherTest, DepthNInjectsPtes)
     DepthN dn(*vms, 8);
     vms->setFaultCallback([&](const FaultContext &c) { dn.onFault(c); });
     Tick t = fill(64);
-    t += touch(5, t);
+    t += touch(Vpn{5}, t);
     eq->run();
     unsigned injected = 0;
-    for (Vpn v = 6; v <= 13; ++v) {
-        auto *pi = vms->pageTable().find(pid, v);
+    for (std::uint64_t v = 6; v <= 13; ++v) {
+        auto *pi = vms->pageTable().find(pid, Vpn{v});
         injected += pi && pi->state == vm::PageState::Resident &&
                     pi->injected;
     }
@@ -138,12 +138,12 @@ TEST_F(PrefetcherTest, LeapDetectsStrideAcrossFaults)
     vms->addListener(&leap);
     Tick t = fill(128);
     // Fault with stride 2: 0, 2, 4, 6, 8 ...
-    for (Vpn v = 0; v <= 16; v += 2)
-        t += touch(v, t);
+    for (std::uint64_t v = 0; v <= 16; v += 2)
+        t += touch(Vpn{v}, t);
     EXPECT_EQ(leap.detectStride(), 2);
     eq->run();
     // Pages ahead along stride 2 got prefetched.
-    auto *pi = vms->pageTable().find(pid, 18);
+    auto *pi = vms->pageTable().find(pid, Vpn{18});
     ASSERT_NE(pi, nullptr);
     EXPECT_TRUE(pi->state == vm::PageState::SwapCached ||
                 pi->inflight || pi->state == vm::PageState::Resident);
@@ -152,7 +152,8 @@ TEST_F(PrefetcherTest, LeapDetectsStrideAcrossFaults)
 TEST_F(PrefetcherTest, LeapFindsNoStrideInRandomFaults)
 {
     Leap leap(*vms);
-    Vpn seq[] = {3, 99, 41, 7, 250, 18, 160, 77, 5, 210};
+    Vpn seq[] = {Vpn{3},   Vpn{99}, Vpn{41}, Vpn{7},  Vpn{250},
+                 Vpn{18}, Vpn{160}, Vpn{77}, Vpn{5},  Vpn{210}};
     Tick t = fill(256);
     vms->setFaultCallback(
         [&](const FaultContext &c) { leap.onFault(c); });
@@ -174,8 +175,8 @@ TEST_F(PrefetcherTest, LeapDepthGrowsOnHits)
     Tick t = fill(128);
     unsigned start_depth = leap.depth();
     // Long sequential fault stream: hits accumulate, depth grows.
-    for (Vpn v = 0; v < 96; ++v)
-        t += touch(v, t);
+    for (std::uint64_t v = 0; v < 96; ++v)
+        t += touch(Vpn{v}, t);
     eq->run();
     EXPECT_GT(leap.depth(), start_depth);
 }
@@ -184,13 +185,14 @@ TEST_F(PrefetcherTest, StatsComputeAccuracyAndCoverage)
 {
     // Hand-drive the listener: 4 completed, 3 hits, 2 demand misses.
     PrefetchStats s;
-    for (int i = 0; i < 4; ++i)
-        s.onPrefetchCompleted(1, i, 2, 0, false);
-    s.onPrefetchHit(1, 0, 2, 100, 200, false);
-    s.onPrefetchHit(1, 1, 2, 100, 300, true);
-    s.onPrefetchHit(1, 2, 2, 400, 350, true); // late hit
-    s.onDemandRemote(1, 9, 0);
-    s.onDemandRemote(1, 10, 0);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        s.onPrefetchCompleted(Pid{1}, Vpn{i}, 2, Tick{}, false);
+    s.onPrefetchHit(Pid{1}, Vpn{0}, 2, Tick{100}, Tick{200}, false);
+    s.onPrefetchHit(Pid{1}, Vpn{1}, 2, Tick{100}, Tick{300}, true);
+    s.onPrefetchHit(Pid{1}, Vpn{2}, 2, Tick{400}, Tick{350},
+                    true); // late hit
+    s.onDemandRemote(Pid{1}, Vpn{9}, Tick{});
+    s.onDemandRemote(Pid{1}, Vpn{10}, Tick{});
     EXPECT_DOUBLE_EQ(s.accuracy(), 0.75);
     EXPECT_DOUBLE_EQ(s.coverage(), 3.0 / 5.0);
     EXPECT_DOUBLE_EQ(s.dramHitCoverage(), 2.0 / 5.0);
@@ -201,9 +203,11 @@ TEST_F(PrefetcherTest, StatsComputeAccuracyAndCoverage)
 TEST_F(PrefetcherTest, StatsSeparateOrigins)
 {
     PrefetchStats s;
-    s.onPrefetchCompleted(1, 0, origin::readahead, 0, false);
-    s.onPrefetchCompleted(1, 1, origin::hopp, 0, true);
-    s.onPrefetchHit(1, 1, origin::hopp, 0, 1, true);
+    s.onPrefetchCompleted(Pid{1}, Vpn{0}, origin::readahead, Tick{},
+                          false);
+    s.onPrefetchCompleted(Pid{1}, Vpn{1}, origin::hopp, Tick{}, true);
+    s.onPrefetchHit(Pid{1}, Vpn{1}, origin::hopp, Tick{}, Tick{1},
+                    true);
     EXPECT_DOUBLE_EQ(s.forOrigin(origin::hopp).accuracy(), 1.0);
     EXPECT_DOUBLE_EQ(s.forOrigin(origin::readahead).accuracy(), 0.0);
     EXPECT_DOUBLE_EQ(s.accuracy(), 0.5);

@@ -58,10 +58,11 @@ TEST_P(MachineProperty, InvariantsHold)
     EXPECT_GE(r.coverage, 0.0);
     EXPECT_LE(r.coverage, 1.0 + 1e-9);
     EXPECT_LE(r.dramHitCoverage, r.coverage + 1e-9);
-    EXPECT_GT(r.makespan, 0u);
+    EXPECT_GT(r.makespan, Tick{});
 
     // The cgroup never exceeds its limit.
-    EXPECT_LE(m.vms().cgroup(1).charged(), m.vms().cgroup(1).limit());
+    EXPECT_LE(m.vms().cgroup(Pid{1}).charged(),
+              m.vms().cgroup(Pid{1}).limit());
 
     // Frame accounting: used frames equal pages holding DRAM.
     auto &pt = m.vms().pageTable();
@@ -151,8 +152,8 @@ TEST_P(RatioMonotonicity, TighterMemoryNeverFaster)
     auto r25 = runOne(GetParam(), SystemKind::Fastswap, 0.25, tiny());
     // At this tiny scale the 25% limit clamps to the 64-frame floor,
     // leaving the two limits close; allow generous layout noise.
-    EXPECT_GE(static_cast<double>(r25.makespan) * 1.06,
-              static_cast<double>(r50.makespan));
+    EXPECT_GE(static_cast<double>(r25.makespan - Tick{}) * 1.06,
+              static_cast<double>(r50.makespan - Tick{}));
     EXPECT_GE(r25.vms.remoteFaults + r25.vms.swapCacheHits +
                   r25.vms.inflightWaits,
               r50.vms.remoteFaults);
@@ -212,7 +213,7 @@ TEST_P(PolicyAlphaSweep, OffsetStaysClampedUnderAnyFeedback)
     core::PolicyEngine pe(cfg);
     Pcg32 rng(7);
     for (int i = 0; i < 2000; ++i) {
-        Tick ready = rng.below(1000) * 1000ull;
+        Tick ready{rng.below(1000) * 1000ull};
         Tick hit = ready + rng.below64(10'000'000);
         pe.feedback(1, ready, hit);
         double off = pe.offsetOf(1);
@@ -228,7 +229,7 @@ TEST_P(PolicyAlphaSweep, ConsistentlyLateFeedbackReachesMax)
     cfg.adjustEpoch = 1;
     core::PolicyEngine pe(cfg);
     for (int i = 0; i < 200; ++i)
-        pe.feedback(1, 1000, 1000); // T == 0: always late
+        pe.feedback(1, Tick{1000}, Tick{1000}); // T == 0: always late
     EXPECT_DOUBLE_EQ(pe.offsetOf(1), cfg.offsetMax);
 }
 

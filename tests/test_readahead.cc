@@ -24,13 +24,15 @@ epoch(Readahead &ra, unsigned completed, unsigned hits,
       unsigned epoch_faults = 64)
 {
     for (unsigned i = 0; i < completed; ++i)
-        ra.onPrefetchCompleted(1, i, origin::readahead, 0, false);
+        ra.onPrefetchCompleted(Pid{1}, Vpn{i}, origin::readahead,
+                               Tick{}, false);
     for (unsigned i = 0; i < hits; ++i)
-        ra.onPrefetchHit(1, i, origin::readahead, 0, 1, false);
+        ra.onPrefetchHit(Pid{1}, Vpn{i}, origin::readahead, Tick{},
+                         Tick{1}, false);
     // Faults with no slot only tick the adaptation epoch.
     for (unsigned i = 0; i < epoch_faults; ++i) {
-        ra.onFault(vm::FaultContext{1, 0, remote::noSlot,
-                                    vm::FaultKind::Remote, 0});
+        ra.onFault(vm::FaultContext{Pid{1}, Vpn{0}, remote::noSlot,
+                                    vm::FaultKind::Remote, Tick{}});
     }
 }
 
@@ -100,12 +102,14 @@ TEST(ReadaheadWindow, IgnoresOtherOrigins)
     RaRig rig;
     Readahead ra(rig.vms, rig.backend);
     for (unsigned i = 0; i < 100; ++i) {
-        ra.onPrefetchCompleted(1, i, origin::hopp, 0, true);
-        ra.onPrefetchHit(1, i, origin::leap, 0, 1, false);
+        ra.onPrefetchCompleted(Pid{1}, Vpn{i}, origin::hopp, Tick{},
+                               true);
+        ra.onPrefetchHit(Pid{1}, Vpn{i}, origin::leap, Tick{}, Tick{1},
+                         false);
     }
     for (unsigned i = 0; i < 64; ++i) {
-        ra.onFault(vm::FaultContext{1, 0, remote::noSlot,
-                                    vm::FaultKind::Remote, 0});
+        ra.onFault(vm::FaultContext{Pid{1}, Vpn{0}, remote::noSlot,
+                                    vm::FaultKind::Remote, Tick{}});
     }
     EXPECT_EQ(ra.window(), 8u) << "foreign events must not adapt it";
 }

@@ -60,11 +60,11 @@ struct BackendFixture : ::testing::Test
 
 TEST_F(BackendFixture, AllocateRecordsOwner)
 {
-    SwapSlot s = backend.allocate(3, 0x100);
+    SwapSlot s = backend.allocate(Pid{3}, Vpn{0x100});
     auto owner = backend.owner(s);
     ASSERT_TRUE(owner.has_value());
-    EXPECT_EQ(owner->pid, 3);
-    EXPECT_EQ(owner->vpn, 0x100u);
+    EXPECT_EQ(owner->pid, Pid{3});
+    EXPECT_EQ(owner->vpn, Vpn{0x100});
     backend.release(s);
     EXPECT_FALSE(backend.owner(s).has_value());
 }
@@ -72,41 +72,41 @@ TEST_F(BackendFixture, AllocateRecordsOwner)
 TEST_F(BackendFixture, NeighborsReturnAdjacentSlotOwners)
 {
     // Evict pages in order: slots 0..4 belong to vpns 10..14.
-    for (Vpn v = 10; v <= 14; ++v)
-        backend.allocate(1, v);
+    for (std::uint64_t v = 10; v <= 14; ++v)
+        backend.allocate(Pid{1}, Vpn{v});
     auto around = backend.neighbors(2, 2, 2);
     ASSERT_EQ(around.size(), 4u);
-    EXPECT_EQ(around[0].vpn, 10u);
-    EXPECT_EQ(around[1].vpn, 11u);
-    EXPECT_EQ(around[2].vpn, 13u);
-    EXPECT_EQ(around[3].vpn, 14u);
+    EXPECT_EQ(around[0].vpn, Vpn{10});
+    EXPECT_EQ(around[1].vpn, Vpn{11});
+    EXPECT_EQ(around[2].vpn, Vpn{13});
+    EXPECT_EQ(around[3].vpn, Vpn{14});
 }
 
 TEST_F(BackendFixture, NeighborsClampAtSlotZero)
 {
-    backend.allocate(1, 10);
-    backend.allocate(1, 11);
+    backend.allocate(Pid{1}, Vpn{10});
+    backend.allocate(Pid{1}, Vpn{11});
     auto around = backend.neighbors(0, 4, 1);
     ASSERT_EQ(around.size(), 1u);
-    EXPECT_EQ(around[0].vpn, 11u);
+    EXPECT_EQ(around[0].vpn, Vpn{11});
 }
 
 TEST_F(BackendFixture, NeighborsSkipFreedSlots)
 {
-    for (Vpn v = 10; v <= 14; ++v)
-        backend.allocate(1, v);
+    for (std::uint64_t v = 10; v <= 14; ++v)
+        backend.allocate(Pid{1}, Vpn{v});
     backend.release(1);
     auto around = backend.neighbors(2, 2, 0);
     ASSERT_EQ(around.size(), 1u);
-    EXPECT_EQ(around[0].vpn, 10u);
+    EXPECT_EQ(around[0].vpn, Vpn{10});
 }
 
 TEST_F(BackendFixture, CountsDemandAndPrefetchReadsSeparately)
 {
-    backend.demandRead(0);
-    backend.readAsync(0, [](Tick) {});
-    backend.readAsync(0, [](Tick) {});
-    backend.write(0);
+    backend.demandRead(Tick{});
+    backend.readAsync(Tick{}, [](Tick) {});
+    backend.readAsync(Tick{}, [](Tick) {});
+    backend.write(Tick{});
     EXPECT_EQ(backend.demandReads(), 1u);
     EXPECT_EQ(backend.prefetchReads(), 2u);
     EXPECT_EQ(backend.writebacks(), 1u);
@@ -115,7 +115,7 @@ TEST_F(BackendFixture, CountsDemandAndPrefetchReadsSeparately)
 
 TEST_F(BackendFixture, DemandReadLatencyMatchesLinkModel)
 {
-    Tick done = backend.demandRead(1000);
-    EXPECT_GT(done, 1000u + 3000u); // base latency dominates
-    EXPECT_LT(done, 1000u + 6000u);
+    Tick done = backend.demandRead(Tick{1000});
+    EXPECT_GT(done, Tick{1000 + 3000}); // base latency dominates
+    EXPECT_LT(done, Tick{1000 + 6000});
 }

@@ -34,34 +34,34 @@ struct RptFixture : ::testing::Test
 
 TEST_F(RptFixture, RptStoreLoadErase)
 {
-    rpt.store(5, RptEntry{3, 0x123, true, 1});
-    auto e = rpt.load(5);
+    rpt.store(Ppn{5}, RptEntry{Pid{3}, Vpn{0x123}, true, 1});
+    auto e = rpt.load(Ppn{5});
     ASSERT_TRUE(e.has_value());
-    EXPECT_EQ(e->pid, 3);
-    EXPECT_EQ(e->vpn, 0x123u);
+    EXPECT_EQ(e->pid, Pid{3});
+    EXPECT_EQ(e->vpn, Vpn{0x123});
     EXPECT_TRUE(e->shared);
     EXPECT_EQ(e->hugeBits, 1);
-    rpt.erase(5);
-    EXPECT_FALSE(rpt.load(5).has_value());
+    rpt.erase(Ppn{5});
+    EXPECT_FALSE(rpt.load(Ppn{5}).has_value());
 }
 
 TEST_F(RptFixture, RptBytesAre8PerEntry)
 {
-    rpt.store(1, {});
-    rpt.store(2, {});
+    rpt.store(Ppn{1}, {});
+    rpt.store(Ppn{2}, {});
     EXPECT_EQ(rpt.bytes(), 16u);
 }
 
 TEST_F(RptFixture, CacheMissReadsDramThenHits)
 {
-    rpt.store(7, RptEntry{1, 0x700});
+    rpt.store(Ppn{7}, RptEntry{Pid{1}, Vpn{0x700}});
     RptCache cache(rpt, dram, smallCache());
-    auto e = cache.lookup(7);
+    auto e = cache.lookup(Ppn{7});
     ASSERT_TRUE(e.has_value());
-    EXPECT_EQ(e->vpn, 0x700u);
+    EXPECT_EQ(e->vpn, Vpn{0x700});
     EXPECT_EQ(cache.stats().misses, 1u);
     EXPECT_EQ(dram.traffic(mem::TrafficSource::RptQuery), 64u);
-    cache.lookup(7);
+    cache.lookup(Ppn{7});
     EXPECT_EQ(cache.stats().hits, 1u);
     // The hit consumed no DRAM bandwidth.
     EXPECT_EQ(dram.traffic(mem::TrafficSource::RptQuery), 64u);
@@ -70,44 +70,44 @@ TEST_F(RptFixture, CacheMissReadsDramThenHits)
 TEST_F(RptFixture, UpdateServesLookupWithoutDram)
 {
     RptCache cache(rpt, dram, smallCache());
-    cache.update(9, RptEntry{2, 0x900});
-    auto e = cache.lookup(9);
+    cache.update(Ppn{9}, RptEntry{Pid{2}, Vpn{0x900}});
+    auto e = cache.lookup(Ppn{9});
     ASSERT_TRUE(e.has_value());
-    EXPECT_EQ(e->pid, 2);
+    EXPECT_EQ(e->pid, Pid{2});
     EXPECT_EQ(cache.stats().hits, 1u);
     // Lazy write-back: DRAM RPT not yet updated.
-    EXPECT_FALSE(rpt.load(9).has_value());
+    EXPECT_FALSE(rpt.load(Ppn{9}).has_value());
 }
 
 TEST_F(RptFixture, DirtyEvictionWritesBackToDram)
 {
     // 1 KB / 8 B = 128 entries, 16 ways -> 8 sets. Flood one set.
     RptCache cache(rpt, dram, smallCache(1024));
-    for (Ppn p = 0; p < 8 * 17; p += 8)
-        cache.update(p, RptEntry{1, 0x1000 + p});
+    for (std::uint64_t p = 0; p < 8 * 17; p += 8)
+        cache.update(Ppn{p}, RptEntry{Pid{1}, Vpn{0x1000 + p}});
     EXPECT_GT(cache.stats().writebacks, 0u);
     EXPECT_GT(dram.traffic(mem::TrafficSource::RptUpdate), 0u);
     // The evicted entry (ppn 0, the LRU) landed in the DRAM RPT.
-    auto e = rpt.load(0);
+    auto e = rpt.load(Ppn{0});
     ASSERT_TRUE(e.has_value());
-    EXPECT_EQ(e->vpn, 0x1000u);
+    EXPECT_EQ(e->vpn, Vpn{0x1000});
 }
 
 TEST_F(RptFixture, InvalidateMakesLookupUnknown)
 {
     RptCache cache(rpt, dram, smallCache());
-    cache.update(4, RptEntry{1, 0x400});
-    cache.invalidate(4);
-    EXPECT_FALSE(cache.lookup(4).has_value());
+    cache.update(Ppn{4}, RptEntry{Pid{1}, Vpn{0x400}});
+    cache.invalidate(Ppn{4});
+    EXPECT_FALSE(cache.lookup(Ppn{4}).has_value());
     EXPECT_EQ(cache.stats().invalidates, 1u);
 }
 
 TEST_F(RptFixture, InvalidateWritesThroughToDram)
 {
-    rpt.store(3, RptEntry{1, 0x300});
+    rpt.store(Ppn{3}, RptEntry{Pid{1}, Vpn{0x300}});
     RptCache cache(rpt, dram, smallCache(1024));
-    cache.invalidate(3);
-    EXPECT_FALSE(rpt.load(3).has_value())
+    cache.invalidate(Ppn{3});
+    EXPECT_FALSE(rpt.load(Ppn{3}).has_value())
         << "invalidate must erase the stale DRAM entry immediately";
     EXPECT_GT(dram.traffic(mem::TrafficSource::RptUpdate), 0u);
 }
@@ -115,7 +115,7 @@ TEST_F(RptFixture, InvalidateWritesThroughToDram)
 TEST_F(RptFixture, UnknownPpnCountsUnmapped)
 {
     RptCache cache(rpt, dram, smallCache());
-    EXPECT_FALSE(cache.lookup(42).has_value());
+    EXPECT_FALSE(cache.lookup(Ppn{42}).has_value());
     EXPECT_EQ(cache.stats().missUnmapped, 1u);
 }
 
@@ -133,8 +133,8 @@ TEST_F(RptFixture, HitRateImprovesWithCacheSize)
     auto run = [&](std::uint64_t bytes) {
         mem::Dram d(64);
         Rpt r;
-        for (Ppn p = 0; p < 4096; ++p)
-            r.store(p, RptEntry{1, p});
+        for (std::uint64_t p = 0; p < 4096; ++p)
+            r.store(Ppn{p}, RptEntry{Pid{1}, Vpn{p}});
         RptCache cache(r, d, [&] {
             RptCacheConfig c;
             c.capacityBytes = bytes;
@@ -146,7 +146,7 @@ TEST_F(RptFixture, HitRateImprovesWithCacheSize)
         Pcg32 rng(9);
         ZipfSampler zipf(2048, 0.9);
         for (int i = 0; i < 40000; ++i)
-            cache.lookup(zipf.sample(rng));
+            cache.lookup(Ppn{zipf.sample(rng)});
         return cache.stats().hitRate();
     };
     double small = run(1 << 10);

@@ -29,45 +29,45 @@ smallCfg(unsigned L = 8, std::size_t entries = 4)
 TEST(Stt, ViewAppearsOnceHistoryFills)
 {
     Stt stt(smallCfg(8));
-    for (Vpn v = 0; v < 7; ++v)
-        EXPECT_FALSE(stt.feed(1, 100 + v).has_value());
-    auto view = stt.feed(1, 107);
+    for (std::uint64_t v = 0; v < 7; ++v)
+        EXPECT_FALSE(stt.feed(Pid{1}, Vpn{100 + v}).has_value());
+    auto view = stt.feed(Pid{1}, Vpn{107});
     ASSERT_TRUE(view.has_value());
-    EXPECT_EQ(view->pid, 1);
+    EXPECT_EQ(view->pid, Pid{1});
     EXPECT_EQ(view->vpns->size(), 8u);
     EXPECT_EQ(view->strides->size(), 7u);
-    EXPECT_EQ(view->vpnA(), 107u);
+    EXPECT_EQ(view->vpnA(), Vpn{107});
     EXPECT_EQ(view->strideA(), 1);
 }
 
 TEST(Stt, HistorySlidesAfterFull)
 {
     Stt stt(smallCfg(8));
-    for (Vpn v = 0; v < 9; ++v)
-        stt.feed(1, 100 + v);
-    auto view = stt.feed(1, 109);
+    for (std::uint64_t v = 0; v < 9; ++v)
+        stt.feed(Pid{1}, Vpn{100 + v});
+    auto view = stt.feed(Pid{1}, Vpn{109});
     ASSERT_TRUE(view.has_value());
-    EXPECT_EQ(view->vpns->front(), 102u);
-    EXPECT_EQ(view->vpns->back(), 109u);
+    EXPECT_EQ(view->vpns->front(), Vpn{102});
+    EXPECT_EQ(view->vpns->back(), Vpn{109});
 }
 
 TEST(Stt, DifferentPidsNeverShareStreams)
 {
     Stt stt(smallCfg(4));
-    stt.feed(1, 100);
-    stt.feed(2, 101); // adjacent VPN but different pid
-    stt.feed(1, 102);
-    stt.feed(2, 103);
+    stt.feed(Pid{1}, Vpn{100});
+    stt.feed(Pid{2}, Vpn{101}); // adjacent VPN but different pid
+    stt.feed(Pid{1}, Vpn{102});
+    stt.feed(Pid{2}, Vpn{103});
     EXPECT_EQ(stt.liveStreams(), 2u);
 }
 
 TEST(Stt, FarVpnSeedsNewStream)
 {
     Stt stt(smallCfg(4));
-    stt.feed(1, 100);
-    stt.feed(1, 100 + 65); // beyond delta = 64
+    stt.feed(Pid{1}, Vpn{100});
+    stt.feed(Pid{1}, Vpn{100 + 65}); // beyond delta = 64
     EXPECT_EQ(stt.liveStreams(), 2u);
-    stt.feed(1, 100 + 64); // within delta of the first stream
+    stt.feed(Pid{1}, Vpn{100 + 64}); // within delta of the first stream
     EXPECT_EQ(stt.liveStreams(), 2u);
     EXPECT_EQ(stt.stats().seeded, 2u);
 }
@@ -75,20 +75,20 @@ TEST(Stt, FarVpnSeedsNewStream)
 TEST(Stt, ClosestStreamWinsWhenBothMatch)
 {
     Stt stt(smallCfg(8));
-    stt.feed(1, 100);
-    stt.feed(1, 160);     // second stream 60 pages away (within delta!)
+    stt.feed(Pid{1}, Vpn{100});
+    stt.feed(Pid{1}, Vpn{160});     // second stream 60 pages away (within delta!)
     auto before = stt.liveStreams();
     EXPECT_EQ(before, 1u) << "160 clusters into the 100-stream";
-    stt.feed(1, 161);
+    stt.feed(Pid{1}, Vpn{161});
     EXPECT_EQ(stt.liveStreams(), 1u);
 }
 
 TEST(Stt, DuplicateVpnIsSuppressed)
 {
     Stt stt(smallCfg(4));
-    stt.feed(1, 100);
-    stt.feed(1, 100);
-    stt.feed(1, 100);
+    stt.feed(Pid{1}, Vpn{100});
+    stt.feed(Pid{1}, Vpn{100});
+    stt.feed(Pid{1}, Vpn{100});
     EXPECT_EQ(stt.stats().duplicates, 2u);
     EXPECT_EQ(stt.stats().appended, 0u);
 }
@@ -96,14 +96,14 @@ TEST(Stt, DuplicateVpnIsSuppressed)
 TEST(Stt, LruEvictionRecyclesOldestStream)
 {
     Stt stt(smallCfg(4, /*entries=*/2));
-    stt.feed(1, 100);   // stream A
-    stt.feed(1, 1000);  // stream B
-    stt.feed(1, 1001);  // touch B
-    stt.feed(1, 5000);  // needs a slot: evicts A (LRU)
+    stt.feed(Pid{1}, Vpn{100});   // stream A
+    stt.feed(Pid{1}, Vpn{1000});  // stream B
+    stt.feed(Pid{1}, Vpn{1001});  // touch B
+    stt.feed(Pid{1}, Vpn{5000});  // needs a slot: evicts A (LRU)
     EXPECT_EQ(stt.stats().evicted, 1u);
     EXPECT_EQ(stt.liveStreams(), 2u);
     // A's history is gone: feeding near 100 seeds anew, evicting B.
-    stt.feed(1, 101);
+    stt.feed(Pid{1}, Vpn{101});
     EXPECT_EQ(stt.stats().evicted, 2u);
 }
 
@@ -112,14 +112,14 @@ TEST(Stt, StreamIdsAreUniquePerGeneration)
     Stt stt(smallCfg(4, 2));
     auto fill = [&](Vpn base) {
         std::optional<StreamView> v;
-        for (Vpn i = 0; i < 4; ++i)
-            v = stt.feed(1, base + i);
+        for (std::uint64_t i = 0; i < 4; ++i)
+            v = stt.feed(Pid{1}, base + i);
         return v;
     };
-    auto a = fill(100);
+    auto a = fill(Vpn{100});
     ASSERT_TRUE(a.has_value());
     std::uint64_t id_a = a->streamId;
-    auto b = fill(10000);
+    auto b = fill(Vpn{10000});
     ASSERT_TRUE(b.has_value());
     EXPECT_NE(id_a, b->streamId);
 }
@@ -128,8 +128,8 @@ TEST(Stt, BackwardStreamsClusterToo)
 {
     Stt stt(smallCfg(8));
     std::optional<StreamView> view;
-    for (int i = 0; i < 8; ++i)
-        view = stt.feed(1, 1000 - i * 2);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        view = stt.feed(Pid{1}, Vpn{1000 - i * 2});
     ASSERT_TRUE(view.has_value());
     EXPECT_EQ(view->strideA(), -2);
 }

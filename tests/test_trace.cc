@@ -31,8 +31,8 @@ TEST(HmttRecord, PackUnpackRoundTrips)
 TEST(HmttRecord, PpnDerivesFromAddr29)
 {
     HmttRecord r;
-    r.addr29 = toAddr29(pageBase(7) + 3 * lineBytes);
-    EXPECT_EQ(r.ppn(), 7u);
+    r.addr29 = toAddr29(pageBase(Ppn{7}) + 3 * lineBytes);
+    EXPECT_EQ(r.ppn(), Ppn{7});
 }
 
 TEST(HmttRecord, PackIs46Bits)
@@ -80,14 +80,14 @@ TEST(HmttTap, RecordsMcTraffic)
     mem::MemCtrl mc(dram);
     Hmtt hmtt(dram);
     mc.attach(&hmtt);
-    mc.demandRead(pageBase(3) + 64, 1000);
-    mc.writeback(pageBase(4), 2000);
+    mc.demandRead(pageBase(Ppn{3}) + 64, Tick{1000});
+    mc.writeback(pageBase(Ppn{4}), Tick{2000});
     EXPECT_EQ(hmtt.captured(), 2u);
     auto r1 = hmtt.ring().pop();
     ASSERT_TRUE(r1.has_value());
     EXPECT_FALSE(r1->isWrite);
-    EXPECT_EQ(r1->ppn(), 3u);
-    EXPECT_EQ(r1->fullTime, 1000u);
+    EXPECT_EQ(r1->ppn(), Ppn{3});
+    EXPECT_EQ(r1->fullTime, Tick{1000});
     auto r2 = hmtt.ring().pop();
     ASSERT_TRUE(r2.has_value());
     EXPECT_TRUE(r2->isWrite);
@@ -100,7 +100,7 @@ TEST(HmttTap, ChargesTraceWriteBandwidth)
     Hmtt hmtt(dram);
     mc.attach(&hmtt);
     for (int i = 0; i < 10; ++i)
-        mc.demandRead(static_cast<PhysAddr>(i) * lineBytes, 0);
+        mc.demandRead(PhysAddr{i * lineBytes}, Tick{});
     EXPECT_EQ(dram.traffic(mem::TrafficSource::TraceWrite), 80u);
 }
 
@@ -113,7 +113,7 @@ TEST(HmttTap, SequenceNumbersWrapContinuously)
     Hmtt hmtt(dram, cfg);
     mc.attach(&hmtt);
     for (int i = 0; i < 300; ++i)
-        mc.demandRead(0, 0);
+        mc.demandRead(PhysAddr{}, Tick{});
     std::uint8_t expect = 0;
     while (auto r = hmtt.ring().pop())
         EXPECT_EQ(r->seq, expect++);
@@ -126,8 +126,10 @@ TEST(TraceIo, WriteReadRoundTrip)
         HmttRecord r;
         r.seq = static_cast<std::uint8_t>(i);
         r.isWrite = i % 3 == 0;
-        r.addr29 = toAddr29(pageBase(i) + (i % 64) * lineBytes);
-        r.fullTime = static_cast<Tick>(i) * 123;
+        r.addr29 = toAddr29(
+            pageBase(Ppn{static_cast<std::uint64_t>(i)}) +
+            (i % 64) * lineBytes);
+        r.fullTime = Tick{static_cast<std::uint64_t>(i) * 123};
         recs.push_back(r);
     }
     std::string path = ::testing::TempDir() + "/hopp_trace_test.bin";

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the strongly-typed scalar vocabulary in
+ * common/types.hh: time literals, page/line geometry round-trips,
+ * tagged arithmetic, hashing/ordering in standard containers, the
+ * Pid 16-bit bound, and the compile-time wall between tag spaces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+using namespace hopp;
+using namespace hopp::time_literals;
+
+// ---- compile-time discipline -----------------------------------------
+
+// Cross-tag expressions must not compile: a physical address can never
+// meet a virtual address, a page number, or a tick in any operator.
+// (Concepts, not bare requires-expressions: the checks must stay in a
+// substitution context so an invalid mix yields false, not an error.)
+template <typename A, typename B>
+concept Addable = requires(A a, B b) { a + b; };
+template <typename A, typename B>
+concept Subtractable = requires(A a, B b) { a - b; };
+template <typename A, typename B>
+concept Comparable = requires(A a, B b) { a < b; };
+template <typename T>
+concept PageConvertible = requires(T t) { pageOf(t); };
+
+static_assert(!Addable<PhysAddr, VirtAddr>);
+static_assert(!Comparable<PhysAddr, VirtAddr>);
+static_assert(!Subtractable<Ppn, Vpn>);
+static_assert(!Comparable<Tick, Ppn>);
+static_assert(!Addable<PhysAddr, PhysAddr>);
+static_assert(Subtractable<PhysAddr, PhysAddr>); // same-tag delta is fine
+
+// No implicit lift from raw integers or implicit decay back.
+static_assert(!std::is_convertible_v<std::uint64_t, Tick>);
+static_assert(!std::is_convertible_v<Tick, std::uint64_t>);
+static_assert(!std::is_convertible_v<int, Pid>);
+
+// pageOf/pageBase map between the right spaces only.
+static_assert(std::is_same_v<decltype(pageOf(PhysAddr{0})), Ppn>);
+static_assert(std::is_same_v<decltype(pageOf(VirtAddr{0})), Vpn>);
+static_assert(std::is_same_v<decltype(pageBase(Ppn{0})), PhysAddr>);
+static_assert(std::is_same_v<decltype(pageBase(Vpn{0})), VirtAddr>);
+static_assert(!PageConvertible<Ppn>);
+static_assert(PageConvertible<PhysAddr> && PageConvertible<VirtAddr>);
+
+TEST(TimeLiterals, ScaleToNanoseconds)
+{
+    EXPECT_EQ(7_ns, Duration{7});
+    EXPECT_EQ(3_us, Duration{3'000});
+    EXPECT_EQ(2_ms, Duration{2'000'000});
+    EXPECT_EQ(1_s, Duration{1'000'000'000});
+    EXPECT_EQ(1_s, 1000_ms);
+    EXPECT_EQ(1_ms, 1000_us);
+    EXPECT_EQ(1_us, 1000_ns);
+}
+
+TEST(TimeLiterals, AdvanceTicks)
+{
+    Tick t{};
+    t += 5_us;
+    EXPECT_EQ(t, Tick{5'000});
+    EXPECT_EQ(t - Tick{}, 5_us);
+}
+
+TEST(Geometry, PageRoundTripPhysical)
+{
+    PhysAddr a{0x12345};
+    EXPECT_EQ(pageOf(a), Ppn{0x12});
+    EXPECT_EQ(pageBase(pageOf(a)), PhysAddr{0x12000});
+    EXPECT_EQ(pageOffset(a), Bytes{0x345});
+    EXPECT_EQ(pageBase(pageOf(a)) + pageOffset(a), a);
+}
+
+TEST(Geometry, PageRoundTripVirtual)
+{
+    VirtAddr a{0xDEAD'BEEF'F00Dull};
+    EXPECT_EQ(pageBase(pageOf(a)) + pageOffset(a), a);
+    EXPECT_LT(pageOffset(a), pageBytes);
+}
+
+TEST(Geometry, LineRoundTrip)
+{
+    PhysAddr a{0x1234'5678ull};
+    EXPECT_EQ(lineBase(a), PhysAddr{0x1234'5640ull});
+    EXPECT_EQ(lineOf(a), 0x1234'5678ull >> 6);
+    EXPECT_EQ(lineOf(lineBase(a)), lineOf(a));
+    VirtAddr v{0x7FFF'FFFFull};
+    EXPECT_EQ(lineBase(v), VirtAddr{0x7FFF'FFC0ull});
+    EXPECT_EQ(linesPerPage, pageBytes / lineBytes);
+}
+
+TEST(Geometry, EdgeAddresses)
+{
+    // Zero maps to page zero at offset zero.
+    EXPECT_EQ(pageOf(PhysAddr{}), Ppn{});
+    EXPECT_EQ(pageBase(Ppn{}), PhysAddr{});
+    EXPECT_EQ(pageOffset(PhysAddr{}), Bytes{});
+    EXPECT_EQ(lineBase(VirtAddr{}), VirtAddr{});
+
+    // Top of the 64-bit address space.
+    PhysAddr top{~std::uint64_t(0)};
+    EXPECT_EQ(pageOf(top), Ppn{(~std::uint64_t(0)) >> pageShift});
+    EXPECT_EQ(pageOffset(top), pageBytes - 1);
+    EXPECT_EQ(pageBase(pageOf(top)) + pageOffset(top), top);
+
+    // maxTick is the "never scheduled" sentinel: above every real tick.
+    EXPECT_GT(maxTick, Tick{});
+    EXPECT_GT(maxTick, Tick{1'000'000'000});
+}
+
+TEST(TaggedArithmetic, DeltasAndSteps)
+{
+    Vpn v{100};
+    EXPECT_EQ(v + 5, Vpn{105});
+    EXPECT_EQ(v - 5, Vpn{95});
+    EXPECT_EQ(Vpn{105} - v, 5u);
+    EXPECT_EQ(signedDelta(Vpn{105}, v), -5);
+    EXPECT_EQ(signedDelta(v, Vpn{105}), 5);
+    EXPECT_EQ(offsetBy(v, -100), Vpn{});
+    EXPECT_EQ(offsetBy(v, 3), Vpn{103});
+
+    ++v;
+    EXPECT_EQ(v, Vpn{101});
+    EXPECT_EQ(v--, Vpn{101});
+    EXPECT_EQ(v, Vpn{100});
+
+    EXPECT_DOUBLE_EQ(toDouble(Tick{2'500}), 2500.0);
+}
+
+TEST(Containers, HashingAndOrdering)
+{
+    std::unordered_map<Vpn, int> um;
+    um[Vpn{1}] = 10;
+    um[Vpn{2}] = 20;
+    um[Vpn{1}] += 1;
+    EXPECT_EQ(um.size(), 2u);
+    EXPECT_EQ(um.at(Vpn{1}), 11);
+
+    std::map<Tick, char> om;
+    om[Tick{30}] = 'c';
+    om[Tick{10}] = 'a';
+    om[Tick{20}] = 'b';
+    std::string order;
+    for (const auto &kv : om)
+        order += kv.second;
+    EXPECT_EQ(order, "abc");
+
+    std::unordered_map<Pid, int> pm;
+    pm[Pid{7}] = 1;
+    pm[Pid{8}] = 2;
+    EXPECT_EQ(pm.at(Pid{7}), 1);
+    EXPECT_LT(Pid{7}, Pid{8});
+}
+
+TEST(PidBounds, SixteenBitsEnforced)
+{
+    EXPECT_EQ(Pid{0xFFFF}.raw(), 0xFFFFu);
+    EXPECT_EQ(Pid{}.raw(), 0u);
+    EXPECT_DEATH(Pid{0x10000}, "16-bit");
+}

@@ -53,7 +53,7 @@ struct Recorder : PageEventListener
     }
 
     void
-    onFaultResolved(Pid, Vpn, FaultKind k, Tick, Tick) override
+    onFaultResolved(Pid, Vpn, FaultKind k, Duration, Tick) override
     {
         faults.push_back(k);
     }
@@ -80,7 +80,7 @@ struct HookRecorder : PteHook
 class VmsTest : public ::testing::Test
 {
   protected:
-    static constexpr Pid pid = 1;
+    static constexpr Pid pid{1};
 
     VmsTest() { rebuild(8, 64, /*kswapd=*/false); }
 
@@ -105,19 +105,19 @@ class VmsTest : public ::testing::Test
     }
 
     /** Touch the first line of page vpn at time now. */
-    Tick
-    touch(Vpn vpn, Tick now = 0, bool write = false)
+    Duration
+    touch(Vpn vpn, Tick now = Tick{}, bool write = false)
     {
         return vms->access(pid, pageBase(vpn), write, now);
     }
 
     /** Fill pages [0, n) so the LRU has n entries. */
     Tick
-    fill(std::uint64_t n, Tick now = 0)
+    fill(std::uint64_t n, Tick now = Tick{})
     {
         Tick t = now;
-        for (Vpn v = 0; v < n; ++v)
-            t += touch(v, t);
+        for (std::uint64_t v = 0; v < n; ++v)
+            t += touch(Vpn{v}, t);
         return t;
     }
 
@@ -138,19 +138,20 @@ class VmsTest : public ::testing::Test
 TEST_F(VmsTest, ColdFaultCostsKernelPathPlusDramMiss)
 {
     CostModel cm;
-    Tick cost = touch(5);
+    Duration cost = touch(Vpn{5});
     EXPECT_EQ(cost, cm.coldFaultOverhead() + cm.dramHit);
     EXPECT_EQ(vms->stats().coldFaults, 1u);
-    EXPECT_TRUE(vms->pageTable().present(pid, 5));
+    EXPECT_TRUE(vms->pageTable().present(pid, Vpn{5}));
 }
 
 TEST_F(VmsTest, ResidentLineHitCostsLlcHit)
 {
     CostModel cm;
-    touch(5);
-    EXPECT_EQ(touch(5), cm.llcHit);
+    touch(Vpn{5});
+    EXPECT_EQ(touch(Vpn{5}), cm.llcHit);
     // A different line of the same page misses LLC but not the page.
-    EXPECT_EQ(vms->access(pid, pageBase(5) + lineBytes, false, 0),
+    EXPECT_EQ(vms->access(pid, pageBase(Vpn{5}) + lineBytes, false,
+                          Tick{}),
               cm.dramHit);
     EXPECT_EQ(vms->stats().faults(), 1u);
 }
@@ -159,18 +160,18 @@ TEST_F(VmsTest, ExceedingCgroupLimitEvictsLru)
 {
     fill(8); // limit is 8
     EXPECT_EQ(vms->stats().evictions, 0u);
-    touch(100);
+    touch(Vpn{100});
     EXPECT_EQ(vms->stats().evictions, 1u);
     // Page 0 (LRU) went remote.
-    EXPECT_FALSE(vms->pageTable().present(pid, 0));
-    EXPECT_EQ(vms->pageTable().find(pid, 0)->state, PageState::Swapped);
+    EXPECT_FALSE(vms->pageTable().present(pid, Vpn{0}));
+    EXPECT_EQ(vms->pageTable().find(pid, Vpn{0})->state, PageState::Swapped);
     EXPECT_EQ(vms->cgroup(pid).charged(), 8u);
 }
 
 TEST_F(VmsTest, EvictedDirtyPageIsWrittenBack)
 {
     fill(8);
-    touch(100);
+    touch(Vpn{100});
     // Cold pages have no swap copy: eviction must write back.
     EXPECT_EQ(vms->stats().writebacks, 1u);
     EXPECT_EQ(backend->writebacks(), 1u);
@@ -179,14 +180,14 @@ TEST_F(VmsTest, EvictedDirtyPageIsWrittenBack)
 TEST_F(VmsTest, CleanRefetchedPageEvictsWithoutWriteback)
 {
     Tick t = fill(9); // evicts page 0 with writeback #1
-    t += touch(0, t); // remote fault: page 0 back, clean
+    t += touch(Vpn{0}, t); // remote fault: page 0 back, clean
     backend->resetStats();
     // Evict something twice; page 1 and 2 are dirty (cold) -> writeback,
     // but refetched page 0... force page 0 out by touching new pages and
     // keeping 0 idle.
     std::uint64_t wb_before = vms->stats().writebacks;
-    for (Vpn v = 200; v < 210; ++v)
-        t += touch(v, t);
+    for (std::uint64_t v = 200; v < 210; ++v)
+        t += touch(Vpn{v}, t);
     // Page 0 was evicted again at some point; because it was clean it
     // should not have been written back: total writebacks grew by the
     // number of dirty evictions only.
@@ -203,7 +204,7 @@ TEST_F(VmsTest, RemoteFaultPaysRdmaLatency)
 {
     CostModel cm;
     fill(9); // page 0 evicted
-    Tick cost = touch(0, 1'000'000);
+    Duration cost = touch(Vpn{0}, Tick{1'000'000});
     // Kernel path (2.3 us) + ~4 us RDMA + DRAM access; no reclaim
     // needed because eviction already happened... but fetching page 0
     // exceeds the limit again, so one direct reclaim may be included.
@@ -218,11 +219,11 @@ TEST_F(VmsTest, SwapCachePrefetchHitCostsPrefetchHitOverhead)
 {
     CostModel cm;
     Tick t = fill(9); // page 0 swapped out
-    ASSERT_TRUE(vms->prefetchToSwapCache(pid, 0, 2, t));
+    ASSERT_TRUE(vms->prefetchToSwapCache(pid, Vpn{0}, 2, t));
     eq->run(); // completion lands in swapcache
-    ASSERT_EQ(vms->pageTable().find(pid, 0)->state, PageState::SwapCached);
+    ASSERT_EQ(vms->pageTable().find(pid, Vpn{0})->state, PageState::SwapCached);
     Tick when = eq->now() + 1000;
-    Tick cost = touch(0, when);
+    Duration cost = touch(Vpn{0}, when);
     // Prefetch-hit: 2.3 us + one direct reclaim (charging page 0 pushes
     // the cgroup over its limit) + DRAM access.
     EXPECT_GE(cost, cm.prefetchHitOverhead() + cm.dramHit);
@@ -230,7 +231,7 @@ TEST_F(VmsTest, SwapCachePrefetchHitCostsPrefetchHitOverhead)
                         cm.directReclaimPerPage);
     EXPECT_EQ(vms->stats().swapCacheHits, 1u);
     ASSERT_EQ(rec.hits.size(), 1u);
-    EXPECT_EQ(rec.hits[0].vpn, 0u);
+    EXPECT_EQ(rec.hits[0].vpn, Vpn{0});
     EXPECT_EQ(rec.hits[0].origin, 2);
     EXPECT_FALSE(rec.hits[0].dramHit);
 }
@@ -239,12 +240,12 @@ TEST_F(VmsTest, InjectedPageFirstTouchIsDramHit)
 {
     CostModel cm;
     Tick t = fill(9); // page 0 swapped out; cgroup full at 8
-    ASSERT_EQ(vms->prefetchInject(pid, 0, 3, t),
+    ASSERT_EQ(vms->prefetchInject(pid, Vpn{0}, 3, t),
               Vms::InjectResult::Issued);
     eq->run();
     // Injection evicted one LRU page (no app cost) and mapped page 0.
-    EXPECT_TRUE(vms->pageTable().present(pid, 0));
-    Tick cost = touch(0, eq->now() + 1000);
+    EXPECT_TRUE(vms->pageTable().present(pid, Vpn{0}));
+    Duration cost = touch(Vpn{0}, eq->now() + 1000);
     EXPECT_EQ(cost, cm.dramHit); // no fault at all
     EXPECT_EQ(vms->stats().injectedHits, 1u);
     ASSERT_EQ(rec.hits.size(), 1u);
@@ -257,7 +258,7 @@ TEST_F(VmsTest, InjectionChargesCgroup)
 {
     Tick t = fill(9);
     EXPECT_EQ(vms->cgroup(pid).charged(), 8u);
-    vms->prefetchInject(pid, 0, 3, t);
+    vms->prefetchInject(pid, Vpn{0}, 3, t);
     eq->run();
     // Still at the limit: injection evicted one page, charged page 0.
     EXPECT_EQ(vms->cgroup(pid).charged(), 8u);
@@ -268,36 +269,36 @@ TEST_F(VmsTest, SwapCachePrefetchIsNotCharged)
 {
     rebuild(8, 64, false);
     Tick t = fill(9);
-    vms->prefetchToSwapCache(pid, 0, 2, t);
+    vms->prefetchToSwapCache(pid, Vpn{0}, 2, t);
     eq->run();
     EXPECT_EQ(vms->cgroup(pid).charged(), 8u);
-    EXPECT_EQ(vms->pageTable().find(pid, 0)->charged, false);
+    EXPECT_EQ(vms->pageTable().find(pid, Vpn{0})->charged, false);
     // The hit charges it (and must reclaim one page first).
-    touch(0, eq->now() + 10);
+    touch(Vpn{0}, eq->now() + 10);
     EXPECT_EQ(vms->cgroup(pid).charged(), 8u);
-    EXPECT_TRUE(vms->pageTable().find(pid, 0)->charged);
+    EXPECT_TRUE(vms->pageTable().find(pid, Vpn{0})->charged);
 }
 
 TEST_F(VmsTest, UnusedPrefetchEventuallyEvictedAndReported)
 {
     Tick t = fill(9); // page 0 out
-    vms->prefetchToSwapCache(pid, 0, 2, t);
+    vms->prefetchToSwapCache(pid, Vpn{0}, 2, t);
     eq->run();
     // Never touch page 0; stream new pages until it gets reclaimed.
     t = eq->now();
-    for (Vpn v = 300; v < 330; ++v)
-        t += touch(v, t);
+    for (std::uint64_t v = 300; v < 330; ++v)
+        t += touch(Vpn{v}, t);
     EXPECT_FALSE(rec.evictedPrefetches.empty());
-    EXPECT_EQ(rec.evictedPrefetches[0], 0u);
-    EXPECT_EQ(vms->pageTable().find(pid, 0)->state, PageState::Swapped);
+    EXPECT_EQ(rec.evictedPrefetches[0], Vpn{0});
+    EXPECT_EQ(vms->pageTable().find(pid, Vpn{0})->state, PageState::Swapped);
 }
 
 TEST_F(VmsTest, FaultOnInflightPrefetchWaitsAndCountsHit)
 {
     Tick t = fill(9);
-    ASSERT_TRUE(vms->prefetchToSwapCache(pid, 0, 2, t));
+    ASSERT_TRUE(vms->prefetchToSwapCache(pid, Vpn{0}, 2, t));
     // Fault immediately, long before the ~4 us completion.
-    Tick cost = touch(0, t);
+    Duration cost = touch(Vpn{0}, t);
     CostModel cm;
     EXPECT_GT(cost, cm.prefetchHitOverhead()); // waited for the wire
     EXPECT_EQ(vms->stats().inflightWaits, 1u);
@@ -306,27 +307,27 @@ TEST_F(VmsTest, FaultOnInflightPrefetchWaitsAndCountsHit)
     eq->run();
     // The completion found the page consumed and dropped its work.
     EXPECT_EQ(vms->stats().prefetchesDropped, 1u);
-    EXPECT_TRUE(vms->pageTable().present(pid, 0));
+    EXPECT_TRUE(vms->pageTable().present(pid, Vpn{0}));
 }
 
 TEST_F(VmsTest, PrefetchableOnlyWhenSwappedAndIdle)
 {
     Tick t = fill(9);
-    EXPECT_FALSE(vms->prefetchable(pid, 3));   // resident
-    EXPECT_FALSE(vms->prefetchable(pid, 999)); // untouched
-    EXPECT_TRUE(vms->prefetchable(pid, 0));    // swapped
-    vms->prefetchToSwapCache(pid, 0, 2, t);
-    EXPECT_FALSE(vms->prefetchable(pid, 0)); // inflight
-    EXPECT_FALSE(vms->prefetchToSwapCache(pid, 0, 2, t));
+    EXPECT_FALSE(vms->prefetchable(pid, Vpn{3}));   // resident
+    EXPECT_FALSE(vms->prefetchable(pid, Vpn{999})); // untouched
+    EXPECT_TRUE(vms->prefetchable(pid, Vpn{0}));    // swapped
+    vms->prefetchToSwapCache(pid, Vpn{0}, 2, t);
+    EXPECT_FALSE(vms->prefetchable(pid, Vpn{0})); // inflight
+    EXPECT_FALSE(vms->prefetchToSwapCache(pid, Vpn{0}, 2, t));
 }
 
 TEST_F(VmsTest, PteHooksFireOnMapAndClear)
 {
     fill(8);
     EXPECT_EQ(hook.sets.size(), 8u);
-    touch(100); // evicts page 0
+    touch(Vpn{100}); // evicts page 0
     ASSERT_EQ(hook.clears.size(), 1u);
-    EXPECT_EQ(hook.clears[0].first, 0u);
+    EXPECT_EQ(hook.clears[0].first, Vpn{0});
     // The cleared PPN matches what was set for page 0.
     EXPECT_EQ(hook.clears[0].second, hook.sets[0].second);
 }
@@ -338,13 +339,13 @@ TEST_F(VmsTest, FaultCallbackSeesRemoteAndSwapCacheKinds)
         [&](const FaultContext &f) { kinds.push_back(f.kind); });
     Tick t = fill(9);          // cold faults don't call back
     EXPECT_TRUE(kinds.empty());
-    t += touch(0, t);          // remote fault
+    t += touch(Vpn{0}, t);          // remote fault
     ASSERT_EQ(kinds.size(), 1u);
     EXPECT_EQ(kinds[0], FaultKind::Remote);
-    t += touch(1, t);          // second remote fault
-    vms->prefetchToSwapCache(pid, 2, 2, t);
+    t += touch(Vpn{1}, t);          // second remote fault
+    vms->prefetchToSwapCache(pid, Vpn{2}, 2, t);
     eq->run();
-    touch(2, eq->now());       // swapcache hit
+    touch(Vpn{2}, eq->now());       // swapcache hit
     ASSERT_EQ(kinds.size(), 3u);
     EXPECT_EQ(kinds[2], FaultKind::SwapCacheHit);
 }
@@ -352,25 +353,25 @@ TEST_F(VmsTest, FaultCallbackSeesRemoteAndSwapCacheKinds)
 TEST_F(VmsTest, SecondChanceKeepsRecentlyTouchedPage)
 {
     fill(8);
-    Tick t = 1'000'000;
-    t += touch(100, t); // evicts page 0 after one rotation pass
-    EXPECT_EQ(vms->pageTable().find(pid, 0)->state, PageState::Swapped);
+    Tick t{1'000'000};
+    t += touch(Vpn{100}, t); // evicts page 0 after one rotation pass
+    EXPECT_EQ(vms->pageTable().find(pid, Vpn{0})->state, PageState::Swapped);
     // Touch page 1 (sets its accessed bit); page 2's bit was cleared by
     // the rotation above, so the next eviction must pick page 2.
-    t += touch(1, t);
-    t += touch(101, t);
-    EXPECT_EQ(vms->pageTable().find(pid, 1)->state, PageState::Resident);
-    EXPECT_EQ(vms->pageTable().find(pid, 2)->state, PageState::Swapped);
+    t += touch(Vpn{1}, t);
+    t += touch(Vpn{101}, t);
+    EXPECT_EQ(vms->pageTable().find(pid, Vpn{1})->state, PageState::Resident);
+    EXPECT_EQ(vms->pageTable().find(pid, Vpn{2})->state, PageState::Swapped);
 }
 
 TEST_F(VmsTest, KswapdReclaimsInBackgroundWithoutAppCost)
 {
     rebuild(64, 256, /*kswapd=*/true);
-    Tick t = 0;
+    Tick t{};
     // Touch up to the high watermark; kswapd should kick in and bring
     // charge down to the low watermark without direct reclaims.
-    for (Vpn v = 0; v < 64; ++v)
-        t += touch(v, t);
+    for (std::uint64_t v = 0; v < 64; ++v)
+        t += touch(Vpn{v}, t);
     eq->runUntil(t + 1'000'000);
     EXPECT_GT(vms->stats().kswapdReclaims, 0u);
     EXPECT_EQ(vms->stats().directReclaims, 0u);
@@ -381,18 +382,18 @@ TEST_F(VmsTest, KswapdReclaimsInBackgroundWithoutAppCost)
 TEST_F(VmsTest, WriteMarksPageDirtyAgain)
 {
     Tick t = fill(9);
-    t += touch(0, t); // refetch page 0: clean
-    EXPECT_FALSE(vms->pageTable().find(pid, 0)->dirty);
-    t += touch(0, t, /*write=*/true);
-    EXPECT_TRUE(vms->pageTable().find(pid, 0)->dirty);
-    EXPECT_FALSE(vms->pageTable().find(pid, 0)->hasSwapCopy);
+    t += touch(Vpn{0}, t); // refetch page 0: clean
+    EXPECT_FALSE(vms->pageTable().find(pid, Vpn{0})->dirty);
+    t += touch(Vpn{0}, t, /*write=*/true);
+    EXPECT_TRUE(vms->pageTable().find(pid, Vpn{0})->dirty);
+    EXPECT_FALSE(vms->pageTable().find(pid, Vpn{0})->hasSwapCopy);
 }
 
 TEST_F(VmsTest, StatsCountAccessesAndLlc)
 {
-    touch(0);
-    touch(0);
-    touch(0);
+    touch(Vpn{0});
+    touch(Vpn{0});
+    touch(Vpn{0});
     EXPECT_EQ(vms->stats().accesses, 3u);
     EXPECT_EQ(vms->stats().llcHits, 2u);
     EXPECT_EQ(vms->stats().llcMisses, 1u);
@@ -400,22 +401,22 @@ TEST_F(VmsTest, StatsCountAccessesAndLlc)
 
 TEST_F(VmsTest, MultipleProcessesHaveIndependentCgroups)
 {
-    vms->createProcess(2, 4);
-    Tick t = 0;
-    for (Vpn v = 0; v < 8; ++v)
-        t += touch(v, t);
-    for (Vpn v = 0; v < 5; ++v)
-        t += vms->access(2, pageBase(v), false, t);
+    vms->createProcess(Pid{2}, 4);
+    Tick t{};
+    for (std::uint64_t v = 0; v < 8; ++v)
+        t += touch(Vpn{v}, t);
+    for (std::uint64_t v = 0; v < 5; ++v)
+        t += vms->access(Pid{2}, pageBase(Vpn{v}), false, t);
     EXPECT_EQ(vms->cgroup(pid).charged(), 8u);
-    EXPECT_EQ(vms->cgroup(2).charged(), 4u);
+    EXPECT_EQ(vms->cgroup(Pid{2}).charged(), 4u);
     // Pid 2 evicted one of its own pages, not pid 1's.
-    EXPECT_EQ(vms->pageTable().find(2, 0)->state, PageState::Swapped);
-    EXPECT_EQ(vms->pageTable().find(pid, 0)->state, PageState::Resident);
+    EXPECT_EQ(vms->pageTable().find(Pid{2}, Vpn{0})->state, PageState::Swapped);
+    EXPECT_EQ(vms->pageTable().find(pid, Vpn{0})->state, PageState::Resident);
 }
 
 TEST_F(VmsTest, MarkFlagsPropagateToHooks)
 {
-    vms->markFlags(pid, 7, /*shared=*/true, /*huge=*/false);
+    vms->markFlags(pid, Vpn{7}, /*shared=*/true, /*huge=*/false);
     bool saw_shared = false;
     struct FlagHook : PteHook
     {
@@ -423,13 +424,13 @@ TEST_F(VmsTest, MarkFlagsPropagateToHooks)
         void
         onPteSet(Pid, Vpn vpn, Ppn, bool shared, bool, Tick) override
         {
-            if (vpn == 7 && shared)
+            if (vpn == Vpn{7} && shared)
                 *saw = true;
         }
         void onPteClear(Pid, Vpn, Ppn, Tick) override {}
     } fh;
     fh.saw = &saw_shared;
     vms->addPteHook(&fh);
-    touch(7);
+    touch(Vpn{7});
     EXPECT_TRUE(saw_shared);
 }

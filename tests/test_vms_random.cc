@@ -28,8 +28,8 @@ namespace
 class Fuzzer : public ::testing::TestWithParam<std::uint64_t>
 {
   protected:
-    static constexpr Pid pidA = 1;
-    static constexpr Pid pidB = 2;
+    static constexpr Pid pidA{1};
+    static constexpr Pid pidB{2};
     static constexpr std::uint64_t space = 96; // vpns per process
 
     Fuzzer() : rng_(GetParam())
@@ -57,15 +57,16 @@ class Fuzzer : public ::testing::TestWithParam<std::uint64_t>
         std::map<Pid, std::uint64_t> charged;
         std::set<Ppn> frames_seen;
         for (Pid pid : {pidA, pidB}) {
-            for (Vpn v = 0; v < space; ++v) {
-                const PageInfo *pi = vms->pageTable().find(pid, v);
+            for (std::uint64_t v = 0; v < space; ++v) {
+                const PageInfo *pi =
+                    vms->pageTable().find(pid, Vpn{v});
                 if (!pi)
                     continue;
                 switch (pi->state) {
                   case PageState::Resident:
                   case PageState::SwapCached:
                     ++frames_held;
-                    ASSERT_NE(pi->ppn, 0u);
+                    ASSERT_NE(pi->ppn, Ppn{});
                     ASSERT_TRUE(frames_seen.insert(pi->ppn).second)
                         << "frame aliasing on ppn " << pi->ppn;
                     ASSERT_TRUE(pi->inLru);
@@ -100,7 +101,7 @@ class Fuzzer : public ::testing::TestWithParam<std::uint64_t>
     }
 
     Pcg32 rng_;
-    Tick now_ = 0;
+    Tick now_;
     std::unique_ptr<sim::EventQueue> eq;
     std::unique_ptr<mem::Dram> dram;
     std::unique_ptr<mem::MemCtrl> mc;
@@ -117,7 +118,7 @@ TEST_P(Fuzzer, RandomOperationsKeepTheVmsConsistent)
 {
     for (int step = 0; step < 4000; ++step) {
         Pid pid = rng_.chance(0.6) ? pidA : pidB;
-        Vpn vpn = rng_.below64(space);
+        Vpn vpn{rng_.below64(space)};
         switch (rng_.below(5)) {
           case 0:
           case 1: // plain access (read or write)
@@ -152,7 +153,7 @@ TEST_P(Fuzzer, RandomOperationsKeepTheVmsConsistent)
 
     // Every page ever touched is in a coherent terminal state, and
     // time advanced.
-    EXPECT_GT(now_, 0u);
+    EXPECT_GT(now_, Tick{});
     EXPECT_GT(vms->stats().accesses, 0u);
     EXPECT_GT(vms->stats().evictions, 0u);
 }

@@ -21,6 +21,21 @@
  *                   follows allocation addresses, which ASLR
  *                   randomises run to run.
  *
+ * Type-discipline rules (the static half of the strong-typing layer in
+ * common/types.hh):
+ *
+ *   raw-int-addr    a raw std::uint64_t / unsigned long long declared
+ *                   in a header with an address/page/tick vocabulary
+ *                   name (pa, va, vpn, ppn, pfn, addr, tick, page) —
+ *                   should be one of the tagged types so cross-space
+ *                   confusion fails to compile.
+ *   page-shift      manual `<< pageShift` / `>> pageShift` arithmetic
+ *                   outside common/types.hh — use pageOf()/pageBase()
+ *                   so the page geometry stays in one place.
+ *   raw             .raw() unwrapping of a tagged type without a
+ *                   `hopp-lint: allow(raw)` justification — the escape
+ *                   hatch is for serialization/stats boundaries only.
+ *
  * Suppression:
  *   // hopp-lint: allow(<rule>[, <rule>...])    this or next line
  *   // hopp-lint: allow-file(<rule>)            whole file
@@ -288,6 +303,103 @@ hasPointerKeyedOrdered(const std::string &line)
     return false;
 }
 
+/** Lowercased word-split of an identifier (camelCase and snake_case). */
+std::vector<std::string>
+identWords(const std::string &ident)
+{
+    std::vector<std::string> words;
+    std::string cur;
+    for (char c : ident) {
+        if (c == '_') {
+            if (!cur.empty())
+                words.push_back(cur);
+            cur.clear();
+        } else if (std::isupper(static_cast<unsigned char>(c))) {
+            if (!cur.empty())
+                words.push_back(cur);
+            cur.clear();
+            cur += static_cast<char>(std::tolower(c));
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        words.push_back(cur);
+    return words;
+}
+
+/**
+ * True when an identifier names an address/page/tick quantity. Matches
+ * whole words only, so counts like `hotPages` or `footprintPages` stay
+ * clean while `pageKey`, `fault_addr` or `tick` are flagged.
+ */
+bool
+addrVocabIdent(const std::string &ident)
+{
+    static const char *vocab[] = {"pa",   "va",      "vpn",  "ppn",
+                                  "pfn",  "addr",    "address", "tick",
+                                  "page"};
+    for (const auto &w : identWords(ident))
+        for (const char *v : vocab)
+            if (w == v)
+                return true;
+    return false;
+}
+
+/**
+ * raw-int-addr detector: a raw 64-bit integer token whose following
+ * identifier (the declared parameter, member, or function name) uses
+ * address/page/tick vocabulary. One diagnostic per line suffices.
+ */
+bool
+findRawIntAddr(const std::string &line, std::string &ident)
+{
+    for (const char *tok : {"uint64_t", "unsigned long long"}) {
+        std::size_t len = std::strlen(tok);
+        std::size_t pos = 0;
+        while ((pos = line.find(tok, pos)) != std::string::npos) {
+            bool left_ok = pos == 0 || !isIdentChar(line[pos - 1]);
+            std::size_t i = pos + len;
+            pos += len;
+            if (!left_ok || (i < line.size() && isIdentChar(line[i])))
+                continue;
+            while (i < line.size() &&
+                   (line[i] == ' ' || line[i] == '\t' ||
+                    line[i] == '&' || line[i] == '*'))
+                ++i;
+            std::string name;
+            while (i < line.size() && isIdentChar(line[i]))
+                name += line[i++];
+            if (!name.empty() && addrVocabIdent(name)) {
+                ident = name;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+/** True when `pageShift` appears as the right operand of << or >>. */
+bool
+hasManualPageShift(const std::string &line)
+{
+    std::size_t pos = 0;
+    while ((pos = line.find("pageShift", pos)) != std::string::npos) {
+        bool left_ident = pos > 0 && isIdentChar(line[pos - 1]);
+        std::size_t end = pos + std::strlen("pageShift");
+        bool right_ident = end < line.size() && isIdentChar(line[end]);
+        std::size_t j = pos;
+        while (j > 0 && (line[j - 1] == ' ' || line[j - 1] == '\t'))
+            --j;
+        bool shifted = j >= 2 && (line.compare(j - 2, 2, "<<") == 0 ||
+                                  line.compare(j - 2, 2, ">>") == 0);
+        if (!left_ident && !right_ident && shifted)
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
 struct FileScan
 {
     std::vector<Diagnostic> diags;
@@ -320,6 +432,12 @@ scanFile(const fs::path &path, FileScan &out)
     // Members declared in the class header are iterated from the .cc:
     // preload sibling-header declarations so those loops are seen too.
     auto ext = path.extension().string();
+    bool is_header = ext == ".hh" || ext == ".hpp";
+    std::string generic = path.generic_string();
+    bool is_types_hh =
+        generic.size() >= std::strlen("common/types.hh") &&
+        generic.compare(generic.size() - std::strlen("common/types.hh"),
+                        std::string::npos, "common/types.hh") == 0;
     if (ext == ".cc" || ext == ".cpp") {
         for (const char *hdr_ext : {".hh", ".hpp"}) {
             fs::path hdr = path;
@@ -356,9 +474,26 @@ scanFile(const fs::path &path, FileScan &out)
             return;
         if (listCovers(parseAllows(line).lineRules, rule))
             return;
-        if (lineno >= 2 &&
-            listCovers(parseAllows(lines[lineno - 2]).lineRules, rule))
-            return;
+        // An allow on an earlier line covers this one as long as no
+        // completed statement (';', '{', '}') or blank line intervenes
+        // — so one annotation above a wrapped hopp_assert covers every
+        // continuation line. Bounded walk; statements wrap a few lines.
+        for (int n = lineno - 1, steps = 0; n >= 1 && steps < 8;
+             --n, ++steps) {
+            const std::string &prev_raw = lines[n - 1];
+            if (prev_raw.find_first_not_of(" \t") == std::string::npos)
+                break;
+            if (listCovers(parseAllows(prev_raw).lineRules, rule))
+                return;
+            std::string trimmed = code[n - 1];
+            while (!trimmed.empty() &&
+                   (trimmed.back() == ' ' || trimmed.back() == '\t'))
+                trimmed.pop_back();
+            if (!trimmed.empty() &&
+                (trimmed.back() == ';' || trimmed.back() == '{' ||
+                 trimmed.back() == '}'))
+                break;
+        }
         out.diags.push_back(
             {path.string(), lineno, rule, std::move(msg)});
     };
@@ -425,6 +560,30 @@ scanFile(const fs::path &path, FileScan &out)
             emit(lineno, "ptr-key",
                  "std::map/std::set keyed by a pointer iterates in "
                  "allocation-address order, which ASLR randomises");
+        }
+
+        if (is_header) {
+            std::string ident;
+            if (findRawIntAddr(line, ident)) {
+                emit(lineno, "raw-int-addr",
+                     "raw 64-bit integer '" + ident +
+                         "' carries address/page/tick vocabulary; use "
+                         "the tagged types in common/types.hh");
+            }
+        }
+
+        if (!is_types_hh && hasManualPageShift(line)) {
+            emit(lineno, "page-shift",
+                 "manual pageShift arithmetic outside common/types.hh; "
+                 "use pageOf()/pageBase() so page geometry stays "
+                 "centralized");
+        }
+
+        if (line.find(".raw(") != std::string::npos) {
+            emit(lineno, "raw",
+                 ".raw() unwraps a tagged type; confine it to "
+                 "serialization/stats boundaries and justify with "
+                 "hopp-lint: allow(raw)");
         }
     }
 }

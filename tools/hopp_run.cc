@@ -206,11 +206,9 @@ main(int argc, char **argv)
         workload_names.push_back("kmeans-omp");
 
     Machine machine(cfg);
-    Pid pid = 1;
-    for (const auto &name : workload_names) {
-        machine.addWorkload(
-            workloads::makeWorkload(name, scale, seed + pid));
-        ++pid;
+    for (std::size_t i = 0; i < workload_names.size(); ++i) {
+        machine.addWorkload(workloads::makeWorkload(
+            workload_names[i], scale, seed + i + 1));
     }
     RunResult r = machine.run();
 
@@ -219,14 +217,14 @@ main(int argc, char **argv)
     for (const auto &app : r.apps) {
         table.row({app.name,
                    stats::Table::num(
-                       static_cast<double>(app.completion) / 1e6, 3),
+                       toDouble(app.completion) / 1e6, 3),
                    std::to_string(app.accesses), ""});
     }
     table.print();
 
     std::printf("system=%s ratio=%.2f makespan=%.3f ms\n",
                 systemName(cfg.system), cfg.localMemRatio,
-                static_cast<double>(r.makespan) / 1e6);
+                toDouble(r.makespan) / 1e6);
     std::printf("faults: %llu total (%llu cold, %llu remote, %llu"
                 " swapcache hits, %llu inflight waits)\n",
                 static_cast<unsigned long long>(r.vms.faults()),
