@@ -4,21 +4,32 @@
  * under Fastswap and under HoPP, and compare the §VI-A metrics.
  *
  *   $ ./examples/quickstart
+ *   $ ./examples/quickstart --trace-out run.json   # flight recorder on
  *
  * This is the smallest end-to-end use of the public API: pick a
  * workload from the registry, pick a system, run, read the results.
+ * With `--trace-out FILE` the HoPP run records a Chrome trace_event
+ * JSON (open in https://ui.perfetto.dev, validate with hopp_trace).
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "obs/trace_writer.hh"
 #include "runner/machine.hh"
 
 using namespace hopp;
 using namespace hopp::runner;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_out;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+            trace_out = argv[++i];
+    }
     // A workload from the registry (paper Table IV); scale 1.0 is the
     // default bench size (tens of MB instead of the paper's GBs).
     workloads::WorkloadScale scale;
@@ -39,7 +50,15 @@ main()
 
     // HoPP: the MC hot-page trace drives adaptive three-tier
     // prefetching with early PTE injection, alongside Fastswap.
-    RunResult hp = runOne(app, SystemKind::Hopp, 0.5, scale);
+    // Built by hand (not runOne) so the machine outlives the run and
+    // its flight recorder can be exported.
+    MachineConfig cfg;
+    cfg.system = SystemKind::Hopp;
+    cfg.localMemRatio = 0.5;
+    cfg.trace = !trace_out.empty();
+    Machine hopp_machine(cfg);
+    hopp_machine.addWorkload(workloads::makeWorkload(app, scale));
+    RunResult hp = hopp_machine.run();
     std::printf("hopp       : %8.2f ms  (normalized %.3f, accuracy"
                 " %.3f, coverage %.3f)\n",
                 toDouble(hp.makespan) / 1e6,
@@ -51,5 +70,16 @@ main()
                 static_cast<unsigned long long>(fs.vms.faults()),
                 static_cast<unsigned long long>(hp.vms.faults()),
                 static_cast<unsigned long long>(hp.vms.injectedHits));
+
+    if (!trace_out.empty()) {
+        if (!obs::writeFile(trace_out,
+                            obs::toChromeJson(hopp_machine.tracer()))) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         trace_out.c_str());
+            return 1;
+        }
+        std::printf("\nwrote %s (open in https://ui.perfetto.dev)\n",
+                    trace_out.c_str());
+    }
     return 0;
 }

@@ -157,6 +157,16 @@ class ExecEngine
     /** Prefetches in flight or injected-unreferenced. */
     std::size_t outstanding() const { return outstanding_.size(); }
 
+    /** Zero the counters (outstanding requests are untouched). */
+    void
+    resetStats()
+    {
+        for (auto &t : tierStats_)
+            t = TierStats{};
+        deduped_ = 0;
+        batches_ = 0;
+    }
+
   private:
     struct Meta
     {

@@ -115,6 +115,12 @@ HoppSystem::onMcAccess(PhysAddr pa, bool is_write, Tick now)
     hp.huge = entry->hugeBits != 0;
     hp.time = now;
     ring_.push(hp);
+    ++hotPagesSeen_;
+    if (trace_ && hotPagesSeen_ % 64 == 0) {
+        trace_->counter("hopp", "hot_pages", now, hotPagesSeen_);
+        trace_->counter("hopp", "rpt_unmapped", now, unmapped_);
+        trace_->counter("hopp", "ring_occupancy", now, ring_.size());
+    }
     mc_.dram().recordTraffic(mem::TrafficSource::HotPageWrite,
                              hotPageRecordBytes);
     if (!drainScheduled_) {
@@ -128,6 +134,12 @@ void
 HoppSystem::drainRing()
 {
     drainScheduled_ = false;
+    // The drain runs inside one event callback, so eq_.now() is fixed
+    // for its duration and the B/E pair below is trivially balanced.
+    std::uint64_t drained = ring_.size();
+    if (trace_ && drained)
+        trace_->begin("hopp", "trainer.drain", eq_.now(),
+                      obs::track::hopp);
     while (auto hp = ring_.pop()) {
         if (cfg_.evictionAdvisor) {
             Hotness &h = lastHot_[vm::pageKey(hp->pid, hp->vpn)];
@@ -137,6 +149,13 @@ HoppSystem::drainRing()
                 lastHot_.clear();
         }
         trainer_.onHotPage(*hp, eq_.now());
+    }
+    if (trace_ && drained) {
+        trace_->end("hopp", "trainer.drain", eq_.now(),
+                    obs::track::hopp);
+        trace_->counter("hopp", "drain_batch", eq_.now(), drained);
+        trace_->counter("hopp", "exec_outstanding", eq_.now(),
+                        exec_.outstanding());
     }
 }
 

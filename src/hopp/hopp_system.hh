@@ -22,6 +22,7 @@
 #include "hopp/stt.hh"
 #include "hopp/trainer.hh"
 #include "mem/memctrl.hh"
+#include "obs/tracer.hh"
 #include "sim/event_queue.hh"
 #include "vm/vms.hh"
 
@@ -153,6 +154,13 @@ class HoppSystem : public mem::McObserver,
     /** Hot pages whose PPN the RPT could not map (dropped). */
     std::uint64_t unmappedHotPages() const { return unmapped_; }
 
+    /**
+     * Attach the flight recorder: ring-drain batch spans on the HoPP
+     * software track, hot-page extraction counters and RPT-lookup
+     * outcome counters. nullptr detaches.
+     */
+    void setTracer(obs::Tracer *tracer) { trace_ = tracer; }
+
   private:
     void drainRing();
 
@@ -171,6 +179,8 @@ class HoppSystem : public mem::McObserver,
     bool drainScheduled_ = false;
     bool started_ = false;
     std::uint64_t unmapped_ = 0;
+    obs::Tracer *trace_ = nullptr;
+    std::uint64_t hotPagesSeen_ = 0;
 
     /** Advisor state: last two hot-extraction times per page. */
     struct Hotness

@@ -17,6 +17,7 @@
 
 #include "common/types.hh"
 #include "mem/dram.hh"
+#include "obs/tracer.hh"
 
 namespace hopp::mem
 {
@@ -61,6 +62,9 @@ class MemCtrl
     demandRead(PhysAddr pa, Tick now)
     {
         dram_.recordTraffic(TrafficSource::AppRead, lineBytes);
+        ++reads_;
+        if (trace_ && reads_ % traceSampleEvery_ == 0)
+            trace_->counter("mem", "mc_reads", now, reads_);
         notify(pa, false, now);
     }
 
@@ -69,6 +73,9 @@ class MemCtrl
     writeback(PhysAddr pa, Tick now)
     {
         dram_.recordTraffic(TrafficSource::AppWrite, lineBytes);
+        ++writes_;
+        if (trace_ && writes_ % traceSampleEvery_ == 0)
+            trace_->counter("mem", "mc_writes", now, writes_);
         notify(pa, true, now);
     }
 
@@ -87,6 +94,31 @@ class MemCtrl
     /** The DRAM module behind this controller. */
     Dram &dram() { return dram_; }
 
+    /** Demand read transactions seen. */
+    std::uint64_t reads() const { return reads_; }
+
+    /** Writeback transactions seen. */
+    std::uint64_t writes() const { return writes_; }
+
+    /** Zero the transaction counters. */
+    void
+    resetStats()
+    {
+        reads_ = 0;
+        writes_ = 0;
+    }
+
+    /**
+     * Attach the flight recorder: cumulative miss-stream counter
+     * samples every @p sample_every transactions.
+     */
+    void
+    setTracer(obs::Tracer *tracer, std::uint64_t sample_every = 4096)
+    {
+        trace_ = tracer;
+        traceSampleEvery_ = sample_every ? sample_every : 1;
+    }
+
   private:
     void
     notify(PhysAddr pa, bool is_write, Tick now)
@@ -97,6 +129,10 @@ class MemCtrl
 
     Dram &dram_;
     std::vector<McObserver *> observers_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    obs::Tracer *trace_ = nullptr;
+    std::uint64_t traceSampleEvery_ = 4096;
 };
 
 } // namespace hopp::mem

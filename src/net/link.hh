@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "obs/tracer.hh"
 #include "stats/stats.hh"
 
 namespace hopp::net
@@ -65,6 +66,14 @@ class Link
         bytesSent_ += bytes;
         ++transfers_;
         queueDelay_.sample(static_cast<double>(start - now));
+        if (trace_) {
+            // Queueing (wait for the wire) + serialization as one
+            // complete span; backlog = how far busyUntil_ runs ahead
+            // of the issue tick.
+            trace_->complete(cat_, "transfer", now, busyUntil_ - now,
+                             tid_);
+            trace_->counter(cat_, backlogName_, now, busyUntil_ - now);
+        }
         return busyUntil_ + cfg_.baseLatency;
     }
 
@@ -99,6 +108,32 @@ class Link
     /** Configured parameters. */
     const LinkConfig &config() const { return cfg_; }
 
+    /** Zero traffic counters (busyUntil_ is sim state, kept). */
+    void
+    resetStats()
+    {
+        bytesSent_ = 0;
+        transfers_ = 0;
+        queueDelay_.reset();
+    }
+
+    /**
+     * Attach the flight recorder: one complete span per transfer
+     * (queueing + serialization) plus a backlog counter, on the given
+     * track. @p cat and @p backlog_name must outlive the link (use
+     * string literals); backlog counters need distinct names because
+     * the trace viewer keys counter series by name.
+     */
+    void
+    setTracer(obs::Tracer *tracer, const char *cat,
+              const char *backlog_name, std::uint32_t tid)
+    {
+        trace_ = tracer;
+        cat_ = cat;
+        backlogName_ = backlog_name;
+        tid_ = tid;
+    }
+
   private:
     LinkConfig cfg_;
     std::uint64_t milliGbps_; //!< wire rate quantised to integer mGbps
@@ -106,6 +141,10 @@ class Link
     std::uint64_t bytesSent_ = 0;
     std::uint64_t transfers_ = 0;
     stats::Average queueDelay_;
+    obs::Tracer *trace_ = nullptr;
+    const char *cat_ = "net";
+    const char *backlogName_ = "backlog_ns";
+    std::uint32_t tid_ = 0;
 };
 
 } // namespace hopp::net

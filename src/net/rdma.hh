@@ -79,6 +79,24 @@ class RdmaFabric
     /** Outbound (write) link. */
     const Link &writeLink() const { return writeLink_; }
 
+    /** Zero both links' traffic counters. */
+    void
+    resetStats()
+    {
+        readLink_.resetStats();
+        writeLink_.resetStats();
+    }
+
+    /** Attach the flight recorder to both simplex links. */
+    void
+    setTracer(obs::Tracer *tracer)
+    {
+        readLink_.setTracer(tracer, "net.read", "read_backlog_ns",
+                            obs::track::netRead);
+        writeLink_.setTracer(tracer, "net.write", "write_backlog_ns",
+                             obs::track::netWrite);
+    }
+
   private:
     sim::EventQueue &eq_;
     Link readLink_;

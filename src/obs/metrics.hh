@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Periodic time-series metrics: a MetricsSampler scheduled on the sim
+ * EventQueue snapshots registered gauges (resident pages, LRU
+ * lengths, swapcache size, RPT occupancy, link backlog, outstanding
+ * prefetches, ...) every `period` ns of simulated time into
+ * in-memory series, exported as CSV.
+ *
+ * The sampler only reschedules itself while other events are pending,
+ * so it never keeps an otherwise-drained event queue alive; the
+ * machine takes one final snapshot after the run for the end state.
+ */
+
+#ifndef HOPP_OBS_METRICS_HH
+#define HOPP_OBS_METRICS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hh"
+#include "sim/event_queue.hh"
+
+namespace hopp::obs
+{
+
+/** One registered gauge: a name and a pull function. */
+struct Gauge
+{
+    std::string name;
+    std::function<double()> read;
+};
+
+/**
+ * Samples all registered gauges on a fixed simulated-time period.
+ */
+class MetricsSampler
+{
+  public:
+    /** @param period sampling interval in simulated ns (> 0). */
+    MetricsSampler(sim::EventQueue &eq, Duration period);
+
+    /** Register a gauge; call before start(). */
+    void addGauge(std::string name, std::function<double()> read);
+
+    /**
+     * Optionally mirror every sample as trace counter events (name
+     * must outlive the tracer; the sampler keeps its gauge names
+     * alive, so this just wires the handle).
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /** Schedule the first sample one period from now. */
+    void start();
+
+    /** Take one snapshot immediately (used for the final state). */
+    void sampleNow();
+
+    /** Sample timestamps, one per row. */
+    const std::vector<Tick> &times() const { return times_; }
+
+    /** Per-gauge series; series()[g][row] pairs with times()[row]. */
+    const std::vector<std::vector<double>> &
+    series() const
+    {
+        return series_;
+    }
+
+    /** Registered gauges (names give the CSV column order). */
+    const std::vector<Gauge> &gauges() const { return gauges_; }
+
+    /** Render the series as CSV: `tick_ns,<gauge>,...` + one row/sample. */
+    std::string toCsv() const;
+
+  private:
+    void fire();
+
+    sim::EventQueue &eq_;
+    Duration period_;
+    Tracer *tracer_ = nullptr;
+    std::vector<Gauge> gauges_;
+    std::vector<Tick> times_;
+    std::vector<std::vector<double>> series_;
+    bool started_ = false;
+};
+
+} // namespace hopp::obs
+
+#endif // HOPP_OBS_METRICS_HH

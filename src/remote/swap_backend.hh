@@ -159,6 +159,7 @@ class SwapBackend
         demandReads_ = 0;
         prefetchReads_ = 0;
         writebacks_ = 0;
+        batchReads_ = 0;
     }
 
   private:

@@ -152,6 +152,64 @@ Machine::build()
     }
     if (hoppSystem_)
         hoppSystem_->start();
+
+    // Observability plane. Latency histograms are always on (their
+    // cost is one sample per fault); the tracer and sampler only when
+    // asked for.
+    latency_.setCostModel(cfg_.vms.cost);
+    vms_->addListener(&latency_);
+    if (cfg_.trace) {
+        tracer_.enable(true);
+        eq_.setTracer(&tracer_);
+        mc_->setTracer(&tracer_);
+        fabric_->setTracer(&tracer_);
+        vms_->setTracer(&tracer_);
+        if (hoppSystem_)
+            hoppSystem_->setTracer(&tracer_);
+    }
+    if (cfg_.metricsPeriod > 0) {
+        metrics_ = std::make_unique<obs::MetricsSampler>(
+            eq_, cfg_.metricsPeriod);
+        metrics_->addGauge("dram.used_frames", [d = dram_.get()] {
+            return static_cast<double>(d->usedFrames());
+        });
+        metrics_->addGauge("vm.swapcache_pages", [v = vms_.get()] {
+            return static_cast<double>(v->swapCachedPages());
+        });
+        metrics_->addGauge("vm.inflight_prefetches", [v = vms_.get()] {
+            return static_cast<double>(v->inflightPrefetches());
+        });
+        metrics_->addGauge("remote.live_slots", [n = node_.get()] {
+            return static_cast<double>(n->liveSlots());
+        });
+        metrics_->addGauge("sim.queue_depth", [q = &eq_] {
+            return static_cast<double>(q->size());
+        });
+        for (std::size_t i = 0; i < apps_.size(); ++i) {
+            Pid pid{static_cast<std::uint16_t>(i + 1)};
+            metrics_->addGauge(
+                "vm.lru_pages.pid" + std::to_string(i + 1),
+                [v = vms_.get(), pid] {
+                    return static_cast<double>(v->cgroup(pid).lruSize());
+                });
+        }
+        if (hoppSystem_) {
+            metrics_->addGauge("hopp.rpt_entries", [h = hoppSystem_.get()] {
+                return static_cast<double>(h->rpt().size());
+            });
+            metrics_->addGauge("hopp.ring_occupancy",
+                               [h = hoppSystem_.get()] {
+                return static_cast<double>(h->ring().size());
+            });
+            metrics_->addGauge("hopp.exec_outstanding",
+                               [h = hoppSystem_.get()] {
+                return static_cast<double>(h->exec().outstanding());
+            });
+        }
+        if (cfg_.trace)
+            metrics_->setTracer(&tracer_);
+        metrics_->start();
+    }
 }
 
 void
@@ -217,7 +275,14 @@ Machine::run()
         Thread *tp = t.get();
         eq_.schedule(Tick{}, [this, tp] { step(*tp); });
     }
+    tracer_.begin("machine", "run", eq_.now(), obs::track::machine);
     eq_.run();
+    tracer_.end("machine", "run", eq_.now(), obs::track::machine);
+    if (metrics_) {
+        // The sampler stops rescheduling as the queue drains; take one
+        // closing snapshot of the final state.
+        metrics_->sampleNow();
+    }
     if (cfg_.checkInterval) {
         // Final audit over the drained machine.
         checkInvariants().enforce();

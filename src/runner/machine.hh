@@ -18,6 +18,9 @@
 #include "hopp/hopp_system.hh"
 #include "mem/llc.hh"
 #include "net/rdma.hh"
+#include "obs/latency.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 #include "prefetch/depthn.hh"
 #include "prefetch/leap.hh"
 #include "prefetch/readahead.hh"
@@ -71,6 +74,24 @@ struct MachineConfig
 
     /** Accesses one thread executes before yielding to the queue. */
     unsigned quantum = 512;
+
+    /**
+     * Flight recorder: record structured trace events across every
+     * layer (fault spans, prefetch issue->fill, reclaim passes, link
+     * transfers, HoPP drains, sampled counters). Off by default; when
+     * off, components hold a null tracer and the instrumentation is a
+     * branch on a cold pointer.
+     */
+    bool trace = false;
+
+    /**
+     * Periodic metrics sampling interval in simulated ns; 0 disables.
+     * When enabled, a MetricsSampler snapshots the registered gauges
+     * (resident frames, swapcache, in-flight prefetches, LRU lengths,
+     * remote slots, RPT occupancy, queue depth, HoPP outstanding)
+     * every period; export with Machine::metricsSampler()->toCsv().
+     */
+    Duration metricsPeriod = 0;
 
     /**
      * Debug hook: run the src/check structural validators (event-queue
@@ -157,6 +178,15 @@ class Machine
     /** The HoPP system (nullptr unless system is Hopp/HoppOnly). */
     core::HoppSystem *hoppSystem() { return hoppSystem_.get(); }
 
+    /** The flight recorder (empty unless cfg.trace). */
+    obs::Tracer &tracer() { return tracer_; }
+
+    /** The metrics sampler (nullptr unless cfg.metricsPeriod > 0). */
+    obs::MetricsSampler *metricsSampler() { return metrics_.get(); }
+
+    /** Fault-path latency histograms (always collected). */
+    obs::FaultLatency &faultLatency() { return latency_; }
+
     /**
      * Run every applicable invariant validator once and return the
      * accumulated report (empty when the machine state is consistent).
@@ -193,6 +223,9 @@ class Machine
     std::unique_ptr<prefetch::Prefetcher> prefetcher_;
     std::unique_ptr<core::HoppSystem> hoppSystem_;
     prefetch::PrefetchStats stats_;
+    obs::Tracer tracer_;
+    std::unique_ptr<obs::MetricsSampler> metrics_;
+    obs::FaultLatency latency_;
     std::vector<std::unique_ptr<Thread>> threads_;
     bool built_ = false;
     check::EventQueueWatch eqWatch_;

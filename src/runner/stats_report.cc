@@ -1,5 +1,7 @@
 #include "stats_report.hh"
 
+#include <cstdio>
+
 #include "machine.hh"
 
 namespace hopp::runner
@@ -20,6 +22,19 @@ llcStats(mem::Llc &llc)
     s.record("miss_rate",
              total > 0 ? static_cast<double>(llc.misses()) / total : 0,
              "miss fraction");
+    s.addResetter([&llc] { llc.resetStats(); });
+    return s;
+}
+
+stats::StatSet
+mcStats(mem::MemCtrl &mc)
+{
+    stats::StatSet s("mc");
+    s.record("reads", static_cast<double>(mc.reads()),
+             "demand read transactions");
+    s.record("writes", static_cast<double>(mc.writes()),
+             "writeback transactions");
+    s.addResetter([&mc] { mc.resetStats(); });
     return s;
 }
 
@@ -53,6 +68,7 @@ dramStats(mem::Dram &dram)
              static_cast<double>(
                  dram.traffic(TrafficSource::RptUpdate)),
              "RPT write-back bytes");
+    s.addResetter([&dram] { dram.resetTraffic(); });
     return s;
 }
 
@@ -90,6 +106,7 @@ vmsStats(vm::Vms &vms)
     s.record("prefetches_dropped",
              static_cast<double>(v.prefetchesDropped),
              "completions that found their page already consumed");
+    s.addResetter([&vms] { vms.resetStats(); });
     return s;
 }
 
@@ -106,6 +123,7 @@ backendStats(remote::SwapBackend &backend)
              "multi-page batched transfers");
     s.record("writebacks", static_cast<double>(backend.writebacks()),
              "page-out writes");
+    s.addResetter([&backend] { backend.resetStats(); });
     return s;
 }
 
@@ -122,6 +140,7 @@ prefetchStats(prefetch::PrefetchStats &ps)
              "prefetches landed");
     s.record("hits", static_cast<double>(ps.totalHits()),
              "prefetched pages used");
+    s.addResetter([&ps] { ps.reset(); });
     return s;
 }
 
@@ -178,6 +197,17 @@ hoppStats(core::HoppSystem &h)
     s.record("ring.dropped",
              static_cast<double>(h.ring().dropped()),
              "hot pages lost to a full ring");
+    s.addResetter([&h] {
+        for (unsigned c = 0; c < h.config().channels; ++c) {
+            h.hpd(c).resetStats();
+            h.rptCache(c).resetStats();
+        }
+        h.stt().resetStats();
+        h.trainer().resetStats();
+        h.policy().resetStats();
+        h.exec().resetStats();
+        h.ring().resetStats();
+    });
     return s;
 }
 
@@ -196,6 +226,33 @@ linkStats(const char *name, const net::Link &link)
     return s;
 }
 
+stats::StatSet
+latencyStats(obs::FaultLatency &lat)
+{
+    stats::StatSet s("latency");
+    lat.dumpStats(s);
+    s.addResetter([&lat] { lat.reset(); });
+    return s;
+}
+
+/**
+ * Deterministic JSON number: integral values print without a
+ * fractional part, everything else round-trips via %.17g.
+ */
+void
+appendNumber(std::string &out, double v)
+{
+    char buf[40];
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v >= -9.0e15 && v <= 9.0e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    out += buf;
+}
+
 } // namespace
 
 std::vector<stats::StatSet>
@@ -204,12 +261,18 @@ collectStats(Machine &machine)
     std::vector<stats::StatSet> out;
     out.push_back(llcStats(machine.llc()));
     out.push_back(dramStats(machine.dram()));
+    out.push_back(mcStats(machine.memCtrl()));
     out.push_back(vmsStats(machine.vms()));
     out.push_back(backendStats(machine.backend()));
     out.push_back(prefetchStats(machine.prefetchStats()));
+    out.push_back(latencyStats(machine.faultLatency()));
     out.push_back(linkStats("net.read", machine.fabric().readLink()));
     out.push_back(
         linkStats("net.write", machine.fabric().writeLink()));
+    // Both links reset through the fabric; register it once, on the
+    // read-link set.
+    out[out.size() - 2].addResetter(
+        [f = &machine.fabric()] { f->resetStats(); });
     if (auto *h = machine.hoppSystem())
         out.push_back(hoppStats(*h));
     return out;
@@ -222,6 +285,35 @@ statsReport(Machine &machine)
     for (const auto &set : collectStats(machine))
         out += set.toString();
     return out;
+}
+
+std::string
+statsJson(Machine &machine)
+{
+    // Flat, deterministic: collection order is fixed, names are
+    // unique, and numbers format identically across runs.
+    std::string out = "{\n";
+    bool first = true;
+    for (const auto &set : collectStats(machine)) {
+        for (const auto &v : set.values()) {
+            if (!first)
+                out += ",\n";
+            first = false;
+            out += "  \"";
+            out += v.name;
+            out += "\": ";
+            appendNumber(out, v.value);
+        }
+    }
+    out += "\n}\n";
+    return out;
+}
+
+void
+resetAllStats(Machine &machine)
+{
+    for (auto &set : collectStats(machine))
+        set.resetAll();
 }
 
 } // namespace hopp::runner

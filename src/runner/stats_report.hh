@@ -27,6 +27,22 @@ std::vector<stats::StatSet> collectStats(Machine &machine);
 /** Render the full stats dump as text ("name value # desc" lines). */
 std::string statsReport(Machine &machine);
 
+/**
+ * Render the full stats dump as one flat JSON object
+ * (`{"llc.hits": 123, ...}`), deterministically: fixed collection
+ * order and integer formatting for integral values. Includes the
+ * fault-latency percentiles (`latency.<class>.p50_ns` ...).
+ */
+std::string statsJson(Machine &machine);
+
+/**
+ * Zero every counter the stats report covers, through the resetters
+ * the builders register alongside their records — use between
+ * repetitions on one machine instead of ad-hoc per-component calls
+ * (which historically missed newly added counters).
+ */
+void resetAllStats(Machine &machine);
+
 } // namespace hopp::runner
 
 #endif // HOPP_RUNNER_STATS_REPORT_HH

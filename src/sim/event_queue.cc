@@ -14,7 +14,19 @@ EventQueue::runOne()
     hopp_assert(e.when >= now_, "event heap ordering violated");
     now_ = e.when;
     ++executed_;
+    bool traced = tracer_ && executed_ % traceSampleEvery_ == 0;
+    if (traced) {
+        tracer_->counter("sim", "queue_depth", now_, heap_.size());
+        tracer_->counter("sim", "events_executed", now_, executed_);
+        tracer_->begin("sim", "dispatch", now_, obs::track::sim);
+    }
     e.fn();
+    if (traced) {
+        // Callbacks cannot advance now_, so the span closes at the
+        // tick it opened; nested events it recorded (at >= now_) sort
+        // inside or after it, never before.
+        tracer_->end("sim", "dispatch", now_, obs::track::sim);
+    }
     return true;
 }
 

@@ -19,6 +19,7 @@
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "obs/tracer.hh"
 
 namespace hopp::check
 {
@@ -83,6 +84,19 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Attach the flight recorder. Every @p sample_every-th event gets
+     * a dispatch span plus queue-depth / executed-count counter
+     * samples; sampling keeps the trace linear in run length with a
+     * small constant. nullptr detaches.
+     */
+    void
+    setTracer(obs::Tracer *tracer, std::uint64_t sample_every = 256)
+    {
+        tracer_ = tracer;
+        traceSampleEvery_ = sample_every ? sample_every : 1;
+    }
+
   private:
     friend class hopp::check::Access;
 
@@ -105,6 +119,8 @@ class EventQueue
     Tick now_;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    obs::Tracer *tracer_ = nullptr;
+    std::uint64_t traceSampleEvery_ = 256;
 };
 
 } // namespace hopp::sim

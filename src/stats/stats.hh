@@ -11,6 +11,7 @@
 #define HOPP_STATS_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -77,7 +78,14 @@ class Average
 
 /**
  * Histogram with logarithmic (power-of-two) buckets, suitable for latency
- * distributions spanning ns to ms.
+ * distributions spanning ns to ms when memory per sample matters.
+ *
+ * Quantization error bound: percentile() answers with the *upper edge*
+ * of the bucket holding the requested rank, and bucket i covers
+ * [2^i, 2^(i+1)), so the reported value overestimates the true
+ * percentile by at most a factor of 2 (exactly 2 in the worst case of
+ * a sample sitting on a bucket's lower edge). Use stats::Histogram
+ * below when exact percentiles are required.
  */
 class LogHistogram
 {
@@ -88,7 +96,10 @@ class LogHistogram
     /** Record one value. */
     void sample(std::uint64_t v);
 
-    /** Value at or below which fraction q of samples fall. */
+    /**
+     * Value at or below which fraction q of samples fall, rounded up
+     * to the containing bucket's upper edge (<= 2x the true value).
+     */
     std::uint64_t percentile(double q) const;
 
     /** Number of samples recorded. */
@@ -107,6 +118,57 @@ class LogHistogram
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
+};
+
+/**
+ * Exact-percentile histogram: keeps every sample, answers percentile
+ * queries by nearest-rank over the sorted sample set. Costs 8 bytes
+ * per sample; meant for latency distributions whose sample counts are
+ * bounded by fault counts, not per-access rates.
+ */
+class Histogram
+{
+  public:
+    /** Record one value. */
+    void
+    sample(std::uint64_t v)
+    {
+        samples_.push_back(v);
+        sorted_ = samples_.size() <= 1;
+    }
+
+    /**
+     * Exact nearest-rank percentile: the smallest recorded value v
+     * such that at least q * count() samples are <= v. q is clamped
+     * to [0, 1]; returns 0 when empty. Lazily sorts (amortised).
+     */
+    std::uint64_t percentile(double q) const;
+
+    /** Number of samples. */
+    std::uint64_t count() const { return samples_.size(); }
+
+    /** Exact mean (0 when empty). */
+    double mean() const;
+
+    /** Smallest sample (0 when empty). */
+    std::uint64_t min() const;
+
+    /** Largest sample (0 when empty). */
+    std::uint64_t max() const;
+
+    /** Clear all samples. */
+    void
+    reset()
+    {
+        samples_.clear();
+        sorted_ = true;
+    }
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<std::uint64_t> samples_;
+    mutable bool sorted_ = true;
 };
 
 /** One named scalar inside a StatSet dump. */
@@ -143,9 +205,31 @@ class StatSet
     /** Render "name value # desc" lines. */
     std::string toString() const;
 
+    /**
+     * Register a callback that zeroes the component counters this set
+     * was recorded from. Builders register alongside record() so a
+     * later resetAll() covers exactly what the dump covers — closing
+     * the historical gap where between-repetition resets were ad-hoc
+     * per-field calls that silently missed newly added counters.
+     */
+    void
+    addResetter(std::function<void()> fn)
+    {
+        resetters_.push_back(std::move(fn));
+    }
+
+    /** Run every registered resetter. */
+    void
+    resetAll()
+    {
+        for (auto &fn : resetters_)
+            fn();
+    }
+
   private:
     std::string prefix_;
     std::vector<StatValue> values_;
+    std::vector<std::function<void()>> resetters_;
 };
 
 } // namespace hopp::stats

@@ -82,6 +82,11 @@ Vms::residentAccess(Pid pid, PageInfo &pi, VirtAddr va, bool is_write,
         return cfg_.cost.llcHit;
     }
     ++stats_.llcMisses;
+    if (trace_ && stats_.llcMisses % 4096 == 0) {
+        // Miss-stream counters, sampled to keep the trace small.
+        trace_->counter("mem", "llc_misses", now, stats_.llcMisses);
+        trace_->counter("mem", "llc_hits", now, stats_.llcHits);
+    }
     // A write miss performs read-for-ownership first, so the MC sees a
     // READ either way (§III-B).
     mc_.demandRead(lineBase(pa), now);
@@ -143,6 +148,7 @@ Vms::evictOne(Cgroup &cg, Tick now, bool direct, Duration *cost)
                     l->onPrefetchEvicted(vpid, vvpn, v.origin, now);
             }
             hopp_assert(v.hasSwapCopy, "swapcache page without swap copy");
+            --swapCachedPages_;
         }
 
         v.state = PageState::Swapped;
@@ -223,10 +229,19 @@ Vms::kswapdRun(Pid pid)
     Cgroup &cg = cgroup(pid);
     auto target = static_cast<std::uint64_t>(
         static_cast<double>(cg.limit()) * cfg_.lowWatermark);
+    if (trace_)
+        trace_->begin("vm", "reclaim.kswapd", eq_.now(),
+                      obs::track::kswapd);
     unsigned batch = 32;
     while (cg.charged() > target && batch-- > 0) {
         if (!evictOne(cg, eq_.now(), false, nullptr))
             break;
+    }
+    if (trace_) {
+        trace_->end("vm", "reclaim.kswapd", eq_.now(),
+                    obs::track::kswapd);
+        trace_->counter("vm", "kswapd_reclaimed", eq_.now(),
+                        stats_.kswapdReclaims);
     }
     if (cg.charged() > target && !cg.lruEmpty()) {
         eq_.scheduleIn(cfg_.kswapdDelay, [this, pid] { kswapdRun(pid); });
@@ -282,6 +297,9 @@ Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
         pi.dirty = true;
         pi.hasSwapCopy = false;
         ++stats_.coldFaults;
+        if (trace_)
+            trace_->complete("vm", "fault.cold", now, cost,
+                             obs::track::ofPid(pid));
         for (auto *l : listeners_)
             l->onFaultResolved(pid, vpn, FaultKind::Cold, cost, now + cost);
         cost += residentAccess(pid, pi, va, is_write, now + cost);
@@ -312,6 +330,10 @@ Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
         cg.lruInsert(pageKey(pid, vpn), pi);
         firePteSet(pid, vpn, pi, now + cost);
         ++stats_.swapCacheHits;
+        --swapCachedPages_;
+        if (trace_)
+            trace_->complete("vm", "fault.swapcache_hit", now, cost,
+                             obs::track::ofPid(pid));
         if (was_prefetched) {
             for (auto *l : listeners_)
                 l->onPrefetchHit(pid, vpn, origin, ready_at, now + cost,
@@ -346,6 +368,10 @@ Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
             mc_.pageDma(ppn, now + cost);
             llc_.invalidatePage(ppn);
             ++stats_.inflightWaits;
+            --inflight_;
+            if (trace_)
+                trace_->complete("vm", "fault.inflight_wait", now, cost,
+                                 obs::track::ofPid(pid));
             for (auto *l : listeners_) {
                 // The in-flight prefetch is consumed here; its normal
                 // completion event will be dropped, so account for the
@@ -369,6 +395,7 @@ Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
         Duration cost = cfg_.cost.contextSwitch + cfg_.cost.pageWalk +
                         cfg_.cost.swapCacheQuery;
         Ppn ppn = obtainFrame(pid, true, now, &cost);
+        Duration kernel = cost; // §II-A steps 1-3 + direct reclaim
         Tick completion = backend_.demandRead(now + cost);
         cost = (completion - now) + cfg_.cost.pteEstablish;
         mapPage(pid, vpn, pi, ppn, true, originDemand, false, now + cost);
@@ -377,6 +404,18 @@ Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
         mc_.pageDma(ppn, now + cost);
         llc_.invalidatePage(ppn);
         ++stats_.remoteFaults;
+        if (trace_) {
+            // The fault span plus its §II-A decomposition: kernel
+            // steps (incl. direct reclaim), the RDMA transfer (incl.
+            // link queueing), and the PTE establish tail.
+            std::uint32_t tid = obs::track::ofPid(pid);
+            trace_->complete("vm", "fault.remote", now, cost, tid);
+            trace_->complete("vm", "remote.kernel", now, kernel, tid);
+            trace_->complete("vm", "remote.rdma", now + kernel,
+                             completion - (now + kernel), tid);
+            trace_->complete("vm", "remote.pte", completion,
+                             cfg_.cost.pteEstablish, tid);
+        }
         for (auto *l : listeners_) {
             l->onDemandRemote(pid, vpn, now);
             l->onFaultResolved(pid, vpn, FaultKind::Remote, cost,
@@ -409,9 +448,18 @@ Vms::prefetchToSwapCache(Pid pid, Vpn vpn, Origin origin, Tick now)
     pi.inflight = true;
     pi.injectOnArrival = false;
     pi.origin = origin;
+    ++inflight_;
+    Tick issue = std::max(now, eq_.now());
     pi.completesAt = backend_.readAsync(
-        std::max(now, eq_.now()),
+        issue,
         [this, pid, vpn](Tick t) { finishPrefetch(pid, vpn, t); });
+    if (trace_) {
+        // Issue->fill span; ends at the already-known completion tick
+        // (the sort puts the end event in its place).
+        std::uint64_t id = trace_->nextAsyncId();
+        trace_->asyncBegin("vm", "prefetch.swapcache", issue, id);
+        trace_->asyncEnd("vm", "prefetch.swapcache", pi.completesAt, id);
+    }
     return true;
 }
 
@@ -442,6 +490,10 @@ Vms::prefetchInject(Pid pid, Vpn vpn, Origin origin, Tick now)
         cg.lruInsert(pageKey(pid, vpn), pi);
         firePteSet(pid, vpn, pi, now);
         ++stats_.adoptions;
+        --swapCachedPages_;
+        if (trace_)
+            trace_->instant("vm", "prefetch.adopt", now,
+                            obs::track::ofPid(pid));
         return InjectResult::Adopted;
     }
     if (found && found->state == PageState::Swapped &&
@@ -451,6 +503,9 @@ Vms::prefetchInject(Pid pid, Vpn vpn, Origin origin, Tick now)
         // under the new origin.
         found->injectOnArrival = true;
         found->origin = origin;
+        if (trace_)
+            trace_->instant("vm", "prefetch.join", now,
+                            obs::track::ofPid(pid));
         return InjectResult::Joined;
     }
     if (!prefetchable(pid, vpn))
@@ -459,9 +514,16 @@ Vms::prefetchInject(Pid pid, Vpn vpn, Origin origin, Tick now)
     pi.inflight = true;
     pi.injectOnArrival = true;
     pi.origin = origin;
+    ++inflight_;
+    Tick issue = std::max(now, eq_.now());
     pi.completesAt = backend_.readAsync(
-        std::max(now, eq_.now()),
+        issue,
         [this, pid, vpn](Tick t) { finishPrefetch(pid, vpn, t); });
+    if (trace_) {
+        std::uint64_t id = trace_->nextAsyncId();
+        trace_->asyncBegin("vm", "prefetch.inject", issue, id);
+        trace_->asyncEnd("vm", "prefetch.inject", pi.completesAt, id);
+    }
     return InjectResult::Issued;
 }
 
@@ -483,16 +545,24 @@ Vms::prefetchInjectBatch(Pid pid, Vpn vpn, unsigned count,
         pi.injectOnArrival = true;
         pi.origin = origin;
     }
+    inflight_ += bundle.size();
     // One transfer for the whole bundle: a single base latency, with
     // serialization proportional to the bundle size.
+    Tick issue = std::max(now, eq_.now());
     Tick completion = backend_.readBatchAsync(
-        bundle.size(), std::max(now, eq_.now()),
+        bundle.size(), issue,
         [this, pid, bundle](Tick t) {
             for (Vpn v : bundle)
                 finishPrefetch(pid, v, t);
         });
     for (Vpn v : bundle)
         table_.get(pid, v).completesAt = completion;
+    if (trace_) {
+        // One span covers the whole bundle (one RDMA transfer).
+        std::uint64_t id = trace_->nextAsyncId();
+        trace_->asyncBegin("vm", "prefetch.batch", issue, id);
+        trace_->asyncEnd("vm", "prefetch.batch", completion, id);
+    }
     return static_cast<unsigned>(bundle.size());
 }
 
@@ -511,6 +581,7 @@ Vms::finishPrefetch(Pid pid, Vpn vpn, Tick completion)
     bool inject = pi.injectOnArrival;
     Origin origin = pi.origin;
     pi.inflight = false;
+    --inflight_;
     Ppn ppn = obtainFrame(pid, inject, completion, nullptr);
     pi.hasSwapCopy = true;
     pi.dirty = false;
@@ -527,6 +598,7 @@ Vms::finishPrefetch(Pid pid, Vpn vpn, Tick completion)
         pi.charged = false;
         pi.accessedBit = false;
         cgroup(pid).lruInsert(pageKey(pid, vpn), pi);
+        ++swapCachedPages_;
     }
     for (auto *l : listeners_)
         l->onPrefetchCompleted(pid, vpn, origin, completion, inject);

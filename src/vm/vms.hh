@@ -20,6 +20,7 @@
 #include "common/types.hh"
 #include "mem/llc.hh"
 #include "mem/memctrl.hh"
+#include "obs/tracer.hh"
 #include "remote/swap_backend.hh"
 #include "sim/event_queue.hh"
 #include "vm/cgroup.hh"
@@ -180,6 +181,23 @@ class Vms
     /** Install (or clear, with nullptr) the eviction advisor. */
     void setEvictionAdvisor(EvictionAdvisor *a) { advisor_ = a; }
 
+    /**
+     * Attach the flight recorder: fault-resolution spans per class
+     * (with the remote path decomposed into §II-A kernel / RDMA / PTE
+     * sub-spans), async prefetch issue->fill spans, reclaim-pass
+     * spans and sampled miss counters. nullptr (default) detaches.
+     */
+    void setTracer(obs::Tracer *tracer) { trace_ = tracer; }
+
+    /** Pages currently sitting in the swapcache (gauge). */
+    std::uint64_t swapCachedPages() const { return swapCachedPages_; }
+
+    /** Prefetch reads currently in flight (gauge). */
+    std::uint64_t inflightPrefetches() const { return inflight_; }
+
+    /** Zero all event counters (between experiment repetitions). */
+    void resetStats() { stats_ = VmsStats{}; }
+
     /** The page table (for HoPP's initial RPT build and tests). */
     PageTable &pageTable() { return table_; }
 
@@ -247,6 +265,9 @@ class Vms
     std::vector<PteHook *> pteHooks_;
     EvictionAdvisor *advisor_ = nullptr;
     VmsStats stats_;
+    obs::Tracer *trace_ = nullptr;
+    std::uint64_t swapCachedPages_ = 0; //!< live SwapCached count
+    std::uint64_t inflight_ = 0;        //!< live in-flight prefetches
 };
 
 } // namespace hopp::vm

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * MetricsSampler tests: periodic sampling on the event queue, gauge
+ * registration, CSV export, queue-drain behaviour, and the trace
+ * counter mirror.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hh"
+#include "sim/event_queue.hh"
+
+using namespace hopp;
+using namespace hopp::obs;
+
+namespace
+{
+
+/** Schedule a no-op at @p when so the sampler has work to follow. */
+void
+keepAlive(sim::EventQueue &eq, Tick when)
+{
+    eq.schedule(when, [] {});
+}
+
+} // namespace
+
+TEST(MetricsSampler, SamplesOnThePeriodWhileEventsPend)
+{
+    sim::EventQueue eq;
+    MetricsSampler ms(eq, 100);
+    int pulls = 0;
+    ms.addGauge("g", [&pulls] { return static_cast<double>(++pulls); });
+    keepAlive(eq, Tick(1000));
+    ms.start();
+    eq.run();
+    // Samples at t=100..1000 while the keep-alive event pends; the
+    // sampler must not keep the queue alive past the last real event.
+    ASSERT_GE(ms.times().size(), 9u);
+    EXPECT_EQ(ms.times().front(), Tick(100));
+    for (std::size_t i = 1; i < ms.times().size(); ++i)
+        EXPECT_EQ(ms.times()[i] - ms.times()[i - 1], 100u);
+    EXPECT_LE(ms.times().back(), Tick(1100));
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(MetricsSampler, DoesNotKeepDrainedQueueAlive)
+{
+    sim::EventQueue eq;
+    MetricsSampler ms(eq, 10);
+    ms.addGauge("g", [] { return 1.0; });
+    ms.start();
+    // No other events: the first firing sees an empty queue and stops.
+    std::uint64_t executed = eq.run(1000);
+    EXPECT_LE(executed, 2u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(MetricsSampler, GaugesSampleInRegistrationOrder)
+{
+    sim::EventQueue eq;
+    MetricsSampler ms(eq, 50);
+    ms.addGauge("a", [] { return 1.0; });
+    ms.addGauge("b", [] { return 2.0; });
+    keepAlive(eq, Tick(100));
+    ms.start();
+    eq.run();
+    ASSERT_EQ(ms.gauges().size(), 2u);
+    EXPECT_EQ(ms.gauges()[0].name, "a");
+    EXPECT_EQ(ms.gauges()[1].name, "b");
+    ASSERT_EQ(ms.series().size(), 2u);
+    ASSERT_FALSE(ms.series()[0].empty());
+    EXPECT_DOUBLE_EQ(ms.series()[0][0], 1.0);
+    EXPECT_DOUBLE_EQ(ms.series()[1][0], 2.0);
+}
+
+TEST(MetricsSampler, SampleNowAppendsFinalRow)
+{
+    sim::EventQueue eq;
+    MetricsSampler ms(eq, 100);
+    double v = 5.0;
+    ms.addGauge("g", [&v] { return v; });
+    keepAlive(eq, Tick(250));
+    ms.start();
+    eq.run();
+    std::size_t rows = ms.times().size();
+    v = 9.0;
+    ms.sampleNow();
+    ASSERT_EQ(ms.times().size(), rows + 1);
+    EXPECT_DOUBLE_EQ(ms.series()[0].back(), 9.0);
+}
+
+TEST(MetricsSampler, CsvHasHeaderAndOneRowPerSample)
+{
+    sim::EventQueue eq;
+    MetricsSampler ms(eq, 100);
+    ms.addGauge("resident", [] { return 3.0; });
+    ms.addGauge("backlog", [] { return 0.5; });
+    keepAlive(eq, Tick(200));
+    ms.start();
+    eq.run();
+    std::string csv = ms.toCsv();
+    EXPECT_EQ(csv.rfind("tick_ns,resident,backlog\n", 0), 0u) << csv;
+    std::size_t newlines = 0;
+    for (char c : csv)
+        newlines += c == '\n';
+    EXPECT_EQ(newlines, 1 + ms.times().size());
+    EXPECT_NE(csv.find("\n100,3,0.5\n"), std::string::npos) << csv;
+}
+
+TEST(MetricsSampler, MirrorsSamplesAsTraceCounters)
+{
+    sim::EventQueue eq;
+    MetricsSampler ms(eq, 100);
+    ms.addGauge("depth", [] { return 2.0; });
+    Tracer t;
+    t.enable();
+    ms.setTracer(&t);
+    keepAlive(eq, Tick(150));
+    ms.start();
+    eq.run();
+    ASSERT_GE(t.size(), 1u);
+    EXPECT_EQ(t.events()[0].ph, 'C');
+    EXPECT_STREQ(t.events()[0].name, "depth");
+    EXPECT_EQ(t.events()[0].value, 2u);
+}

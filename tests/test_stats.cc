@@ -1,10 +1,17 @@
 /**
  * @file
- * Unit tests for counters, averages, log histograms and table printing.
+ * Unit tests for counters, averages, histograms (exact and log-scale),
+ * stat-set resetters, and table printing.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
 #include "stats/stats.hh"
 #include "stats/table.hh"
 
@@ -115,4 +122,138 @@ TEST(Table, NumFormatsPrecision)
 {
     EXPECT_EQ(Table::num(3.14159, 2), "3.14");
     EXPECT_EQ(Table::pct(0.123456, 1), "12.3%");
+}
+
+// ---------------------------------------------------------------------
+// Exact Histogram: nearest-rank percentiles against a brute-force
+// oracle over the sorted sample set.
+
+namespace
+{
+
+/** Nearest-rank oracle: smallest v with >= ceil(q*n) samples <= v. */
+std::uint64_t
+oraclePercentile(std::vector<std::uint64_t> samples, double q)
+{
+    if (samples.empty())
+        return 0;
+    std::sort(samples.begin(), samples.end());
+    if (q <= 0.0)
+        return samples.front();
+    if (q >= 1.0)
+        return samples.back();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    if (rank == 0)
+        rank = 1;
+    return samples[rank - 1];
+}
+
+} // namespace
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile)
+{
+    Histogram h;
+    h.sample(42);
+    EXPECT_EQ(h.percentile(0.0), 42u);
+    EXPECT_EQ(h.percentile(0.5), 42u);
+    EXPECT_EQ(h.percentile(0.99), 42u);
+    EXPECT_EQ(h.percentile(1.0), 42u);
+}
+
+TEST(Histogram, MatchesOracleOnRandomSamples)
+{
+    hopp::Pcg32 rng(7);
+    Histogram h;
+    std::vector<std::uint64_t> all;
+    for (int i = 0; i < 1000; ++i) {
+        // Mix of magnitudes, with duplicates.
+        std::uint64_t v = rng.below64(1'000'000) / (1 + rng.below(4));
+        h.sample(v);
+        all.push_back(v);
+    }
+    for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0})
+        EXPECT_EQ(h.percentile(q), oraclePercentile(all, q)) << "q=" << q;
+    EXPECT_EQ(h.min(), oraclePercentile(all, 0.0));
+    EXPECT_EQ(h.max(), oraclePercentile(all, 1.0));
+}
+
+TEST(Histogram, InterleavedSampleAndQuery)
+{
+    // Queries lazily sort; later samples must still be seen.
+    Histogram h;
+    h.sample(10);
+    h.sample(30);
+    EXPECT_EQ(h.percentile(0.5), 10u);
+    h.sample(20);
+    EXPECT_EQ(h.percentile(0.5), 20u);
+    h.sample(5);
+    EXPECT_EQ(h.percentile(1.0), 30u);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.sample(100);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(LogHistogram, PercentileWithinDocumentedBound)
+{
+    // The documented error bound: LogHistogram answers with the
+    // bucket's upper edge, at most 2x the exact nearest-rank answer.
+    hopp::Pcg32 rng(11);
+    LogHistogram lh;
+    std::vector<std::uint64_t> all;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t v = 1 + rng.below64(1u << 20);
+        lh.sample(v);
+        all.push_back(v);
+    }
+    for (double q : {0.1, 0.5, 0.9, 0.99}) {
+        std::uint64_t exact = oraclePercentile(all, q);
+        std::uint64_t approx = lh.percentile(q);
+        EXPECT_GE(approx, exact) << "q=" << q;
+        EXPECT_LE(approx, 2 * exact) << "q=" << q;
+    }
+}
+
+// ---------------------------------------------------------------------
+// StatSet resetters: resetAll() must run every registered callback so
+// a dump-builder's reset coverage always matches its record coverage.
+
+TEST(StatSet, ResetAllRunsEveryResetter)
+{
+    Counter a, b;
+    a.add(3);
+    b.add(5);
+    StatSet s("x");
+    s.record("a", static_cast<double>(a.value()));
+    s.addResetter([&a] { a.reset(); });
+    s.record("b", static_cast<double>(b.value()));
+    s.addResetter([&b] { b.reset(); });
+    s.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatSet, ResetAllWithNoResettersIsNoop)
+{
+    StatSet s("x");
+    s.record("v", 1.0);
+    s.resetAll();
+    EXPECT_EQ(s.values().size(), 1u);
 }

@@ -36,6 +36,14 @@
  *                   `hopp-lint: allow(raw)` justification — the escape
  *                   hatch is for serialization/stats boundaries only.
  *
+ * Observability rules:
+ *
+ *   obs-chrono      any std::chrono use (or <chrono> include) in a
+ *                   file under an obs/ directory — the flight
+ *                   recorder's traces must be byte-deterministic, so
+ *                   its timestamps come exclusively from simulator
+ *                   ticks, never wall clocks.
+ *
  * Suppression:
  *   // hopp-lint: allow(<rule>[, <rule>...])    this or next line
  *   // hopp-lint: allow-file(<rule>)            whole file
@@ -434,6 +442,8 @@ scanFile(const fs::path &path, FileScan &out)
     auto ext = path.extension().string();
     bool is_header = ext == ".hh" || ext == ".hpp";
     std::string generic = path.generic_string();
+    bool in_obs = generic.find("/obs/") != std::string::npos ||
+                  generic.rfind("obs/", 0) == 0;
     bool is_types_hh =
         generic.size() >= std::strlen("common/types.hh") &&
         generic.compare(generic.size() - std::strlen("common/types.hh"),
@@ -584,6 +594,13 @@ scanFile(const fs::path &path, FileScan &out)
                  ".raw() unwraps a tagged type; confine it to "
                  "serialization/stats boundaries and justify with "
                  "hopp-lint: allow(raw)");
+        }
+
+        if (in_obs && hasToken(line, "chrono", false)) {
+            emit(lineno, "obs-chrono",
+                 "std::chrono in the observability layer; trace "
+                 "timestamps must be simulator ticks so traces stay "
+                 "byte-deterministic");
         }
     }
 }

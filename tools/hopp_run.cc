@@ -6,10 +6,14 @@
  *            [--scale F] [--iterations F] [--depth N] [--tiers MASK]
  *            [--channels N] [--no-interleave] [--batch] [--markov]
  *            [--eviction-advisor] [--seed N] [--dump-hopp] [--list]
+ *            [--trace-out FILE] [--trace-jsonl FILE]
+ *            [--metrics-out FILE] [--metrics-period NS]
+ *            [--stats-json FILE]
  *
  * Examples:
  *   hopp-run --workload npb-mg --system hopp --ratio 0.5 --dump-hopp
  *   hopp-run --workload kmeans-omp --workload quicksort --system hopp
+ *   hopp-run --workload kmeans-omp --trace-out run.json  # -> Perfetto
  *   hopp-run --list
  */
 
@@ -20,6 +24,7 @@
 #include <vector>
 
 #include "hopp/hopp_system.hh"
+#include "obs/trace_writer.hh"
 #include "runner/machine.hh"
 #include "runner/stats_report.hh"
 #include "stats/table.hh"
@@ -54,7 +59,16 @@ usage(const char *argv0)
         " events (0 = off)\n"
         "  --seed N            workload seed (default 42)\n"
         "  --dump-hopp         print HoPP component statistics\n"
-        "  --stats             print the full component stats dump\n"
+        "  --stats             print the full component stats dump"
+        " (stderr)\n"
+        "  --stats-json FILE   write the stats dump as JSON to FILE\n"
+        "  --trace-out FILE    record a Chrome trace_event JSON trace"
+        " (open in Perfetto)\n"
+        "  --trace-jsonl FILE  record the trace as one-event-per-line"
+        " JSONL\n"
+        "  --metrics-out FILE  write periodic gauge samples as CSV\n"
+        "  --metrics-period NS sampling period in simulated ns"
+        " (default 100000)\n"
         "  --list              list workloads and exit\n",
         argv0);
 }
@@ -142,6 +156,8 @@ main(int argc, char **argv)
     std::uint64_t seed = 42;
     bool dump_hopp = false;
     bool dump_stats = false;
+    std::string trace_out, trace_jsonl, metrics_out, stats_json;
+    Duration metrics_period = 100'000; // 100 us of simulated time
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -188,6 +204,17 @@ main(int argc, char **argv)
             dump_hopp = true;
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--stats-json") {
+            stats_json = need(i);
+        } else if (arg == "--trace-out") {
+            trace_out = need(i);
+        } else if (arg == "--trace-jsonl") {
+            trace_jsonl = need(i);
+        } else if (arg == "--metrics-out") {
+            metrics_out = need(i);
+        } else if (arg == "--metrics-period") {
+            metrics_period =
+                static_cast<Duration>(std::atoll(need(i)));
         } else if (arg == "--list") {
             for (const auto &n : workloads::allWorkloadNames())
                 std::printf("%s\n", n.c_str());
@@ -204,6 +231,10 @@ main(int argc, char **argv)
     }
     if (workload_names.empty())
         workload_names.push_back("kmeans-omp");
+    if (!trace_out.empty() || !trace_jsonl.empty())
+        cfg.trace = true;
+    if (!metrics_out.empty())
+        cfg.metricsPeriod = metrics_period;
 
     Machine machine(cfg);
     for (std::size_t i = 0; i < workload_names.size(); ++i) {
@@ -249,8 +280,25 @@ main(int argc, char **argv)
             std::puts("(no HoPP system in this configuration)");
     }
     if (dump_stats) {
-        std::puts("\n-- component statistics --");
-        std::fputs(statsReport(machine).c_str(), stdout);
+        // stderr, so the table/summary lines above stay grep-stable
+        // on stdout and the dump never interleaves with them.
+        std::fputs("\n-- component statistics --\n", stderr);
+        std::fputs(statsReport(machine).c_str(), stderr);
     }
-    return 0;
+    bool io_ok = true;
+    if (!stats_json.empty())
+        io_ok &= obs::writeFile(stats_json, statsJson(machine));
+    if (!trace_out.empty()) {
+        io_ok &= obs::writeFile(trace_out,
+                                obs::toChromeJson(machine.tracer()));
+    }
+    if (!trace_jsonl.empty()) {
+        io_ok &= obs::writeFile(trace_jsonl,
+                                obs::toJsonl(machine.tracer()));
+    }
+    if (!metrics_out.empty()) {
+        io_ok &= obs::writeFile(metrics_out,
+                                machine.metricsSampler()->toCsv());
+    }
+    return io_ok ? 0 : 1;
 }
