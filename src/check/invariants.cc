@@ -67,7 +67,8 @@ class Access
     static void
     pushEvent(sim::EventQueue &eq, Tick when)
     {
-        eq.heap_.push(sim::EventQueue::Entry{when, eq.seq_++, [] {}});
+        eq.pushEntry(sim::EventQueue::Entry{when, eq.seq_++,
+                                            sim::InlineEvent([] {})});
     }
 
     // --- mem::SetAssocCache / mem::Llc --------------------------
@@ -130,9 +131,7 @@ class Access
     }
 
     // --- vm::Vms / vm::Cgroup -----------------------------------
-    // hopp-lint: allow(unordered-iter) — returned to validators whose
-    // scans are order-insensitive (pure accounting cross-checks).
-    static const std::unordered_map<Pid, vm::Cgroup> &
+    static const std::vector<vm::Cgroup> &
     cgroups(const vm::Vms &v)
     {
         return v.cgroups_;
@@ -261,8 +260,8 @@ validateVms(const vm::Vms &vms, Report &r)
     // Pass 1: walk each cgroup's LRU list and cross-link every node
     // against the page table.
     std::unordered_set<std::uint64_t> on_lists;
-    // Accounting cross-checks are order-insensitive.
-    for (const auto &[pid, cg] : Access::cgroups(vms)) { // hopp-lint: allow(unordered-iter)
+    for (const vm::Cgroup &cg : Access::cgroups(vms)) {
+        Pid pid = cg.pid();
         if (cg.charged() > cg.limit()) {
             r.fail("cgroup", formatMessage(
                                  "pid %u charged %llu beyond limit %llu",
@@ -398,7 +397,8 @@ validateVms(const vm::Vms &vms, Report &r)
             bad("injected flag outside Resident");
     });
 
-    for (const auto &[pid, cg] : Access::cgroups(vms)) { // hopp-lint: allow(unordered-iter)
+    for (const vm::Cgroup &cg : Access::cgroups(vms)) {
+        Pid pid = cg.pid();
         auto charged_it = charged_pages.find(pid);
         std::uint64_t n_charged =
             charged_it == charged_pages.end() ? 0 : charged_it->second;

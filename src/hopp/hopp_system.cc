@@ -25,11 +25,16 @@ HoppSystem::HoppSystem(sim::EventQueue &eq, vm::Vms &vms,
         hpd_cfg.threshold =
             std::max(1u, cfg_.hpd.threshold / cfg_.channels);
     }
+    // Reserve up front: RptCache holds reference members, so it is
+    // move-constructible but not assignable — the vectors must never
+    // relocate after this.
+    hpds_.reserve(cfg_.channels);
+    rptCaches_.reserve(cfg_.channels);
     for (unsigned c = 0; c < cfg_.channels; ++c) {
-        hpds_.push_back(std::make_unique<Hpd>(hpd_cfg));
-        rptCaches_.push_back(std::make_unique<RptCache>(
-            rpt_, mc.dram(), cfg_.rptCache));
+        hpds_.emplace_back(hpd_cfg);
+        rptCaches_.emplace_back(rpt_, mc.dram(), cfg_.rptCache);
     }
+    warmPruneAt_ = cfg_.warmEntriesCap;
 }
 
 unsigned
@@ -50,8 +55,8 @@ HpdStats
 HoppSystem::hpdTotals() const
 {
     HpdStats total;
-    for (const auto &h : hpds_) {
-        const HpdStats &s = h->stats();
+    for (const Hpd &h : hpds_) {
+        const HpdStats &s = h.stats();
         total.reads += s.reads;
         total.writesIgnored += s.writesIgnored;
         total.hotPages += s.hotPages;
@@ -86,22 +91,21 @@ HoppSystem::keepWarm(Pid pid, Vpn vpn, Tick now)
     // Recency alone would pin every page of a hot stream; require
     // *repeated* hotness within the window, which only reuse-heavy
     // pages (graph vertex sets, recursion working sets) exhibit.
-    auto it = lastHot_.find(vm::pageKey(pid, vpn));
-    if (it == lastHot_.end())
+    const Hotness *h = lastHot_.find(vm::pageKey(pid, vpn));
+    if (!h)
         return false;
-    const Hotness &h = it->second;
-    return h.prev != Tick{} && now - h.last < cfg_.warmWindow &&
-           h.last - h.prev < cfg_.warmWindow;
+    return h->prev != Tick{} && now - h->last < cfg_.warmWindow &&
+           h->last - h->prev < cfg_.warmWindow;
 }
 
 void
 HoppSystem::onMcAccess(PhysAddr pa, bool is_write, Tick now)
 {
     unsigned channel = channelOf(pa);
-    auto hot = hpds_[channel]->access(pa, is_write);
+    auto hot = hpds_[channel].access(pa, is_write);
     if (!hot)
         return;
-    auto entry = rptCaches_[channel]->lookup(*hot);
+    auto entry = rptCaches_[channel].lookup(*hot);
     if (!entry) {
         // Frame not (or no longer) mapped: nothing to tell software.
         ++unmapped_;
@@ -145,8 +149,8 @@ HoppSystem::drainRing()
             Hotness &h = lastHot_[vm::pageKey(hp->pid, hp->vpn)];
             h.prev = h.last;
             h.last = hp->time;
-            if (lastHot_.size() > (1u << 20))
-                lastHot_.clear();
+            if (lastHot_.size() >= warmPruneAt_)
+                pruneWarm(eq_.now());
         }
         trainer_.onHotPage(*hp, eq_.now());
     }
@@ -160,6 +164,25 @@ HoppSystem::drainRing()
 }
 
 void
+HoppSystem::pruneWarm(Tick now)
+{
+    // Age-based prune (instead of a wholesale clear, which would
+    // silently disable keepWarm for every stream at once): an entry
+    // whose last hot extraction fell out of the warm window can never
+    // satisfy keepWarm again until re-extracted, so dropping exactly
+    // those is behaviour-preserving. One O(n) rebuild per pass.
+    ++warmPrunePasses_;
+    warmPruned_ += lastHot_.eraseIf(
+        [this, now](std::uint64_t, const Hotness &h) {
+            return now - h.last >= cfg_.warmWindow;
+        });
+    // If (nearly) everything is genuinely warm the table legitimately
+    // exceeds the cap; back the next trigger off so a hot phase does
+    // not rescan the table on every insertion.
+    warmPruneAt_ = std::max(cfg_.warmEntriesCap, lastHot_.size() * 2);
+}
+
+void
 HoppSystem::onPteSet(Pid pid, Vpn vpn, Ppn ppn, bool shared, bool huge,
                      Tick)
 {
@@ -168,10 +191,10 @@ HoppSystem::onPteSet(Pid pid, Vpn vpn, Ppn ppn, bool shared, bool huge,
     if (cfg_.channelInterleaved) {
         // Any channel's HPD can extract this page: every MC's RPT
         // cache receives the update.
-        for (auto &cache : rptCaches_)
-            cache->update(ppn, entry);
+        for (RptCache &cache : rptCaches_)
+            cache.update(ppn, entry);
     } else {
-        rptCaches_[channelOf(pageBase(ppn))]->update(ppn, entry);
+        rptCaches_[channelOf(pageBase(ppn))].update(ppn, entry);
     }
 }
 
@@ -180,15 +203,15 @@ HoppSystem::onPteClear(Pid, Vpn, Ppn ppn, Tick)
 {
     if (cfg_.channelInterleaved) {
         for (unsigned c = 0; c < cfg_.channels; ++c) {
-            rptCaches_[c]->invalidate(ppn);
+            rptCaches_[c].invalidate(ppn);
             // The frame will be recycled: a stale send bit must not
             // suppress hot-page detection of its next tenant.
-            hpds_[c]->invalidate(ppn);
+            hpds_[c].invalidate(ppn);
         }
     } else {
         unsigned c = channelOf(pageBase(ppn));
-        rptCaches_[c]->invalidate(ppn);
-        hpds_[c]->invalidate(ppn);
+        rptCaches_[c].invalidate(ppn);
+        hpds_[c].invalidate(ppn);
     }
 }
 

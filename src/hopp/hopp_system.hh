@@ -10,10 +10,9 @@
 #ifndef HOPP_HOPP_HOPP_SYSTEM_HH
 #define HOPP_HOPP_HOPP_SYSTEM_HH
 
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "hopp/exec_engine.hh"
 #include "hopp/hot_page.hh"
 #include "hopp/hpd.hh"
@@ -80,6 +79,14 @@ struct HoppConfig
     /** Pages hot within this window are kept from eviction. */
     Duration warmWindow = 2'000'000; // 2 ms
 
+    /**
+     * Advisor hotness-table size that triggers an age-based prune:
+     * entries whose last hot extraction fell out of warmWindow are
+     * dropped (they can no longer satisfy keepWarm), fresh ones
+     * survive. Sized so prunes are rare outside adversarial sweeps.
+     */
+    std::size_t warmEntriesCap = 1 << 20;
+
     /** Latency from hot-page extraction to software processing. */
     Duration trainerDelay = 500;
 
@@ -129,15 +136,15 @@ class HoppSystem : public mem::McObserver,
     unsigned channelOf(PhysAddr pa) const;
 
     /** Component access for tests and benches (channel 0 views). */
-    Hpd &hpd() { return *hpds_[0]; }
+    Hpd &hpd() { return hpds_[0]; }
     Rpt &rpt() { return rpt_; }
-    RptCache &rptCache() { return *rptCaches_[0]; }
+    RptCache &rptCache() { return rptCaches_[0]; }
 
     /** Per-channel hardware (size = config().channels). */
-    Hpd &hpd(unsigned channel) { return *hpds_.at(channel); }
+    Hpd &hpd(unsigned channel) { return hpds_.at(channel); }
     RptCache &rptCache(unsigned channel)
     {
-        return *rptCaches_.at(channel);
+        return rptCaches_.at(channel);
     }
 
     /** Aggregate HPD statistics over all channels. */
@@ -154,6 +161,15 @@ class HoppSystem : public mem::McObserver,
     /** Hot pages whose PPN the RPT could not map (dropped). */
     std::uint64_t unmappedHotPages() const { return unmapped_; }
 
+    /** Live advisor hotness entries (gauge). */
+    std::uint64_t warmEntriesLive() const { return lastHot_.size(); }
+
+    /** Stale advisor entries aged out by pruning (counter). */
+    std::uint64_t warmPruned() const { return warmPruned_; }
+
+    /** Advisor prune passes executed (counter). */
+    std::uint64_t warmPrunePasses() const { return warmPrunePasses_; }
+
     /**
      * Attach the flight recorder: ring-drain batch spans on the HoPP
      * software track, hot-page extraction counters and RPT-lookup
@@ -163,14 +179,17 @@ class HoppSystem : public mem::McObserver,
 
   private:
     void drainRing();
+    void pruneWarm(Tick now);
 
     sim::EventQueue &eq_;
     vm::Vms &vms_;
     mem::MemCtrl &mc_;
     HoppConfig cfg_;
-    std::vector<std::unique_ptr<Hpd>> hpds_;       // one per channel
+    // By-value per-channel hardware: channel dispatch indexes straight
+    // into contiguous storage instead of chasing unique_ptrs.
+    std::vector<Hpd> hpds_;            // one per channel
     Rpt rpt_;
-    std::vector<std::unique_ptr<RptCache>> rptCaches_; // one per MC
+    std::vector<RptCache> rptCaches_;  // one per MC
     HotPageRing ring_;
     Stt stt_;
     PolicyEngine policy_;
@@ -189,7 +208,14 @@ class HoppSystem : public mem::McObserver,
         Tick prev;
     };
 
-    std::unordered_map<std::uint64_t, Hotness> lastHot_;
+    /// Keyed by pageKey(pid, vpn); open-addressed so the per-hot-page
+    /// advisor update is a flat probe, not a node allocation.
+    FlatU64Map<Hotness> lastHot_;
+    std::uint64_t warmPruned_ = 0;
+    std::uint64_t warmPrunePasses_ = 0;
+    /// Next prune trigger; starts at cfg_.warmEntriesCap and backs off
+    /// when the table is genuinely warm (see pruneWarm).
+    std::size_t warmPruneAt_ = 0;
 };
 
 } // namespace hopp::core

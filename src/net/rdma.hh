@@ -9,7 +9,7 @@
 #ifndef HOPP_NET_RDMA_HH
 #define HOPP_NET_RDMA_HH
 
-#include <functional>
+#include <utility>
 
 #include "common/types.hh"
 #include "net/link.hh"
@@ -41,14 +41,18 @@ class RdmaFabric
 
     /**
      * One-sided read with a completion callback scheduled on the event
-     * queue. @p now must be >= the queue's current time.
+     * queue. @p now must be >= the queue's current time. The callback
+     * is moved straight into the event queue's inline storage — it must
+     * fit sim::InlineEvent's capture budget (enforced at compile time),
+     * which keeps completions allocation-free.
      */
+    template <typename F>
     Tick
-    readAsync(std::uint64_t bytes, Tick now, std::function<void(Tick)> done)
+    readAsync(std::uint64_t bytes, Tick now, F &&done)
     {
         Tick completion = readLink_.transfer(bytes, now);
         eq_.schedule(completion,
-                     [done = std::move(done), completion] {
+                     [done = std::forward<F>(done), completion]() mutable {
                          done(completion);
                      });
         return completion;
@@ -61,13 +65,15 @@ class RdmaFabric
         return writeLink_.transfer(bytes, now);
     }
 
-    /** One-sided write with completion callback. */
+    /** One-sided write with completion callback (same inline-capture
+     *  contract as readAsync). */
+    template <typename F>
     Tick
-    writeAsync(std::uint64_t bytes, Tick now, std::function<void(Tick)> done)
+    writeAsync(std::uint64_t bytes, Tick now, F &&done)
     {
         Tick completion = writeLink_.transfer(bytes, now);
         eq_.schedule(completion,
-                     [done = std::move(done), completion] {
+                     [done = std::forward<F>(done), completion]() mutable {
                          done(completion);
                      });
         return completion;

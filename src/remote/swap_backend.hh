@@ -10,7 +10,6 @@
 #ifndef HOPP_REMOTE_SWAP_BACKEND_HH
 #define HOPP_REMOTE_SWAP_BACKEND_HH
 
-#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -99,34 +98,38 @@ class SwapBackend
         return fabric_.read(pageBytes, now);
     }
 
-    /** Asynchronous page-in for prefetching. */
+    /** Asynchronous page-in for prefetching. The completion callback is
+     *  forwarded into the event queue's inline storage (no allocation;
+     *  capture size checked at compile time). */
+    template <typename F>
     Tick
-    readAsync(Tick now, std::function<void(Tick)> done)
+    readAsync(Tick now, F &&done)
     {
         ++prefetchReads_;
-        return fabric_.readAsync(pageBytes, now, std::move(done));
+        return fabric_.readAsync(pageBytes, now, std::forward<F>(done));
     }
 
     /**
      * Asynchronous multi-page read in one RDMA transfer (huge-batch
      * prefetching, §IV): one base latency for @p pages pages.
      */
+    template <typename F>
     Tick
-    readBatchAsync(std::uint64_t pages, Tick now,
-                   std::function<void(Tick)> done)
+    readBatchAsync(std::uint64_t pages, Tick now, F &&done)
     {
         prefetchReads_ += pages;
         ++batchReads_;
         return fabric_.readAsync(pages * pageBytes, now,
-                                 std::move(done));
+                                 std::forward<F>(done));
     }
 
     /** Asynchronous page-out (reclaim writeback). */
+    template <typename F>
     Tick
-    writeAsync(Tick now, std::function<void(Tick)> done)
+    writeAsync(Tick now, F &&done)
     {
         ++writebacks_;
-        return fabric_.writeAsync(pageBytes, now, std::move(done));
+        return fabric_.writeAsync(pageBytes, now, std::forward<F>(done));
     }
 
     /** Fire-and-forget page-out when nobody needs the completion. */

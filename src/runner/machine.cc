@@ -58,6 +58,11 @@ Machine::build()
     hopp_assert(!apps_.empty(), "no workloads configured");
     built_ = true;
 
+    // Steady-state queue depth is one event per thread plus in-flight
+    // prefetch completions and a handful of background actors; size
+    // the event heap so it never regrows mid-run.
+    eq_.reserve(4096 + apps_.size() * 64);
+
     // cgroup limit per app; Local gives every app its full footprint.
     std::uint64_t total_limit = 0;
     std::vector<std::uint64_t> limits;

@@ -197,6 +197,15 @@ hoppStats(core::HoppSystem &h)
     s.record("ring.dropped",
              static_cast<double>(h.ring().dropped()),
              "hot pages lost to a full ring");
+    s.record("advisor.warm_live",
+             static_cast<double>(h.warmEntriesLive()),
+             "live advisor hotness entries");
+    s.record("advisor.warm_pruned",
+             static_cast<double>(h.warmPruned()),
+             "stale advisor entries aged out");
+    s.record("advisor.prune_passes",
+             static_cast<double>(h.warmPrunePasses()),
+             "advisor prune passes");
     s.addResetter([&h] {
         for (unsigned c = 0; c < h.config().channels; ++c) {
             h.hpd(c).resetStats();

@@ -9,8 +9,9 @@ EventQueue::runOne()
     if (heap_.empty())
         return false;
     // The callback may schedule new events, so move it out first.
-    Entry e = heap_.top();
-    heap_.pop();
+    // popTop() moves the closure out of the heap — no copy, no
+    // allocation — which is the point of the InlineEvent design.
+    Entry e = popTop();
     hopp_assert(e.when >= now_, "event heap ordering violated");
     now_ = e.when;
     ++executed_;
@@ -43,7 +44,7 @@ std::uint64_t
 EventQueue::runUntil(Tick until)
 {
     std::uint64_t n = 0;
-    while (!heap_.empty() && heap_.top().when <= until && runOne())
+    while (!heap_.empty() && heap_.front().when <= until && runOne())
         ++n;
     if (now_ < until)
         now_ = until;

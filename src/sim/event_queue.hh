@@ -7,19 +7,26 @@
  * and the HoPP software trainer are all events. Events scheduled for the
  * same tick fire in FIFO order of scheduling, which keeps runs
  * deterministic.
+ *
+ * The queue is allocation-free in steady state: events are
+ * `InlineEvent`s (closures live inside the queue entries, never on the
+ * heap — see inline_event.hh), and the priority heap is a hand-rolled
+ * 4-ary min-heap over a reserved `std::vector`, so dispatch moves the
+ * root entry out instead of copying it (`std::priority_queue::top()`
+ * returns a const reference, which forced a closure copy — and a heap
+ * allocation — per event in the old `std::function` design).
  */
 
 #ifndef HOPP_SIM_EVENT_QUEUE_HH
 #define HOPP_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "obs/tracer.hh"
+#include "sim/inline_event.hh"
 
 namespace hopp::check
 {
@@ -29,26 +36,25 @@ class Access; // invariant-checker introspection (src/check)
 namespace hopp::sim
 {
 
-/** Callback type for scheduled events. */
-using EventFn = std::function<void()>;
-
 /**
  * Time-ordered event queue with deterministic same-tick ordering.
  */
 class EventQueue
 {
   public:
+    EventQueue() { heap_.reserve(defaultReserve); }
+
     /** Schedule fn to run at absolute tick when (>= now()). */
     void
-    schedule(Tick when, EventFn fn)
+    schedule(Tick when, InlineEvent fn)
     {
         hopp_assert(when >= now_, "scheduling into the past");
-        heap_.push(Entry{when, seq_++, std::move(fn)});
+        pushEntry(Entry{when, seq_++, std::move(fn)});
     }
 
     /** Schedule fn to run delay nanoseconds from now. */
     void
-    scheduleIn(Duration delay, EventFn fn)
+    scheduleIn(Duration delay, InlineEvent fn)
     {
         schedule(now_ + delay, std::move(fn));
     }
@@ -62,11 +68,19 @@ class EventQueue
     /** Number of pending events. */
     std::size_t size() const { return heap_.size(); }
 
+    /**
+     * Pre-size the heap storage. The queue reserves a sensible default
+     * at construction; runners with a known fan-out (threads + inflight
+     * prefetches + background actors) can widen it so steady state
+     * never regrows the vector.
+     */
+    void reserve(std::size_t events) { heap_.reserve(events); }
+
     /** Tick of the earliest pending event (maxTick when empty). */
     Tick
     nextTime() const
     {
-        return heap_.empty() ? maxTick : heap_.top().when;
+        return heap_.empty() ? maxTick : heap_.front().when;
     }
 
     /**
@@ -100,22 +114,87 @@ class EventQueue
   private:
     friend class hopp::check::Access;
 
+    static constexpr std::size_t defaultReserve = 1024;
+
     struct Entry
     {
         Tick when;
         std::uint64_t seq;
-        EventFn fn;
-
-        bool
-        operator>(const Entry &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
-        }
+        InlineEvent fn;
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    /// Strict total order: earlier tick first, scheduling order within
+    /// a tick. This is exactly the old (when, seq) comparator, so the
+    /// rewrite preserves event execution order bit-for-bit.
+    static bool
+    before(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    /// 4-ary heap geometry: shallower than binary (fewer sift levels)
+    /// and the four children of a node are adjacent, so a sift-down
+    /// touches one or two cache lines per level.
+    static constexpr std::size_t arity = 4;
+
+    void
+    pushEntry(Entry e)
+    {
+        heap_.push_back(std::move(e));
+        siftUp(heap_.size() - 1);
+    }
+
+    Entry
+    popTop()
+    {
+        Entry top = std::move(heap_.front());
+        heap_.front() = std::move(heap_.back());
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+        return top;
+    }
+
+    void
+    siftUp(std::size_t i)
+    {
+        Entry e = std::move(heap_[i]);
+        while (i > 0) {
+            std::size_t parent = (i - 1) / arity;
+            if (!before(e, heap_[parent]))
+                break;
+            heap_[i] = std::move(heap_[parent]);
+            i = parent;
+        }
+        heap_[i] = std::move(e);
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        Entry e = std::move(heap_[i]);
+        const std::size_t n = heap_.size();
+        for (;;) {
+            std::size_t child = i * arity + 1;
+            if (child >= n)
+                break;
+            std::size_t best = child;
+            const std::size_t last = std::min(child + arity, n);
+            for (std::size_t k = child + 1; k < last; ++k) {
+                if (before(heap_[k], heap_[best]))
+                    best = k;
+            }
+            if (!before(heap_[best], e))
+                break;
+            heap_[i] = std::move(heap_[best]);
+            i = best;
+        }
+        heap_[i] = std::move(e);
+    }
+
+    std::vector<Entry> heap_;
     Tick now_;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;

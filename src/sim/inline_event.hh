@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Small-buffer-only type-erased callable for the event queue.
+ *
+ * `InlineEvent` stores its closure inside a fixed 64-byte buffer and
+ * dispatches through a static ops table — no virtual call, and, by
+ * design, *no* heap fallback: a capture that does not fit the buffer
+ * is a compile error, not a silent allocation. Every `schedule()` on
+ * the simulator hot path (faults, RDMA completions, kswapd wakeups,
+ * trainer drains, thread steps) constructs one of these, so the
+ * no-allocation guarantee here is what makes the whole event core
+ * allocation-free (tests/test_event_queue_alloc.cc proves it with an
+ * instrumented global allocator).
+ */
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace hopp::sim {
+
+class InlineEvent
+{
+  public:
+    /// Closure capture budget. 64 bytes = one cache line, and enough
+    /// for every capture shape used in-tree (the largest is an RDMA
+    /// completion wrapping a moved-in user callback plus a Tick).
+    static constexpr std::size_t inlineBytes = 64;
+    static constexpr std::size_t inlineAlign = alignof(std::max_align_t);
+
+    InlineEvent() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineEvent> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineEvent(F &&fn) // NOLINT(google-explicit-constructor)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= inlineBytes,
+                      "event capture exceeds the 64-byte inline budget; "
+                      "shrink the capture (indices instead of copies) — "
+                      "there is deliberately no heap fallback");
+        static_assert(alignof(Fn) <= inlineAlign,
+                      "event capture is over-aligned for inline storage");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "event captures must be nothrow-move-constructible "
+                      "(the queue relocates them during heap sifts)");
+        ::new (static_cast<void *>(storage_)) Fn(std::forward<F>(fn));
+        ops_ = &OpsImpl<Fn>::ops;
+    }
+
+    InlineEvent(InlineEvent &&other) noexcept : ops_(other.ops_)
+    {
+        if (ops_ != nullptr) {
+            ops_->relocate(other.storage_, storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    InlineEvent &operator=(InlineEvent &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_ != nullptr) {
+                ops_->relocate(other.storage_, storage_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineEvent(const InlineEvent &) = delete;
+    InlineEvent &operator=(const InlineEvent &) = delete;
+
+    ~InlineEvent() { reset(); }
+
+    void operator()()
+    {
+        hopp_assert(ops_ != nullptr, "invoking an empty InlineEvent");
+        ops_->invoke(storage_);
+    }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  private:
+    struct Ops {
+        void (*invoke)(void *self);
+        /// Move-construct *src into dst, then destroy *src.
+        void (*relocate)(void *src, void *dst) noexcept;
+        void (*destroy)(void *self) noexcept;
+    };
+
+    template <typename Fn>
+    struct OpsImpl {
+        static void invoke(void *self) { (*static_cast<Fn *>(self))(); }
+        static void relocate(void *src, void *dst) noexcept
+        {
+            Fn *from = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        }
+        static void destroy(void *self) noexcept
+        {
+            static_cast<Fn *>(self)->~Fn();
+        }
+        static constexpr Ops ops{&invoke, &relocate, &destroy};
+    };
+
+    void reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(inlineAlign) unsigned char storage_[inlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace hopp::sim

@@ -109,12 +109,22 @@ class Cgroup
     /** True when nothing can be reclaimed. */
     bool lruEmpty() const { return lru_.empty(); }
 
+    /**
+     * Background-reclaim latch: true while a kswapd pass is scheduled
+     * or running for this cgroup. Living here (instead of a side map
+     * keyed by pid in the VMS) bounds the bookkeeping structurally —
+     * the flag is created and destroyed with the cgroup itself.
+     */
+    bool kswapdActive() const { return kswapdActive_; }
+    void setKswapdActive(bool active) { kswapdActive_ = active; }
+
   private:
     friend class hopp::check::Access;
 
     Pid pid_;
     std::uint64_t limit_;
     std::uint64_t charged_ = 0;
+    bool kswapdActive_ = false;
     std::list<std::uint64_t> lru_;
 };
 

@@ -113,6 +113,31 @@ class PageTable
     }
 
     /**
+     * All page keys belonging to @p pid, in ascending vpn order (the
+     * sort makes process teardown deterministic).
+     */
+    std::vector<std::uint64_t>
+    keysOf(Pid pid) const
+    {
+        std::vector<std::uint64_t> keys;
+        // Collection order is erased by the sort below.
+        for (const auto &[key, pi] : pages_) { // hopp-lint: allow(unordered-iter)
+            (void)pi;
+            if (keyPid(key) == pid)
+                keys.push_back(key);
+        }
+        std::sort(keys.begin(), keys.end());
+        return keys;
+    }
+
+    /** Drop the record for (pid, vpn), if any. */
+    void
+    erase(Pid pid, Vpn vpn)
+    {
+        pages_.erase(pageKey(pid, vpn));
+    }
+
+    /**
      * Visit every record in any state: fn(key, const PageInfo&). Used
      * by the invariant checker; order-insensitive consumers only.
      */

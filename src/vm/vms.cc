@@ -17,19 +17,71 @@ void
 Vms::createProcess(Pid pid, std::uint64_t limit_frames)
 {
     // Diagnostic formatting of the pid. hopp-lint: allow(raw)
-    hopp_assert(!cgroups_.contains(pid), "process %u already exists",
+    hopp_assert(findCgroup(pid) == nullptr, "process %u already exists",
                 pid.raw());
-    cgroups_.emplace(pid, Cgroup(pid, limit_frames));
-    kswapdActive_[pid] = false;
+    cgroups_.emplace_back(pid, limit_frames);
+}
+
+Cgroup *
+Vms::findCgroup(Pid pid)
+{
+    for (Cgroup &cg : cgroups_) {
+        if (cg.pid() == pid)
+            return &cg;
+    }
+    return nullptr;
 }
 
 Cgroup &
 Vms::cgroup(Pid pid)
 {
-    auto it = cgroups_.find(pid);
+    Cgroup *cg = findCgroup(pid);
     // Diagnostic formatting of the pid. hopp-lint: allow(raw)
-    hopp_assert(it != cgroups_.end(), "unknown process %u", pid.raw());
-    return it->second;
+    hopp_assert(cg != nullptr, "unknown process %u", pid.raw());
+    return *cg;
+}
+
+void
+Vms::destroyProcess(Pid pid, Tick now)
+{
+    Cgroup &cg = cgroup(pid);
+    for (std::uint64_t key : table_.keysOf(pid)) {
+        Vpn vpn = keyVpn(key);
+        PageInfo &pi = *table_.find(pid, vpn);
+        // Diagnostic formatting of pid/vpn. hopp-lint: allow(raw)
+        hopp_assert(!pi.inflight,
+                    "destroying process %u with page %llu mid-fetch",
+                    pid.raw(), (unsigned long long)vpn.raw());
+        switch (pi.state) {
+          case PageState::Resident:
+            firePteClear(pid, vpn, pi.ppn, now);
+            llc_.invalidatePage(pi.ppn);
+            dram_.release(pi.ppn);
+            break;
+          case PageState::SwapCached:
+            llc_.invalidatePage(pi.ppn);
+            dram_.release(pi.ppn);
+            --swapCachedPages_;
+            break;
+          case PageState::Swapped:
+          case PageState::Untouched:
+            break;
+        }
+        if (pi.inLru)
+            cg.lruRemove(pi);
+        if (pi.charged) {
+            cg.uncharge();
+            pi.charged = false;
+        }
+        if (pi.slot != remote::noSlot)
+            backend_.release(pi.slot);
+        table_.erase(pid, vpn);
+    }
+    hopp_assert(cg.charged() == 0, "destroyed cgroup still charged");
+    // Dropping the cgroup also drops its kswapd latch; a reclaim pass
+    // already on the event queue finds no cgroup and returns.
+    std::erase_if(cgroups_,
+                  [pid](const Cgroup &c) { return c.pid() == pid; });
 }
 
 void
@@ -191,13 +243,14 @@ Vms::obtainFrame(Pid pid, bool charged_alloc, Tick now, Duration *cost)
         Cgroup *biggest = nullptr;
         // Order-independent selection: strictly larger LRU wins and
         // ties go to the smallest pid, so the victim cgroup does not
-        // depend on hash-map iteration order.
-        for (auto &[p, other] : cgroups_) { // hopp-lint: allow(unordered-iter)
+        // depend on container order (the flat vector is deterministic
+        // anyway, but the policy stays order-free).
+        for (Cgroup &other : cgroups_) {
             if (other.lruEmpty())
                 continue;
             if (!biggest || other.lruSize() > biggest->lruSize() ||
                 (other.lruSize() == biggest->lruSize() &&
-                 p < biggest->pid())) {
+                 other.pid() < biggest->pid())) {
                 biggest = &other;
             }
         }
@@ -216,9 +269,9 @@ Vms::maybeKickKswapd(Pid pid, Tick now)
     Cgroup &cg = cgroup(pid);
     auto high = static_cast<std::uint64_t>(
         static_cast<double>(cg.limit()) * cfg_.highWatermark);
-    if (cg.charged() < high || kswapdActive_[pid])
+    if (cg.charged() < high || cg.kswapdActive())
         return;
-    kswapdActive_[pid] = true;
+    cg.setKswapdActive(true);
     Tick when = std::max(now, eq_.now()) + cfg_.kswapdDelay;
     eq_.schedule(when, [this, pid] { kswapdRun(pid); });
 }
@@ -226,7 +279,13 @@ Vms::maybeKickKswapd(Pid pid, Tick now)
 void
 Vms::kswapdRun(Pid pid)
 {
-    Cgroup &cg = cgroup(pid);
+    Cgroup *found = findCgroup(pid);
+    if (!found) {
+        // The process exited between scheduling and dispatch; its
+        // reclaim state died with the cgroup.
+        return;
+    }
+    Cgroup &cg = *found;
     auto target = static_cast<std::uint64_t>(
         static_cast<double>(cg.limit()) * cfg_.lowWatermark);
     if (trace_)
@@ -246,7 +305,7 @@ Vms::kswapdRun(Pid pid)
     if (cg.charged() > target && !cg.lruEmpty()) {
         eq_.scheduleIn(cfg_.kswapdDelay, [this, pid] { kswapdRun(pid); });
     } else {
-        kswapdActive_[pid] = false;
+        cg.setKswapdActive(false);
     }
 }
 

@@ -14,7 +14,6 @@
 #define HOPP_VM_VMS_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -97,6 +96,16 @@ class Vms
 
     /** Register a process with a cgroup limit in frames. */
     void createProcess(Pid pid, std::uint64_t limit_frames);
+
+    /**
+     * Tear a process down: unmap and release every local frame, free
+     * its swap slots and page records, and drop the cgroup (with its
+     * kswapd latch — so long colocation runs that churn processes
+     * retain no per-pid bookkeeping). Requires no in-flight prefetches
+     * for the process; a kswapd pass still scheduled when the cgroup
+     * disappears becomes a no-op.
+     */
+    void destroyProcess(Pid pid, Tick now);
 
     /**
      * One application memory access (the whole data path: translate,
@@ -204,6 +213,12 @@ class Vms
     /** Cgroup of a process. */
     Cgroup &cgroup(Pid pid);
 
+    /** Cgroup of a process, or nullptr after teardown. */
+    Cgroup *findCgroup(Pid pid);
+
+    /** Number of live processes. */
+    std::size_t processCount() const { return cgroups_.size(); }
+
     /** Event counters. */
     const VmsStats &stats() const { return stats_; }
 
@@ -258,8 +273,11 @@ class Vms
     remote::SwapBackend &backend_;
     VmsConfig cfg_;
     PageTable table_;
-    std::unordered_map<Pid, Cgroup> cgroups_;
-    std::unordered_map<Pid, bool> kswapdActive_;
+    /// Creation-ordered flat array: process counts are small (one per
+    /// colocated app), so a linear scan beats hashing on the per-fault
+    /// lookup path, and iteration is deterministic by construction.
+    /// The kswapd latch lives inside each Cgroup (see cgroup.hh).
+    std::vector<Cgroup> cgroups_;
     FaultCallback faultCb_;
     std::vector<PageEventListener *> listeners_;
     std::vector<PteHook *> pteHooks_;

@@ -186,3 +186,51 @@ TEST_F(HoppSystemTest, StartTwiceIsAnError)
     rig.hopp->start();
     EXPECT_DEATH(rig.hopp->start(), "already started");
 }
+
+TEST_F(HoppSystemTest, AdvisorPruneSparesFreshEntries)
+{
+    // A hotness table past the cap made of entries still inside the
+    // warm window: the prune pass must run (the trigger fired) but
+    // drop nothing — it ages entries out, it does not clear wholesale.
+    HoppConfig hcfg;
+    hcfg.trainerDelay = 100;
+    hcfg.evictionAdvisor = true;
+    hcfg.warmEntriesCap = 4;
+    auto warm =
+        std::make_unique<HoppSystem>(*rig.eq, *rig.vms, *rig.mc, hcfg);
+    warm->start();
+    rig.streamPages(Vpn{0}, Vpn{15}, Tick{});
+    rig.eq->run();
+    ASSERT_GT(warm->hpd().stats().hotPages, 0u);
+    EXPECT_GT(warm->warmEntriesLive(), hcfg.warmEntriesCap)
+        << "fresh entries must survive the prune that the cap forced";
+    EXPECT_GE(warm->warmPrunePasses(), 1u);
+    EXPECT_EQ(warm->warmPruned(), 0u)
+        << "every entry is inside warmWindow; none may be dropped";
+}
+
+TEST_F(HoppSystemTest, AdvisorPruneAgesOutStaleEntries)
+{
+    HoppConfig hcfg;
+    hcfg.trainerDelay = 100;
+    hcfg.evictionAdvisor = true;
+    hcfg.warmEntriesCap = 4;
+    auto warm =
+        std::make_unique<HoppSystem>(*rig.eq, *rig.vms, *rig.mc, hcfg);
+    warm->start();
+    // Phase 1 populates the table, then the clock runs past the warm
+    // window so every phase-1 entry goes stale.
+    Tick t = rig.streamPages(Vpn{0}, Vpn{15}, Tick{});
+    std::uint64_t live_phase1 = warm->warmEntriesLive();
+    ASSERT_GT(live_phase1, 0u);
+    t = t + hcfg.warmWindow + Duration{1'000'000};
+    // Phase 2 inserts enough fresh entries to re-trigger the prune.
+    rig.streamPages(Vpn{200}, Vpn{239}, t);
+    rig.eq->run();
+    EXPECT_GT(warm->warmPruned(), 0u)
+        << "stale phase-1 entries must be aged out, not retained";
+    EXPECT_GE(warm->warmPrunePasses(), 2u);
+    // Page 0 is long out of the window: whether its entry was pruned
+    // or merely stale, the advisor must not keep it warm.
+    EXPECT_FALSE(warm->keepWarm(Rig::pid, Vpn{0}, rig.eq->now()));
+}

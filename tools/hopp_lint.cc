@@ -44,6 +44,14 @@
  *                   its timestamps come exclusively from simulator
  *                   ticks, never wall clocks.
  *
+ * Simulation-core rules:
+ *
+ *   sim-std-function  std::function in a file under a sim/ directory —
+ *                   the event core is allocation-free by design;
+ *                   closures go through sim::InlineEvent (fixed inline
+ *                   storage, compile-time capture budget) or a template
+ *                   parameter, never a type-erased heap closure.
+ *
  * Suppression:
  *   // hopp-lint: allow(<rule>[, <rule>...])    this or next line
  *   // hopp-lint: allow-file(<rule>)            whole file
@@ -444,6 +452,8 @@ scanFile(const fs::path &path, FileScan &out)
     std::string generic = path.generic_string();
     bool in_obs = generic.find("/obs/") != std::string::npos ||
                   generic.rfind("obs/", 0) == 0;
+    bool in_sim = generic.find("/sim/") != std::string::npos ||
+                  generic.rfind("sim/", 0) == 0;
     bool is_types_hh =
         generic.size() >= std::strlen("common/types.hh") &&
         generic.compare(generic.size() - std::strlen("common/types.hh"),
@@ -601,6 +611,13 @@ scanFile(const fs::path &path, FileScan &out)
                  "std::chrono in the observability layer; trace "
                  "timestamps must be simulator ticks so traces stay "
                  "byte-deterministic");
+        }
+
+        if (in_sim && line.find("std::function") != std::string::npos) {
+            emit(lineno, "sim-std-function",
+                 "std::function in the simulation core; closures "
+                 "must use sim::InlineEvent (or a template parameter) "
+                 "so the event hot path stays allocation-free");
         }
     }
 }
