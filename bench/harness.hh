@@ -11,8 +11,10 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "runner/machine.hh"
+#include "runner/sweep_pool.hh"
 #include "stats/table.hh"
 #include "workloads/apps.hh"
 
@@ -35,6 +37,31 @@ benchScale()
 }
 
 /**
+ * Host worker threads for sweep prefills, overridable with
+ * HOPP_BENCH_JOBS (default 1 = serial; 0 = all cores).
+ */
+inline unsigned
+benchJobs()
+{
+    if (const char *env = std::getenv("HOPP_BENCH_JOBS")) {
+        int v = std::atoi(env);
+        if (v == 0)
+            return runner::SweepPool::hardwareJobs();
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return 1;
+}
+
+/** One configuration of a bench sweep grid. */
+struct RunSpec
+{
+    std::string workload;
+    runner::SystemKind system;
+    double ratio;
+};
+
+/**
  * Run cache: local baselines are shared across figures within one
  * binary, and identical (workload, system, ratio) runs reuse results.
  */
@@ -51,9 +78,7 @@ class RunCache
     run(const std::string &workload, runner::SystemKind system,
         double ratio)
     {
-        std::string key = workload + "/" +
-                          runner::systemName(system) + "/" +
-                          stats::Table::num(ratio, 3);
+        std::string key = keyOf(workload, system, ratio);
         auto it = cache_.find(key);
         if (it != cache_.end())
             return it->second;
@@ -78,10 +103,54 @@ class RunCache
             localTime(workload), run(workload, system, ratio).makespan);
     }
 
+    /**
+     * Run a whole grid up front on @p jobs host threads and cache the
+     * results, so the figure loops below hit the cache instead of
+     * simulating serially. Runs are fully independent Machines
+     * (runner::SweepPool's contract), and results are inserted in
+     * submission order, so the cache contents — and every number
+     * derived from them — are identical to a serial fill. Specs
+     * already cached (duplicates included) are skipped.
+     */
+    void
+    prefill(const std::vector<RunSpec> &specs, unsigned jobs)
+    {
+        std::vector<const RunSpec *> todo;
+        std::map<std::string, bool> seen;
+        for (const RunSpec &s : specs) {
+            std::string key = keyOf(s.workload, s.system, s.ratio);
+            if (cache_.count(key) || seen.count(key))
+                continue;
+            seen.emplace(std::move(key), true);
+            todo.push_back(&s);
+        }
+        runner::SweepPool pool(jobs);
+        std::vector<runner::RunResult> results =
+            pool.run<runner::RunResult>(
+                todo.size(), [&](std::size_t i) {
+                    const RunSpec &s = *todo[i];
+                    return runner::runOne(s.workload, s.system, s.ratio,
+                                          benchScale(), base_);
+                });
+        for (std::size_t i = 0; i < todo.size(); ++i) {
+            const RunSpec &s = *todo[i];
+            cache_.emplace(keyOf(s.workload, s.system, s.ratio),
+                           std::move(results[i]));
+        }
+    }
+
     /** Mutable base config (set before the first run). */
     runner::MachineConfig &base() { return base_; }
 
   private:
+    static std::string
+    keyOf(const std::string &workload, runner::SystemKind system,
+          double ratio)
+    {
+        return workload + "/" + runner::systemName(system) + "/" +
+               stats::Table::num(ratio, 3);
+    }
+
     runner::MachineConfig base_;
     std::map<std::string, runner::RunResult> cache_;
 };

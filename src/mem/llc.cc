@@ -22,32 +22,6 @@ setsFor(const LlcConfig &cfg)
 
 Llc::Llc(const LlcConfig &cfg) : tags_(setsFor(cfg), cfg.ways) {}
 
-std::uint64_t
-Llc::taggedLine(PhysAddr pa)
-{
-    // Frame number as dense per-frame vector index. hopp-lint: allow(raw)
-    std::uint64_t frame = pageOf(pa).raw();
-    std::uint32_t epoch =
-        frame < epochs_.size() ? epochs_[frame] : 0;
-    // The set index comes from the low line-address bits; the epoch
-    // only disambiguates tags, so invalidated lines conflict in the
-    // same set they always occupied.
-    return (static_cast<std::uint64_t>(epoch) << 40) | lineOf(pa);
-}
-
-bool
-Llc::access(PhysAddr pa)
-{
-    std::uint64_t tag = taggedLine(pa);
-    if (tags_.touch(tag)) {
-        ++hits_;
-        return true;
-    }
-    ++misses_;
-    tags_.insert(tag, Empty{});
-    return false;
-}
-
 void
 Llc::invalidatePage(Ppn ppn)
 {

@@ -43,8 +43,24 @@ class Llc
     /**
      * Access one physical byte address at cacheline granularity.
      * @return true on hit, false on miss (line is then filled).
+     *
+     * Defined inline: this is the data-path cost of every resident
+     * access, and keeping it in the header lets the hit branch (tag
+     * probe + LRU promote) inline straight into Vms::residentAccess
+     * with no out-of-line call.
      */
-    bool access(PhysAddr pa);
+    bool
+    access(PhysAddr pa)
+    {
+        std::uint64_t tag = taggedLine(pa);
+        if (tags_.touch(tag)) {
+            ++hits_;
+            return true;
+        }
+        ++misses_;
+        tags_.insert(tag, Empty{});
+        return false;
+    }
 
     /**
      * Invalidate every line of a physical page. Called when a frame is
@@ -86,7 +102,17 @@ class Llc
     };
 
     /** Versioned tag: epoch in the high bits, line address low. */
-    std::uint64_t taggedLine(PhysAddr pa);
+    std::uint64_t
+    taggedLine(PhysAddr pa) const
+    {
+        // Frame number as dense per-frame vector index. hopp-lint: allow(raw)
+        std::uint64_t frame = pageOf(pa).raw();
+        std::uint32_t epoch = frame < epochs_.size() ? epochs_[frame] : 0;
+        // The set index comes from the low line-address bits; the epoch
+        // only disambiguates tags, so invalidated lines conflict in the
+        // same set they always occupied.
+        return (static_cast<std::uint64_t>(epoch) << 40) | lineOf(pa);
+    }
 
     SetAssocCache<Empty> tags_;
     std::vector<std::uint32_t> epochs_; // per-frame tenancy version

@@ -49,7 +49,7 @@ class SetAssocCache
      * @param ways associativity.
      */
     SetAssocCache(std::size_t sets, std::size_t ways)
-        : sets_(sets), ways_(ways), lines_(sets * ways)
+        : sets_(sets), setMask_(sets - 1), ways_(ways), lines_(sets * ways)
     {
         hopp_assert(sets > 0 && (sets & (sets - 1)) == 0,
                     "set count must be a power of two");
@@ -196,7 +196,9 @@ class SetAssocCache
     std::size_t
     setIndex(Key tag) const
     {
-        return static_cast<std::size_t>(rawKey(tag) & (sets_ - 1));
+        // Precomputed at construction: the tag lookup sits on the
+        // per-access LLC hit path, where even the subtraction counts.
+        return static_cast<std::size_t>(rawKey(tag) & setMask_);
     }
 
     Line *
@@ -219,6 +221,7 @@ class SetAssocCache
     }
 
     std::size_t sets_;
+    std::uint64_t setMask_; //!< sets_ - 1, precomputed for setIndex()
     std::size_t ways_;
     std::vector<Line> lines_;
     std::size_t live_ = 0;

@@ -11,9 +11,9 @@
 #define HOPP_REMOTE_SWAP_BACKEND_HH
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "net/rdma.hh"
 #include "remote/remote_node.hh"
@@ -37,6 +37,10 @@ class SwapBackend
     SwapBackend(net::RdmaFabric &fabric, RemoteNode &node)
         : fabric_(fabric), node_(node)
     {
+        // The node provisions ~2x the combined footprint; at most half
+        // of it is ever live at once, so sizing for that bound means
+        // the reverse map never rehashes on the eviction path.
+        owners_.reserve(node.capacity() / 2);
     }
 
     /** Allocate a slot for (pid, vpn); records the reverse mapping. */
@@ -60,10 +64,10 @@ class SwapBackend
     std::optional<SlotOwner>
     owner(SwapSlot slot) const
     {
-        auto it = owners_.find(slot);
-        if (it == owners_.end())
+        const SlotOwner *o = owners_.find(slot);
+        if (!o)
             return std::nullopt;
-        return it->second;
+        return *o;
     }
 
     /**
@@ -80,9 +84,8 @@ class SwapBackend
         for (SwapSlot s = lo; s <= slot + after; ++s) {
             if (s == slot)
                 continue;
-            auto it = owners_.find(s);
-            if (it != owners_.end())
-                out.push_back(it->second);
+            if (const SlotOwner *o = owners_.find(s))
+                out.push_back(*o);
         }
         return out;
     }
@@ -168,7 +171,10 @@ class SwapBackend
   private:
     net::RdmaFabric &fabric_;
     RemoteNode &node_;
-    std::unordered_map<SwapSlot, SlotOwner> owners_;
+    /// Flat open-addressed reverse map (PR 4 idiom): slot lookups sit
+    /// on the readahead neighbourhood scan, where probing a contiguous
+    /// slot array beats chasing unordered_map nodes.
+    FlatU64Map<SlotOwner> owners_;
     std::uint64_t demandReads_ = 0;
     std::uint64_t prefetchReads_ = 0;
     std::uint64_t writebacks_ = 0;

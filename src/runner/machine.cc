@@ -101,6 +101,8 @@ Machine::build()
             auto t = std::make_unique<Thread>();
             t->pid = pid;
             t->gen = make();
+            if (cfg_.tlb)
+                vms_->addPteHook(&t->tlb);
             threads_.push_back(std::move(t));
         }
     }
@@ -229,7 +231,8 @@ Machine::step(Thread &t)
             maybeCheck();
             return;
         }
-        t.now += vms_->access(t.pid, a.va, a.write, t.now);
+        t.now += vms_->access(t.pid, a.va, a.write, t.now,
+                              cfg_.tlb ? &t.tlb : nullptr);
         ++t.accesses;
         // Yield when another event (prefetch completion, kswapd,
         // another thread) is due before our local time.

@@ -76,6 +76,14 @@ struct MachineConfig
     unsigned quantum = 512;
 
     /**
+     * Per-thread software TLB caching VPN -> PageInfo* for resident
+     * pages (vm/tlb.hh). Host-side accelerator only: results are
+     * bit-identical with it off (the cross-check test relies on that);
+     * turn it off to isolate a suspected translation bug.
+     */
+    bool tlb = true;
+
+    /**
      * Flight recorder: record structured trace events across every
      * layer (fault spans, prefetch issue->fill, reclaim passes, link
      * transfers, HoPP drains, sampled counters). Off by default; when
@@ -203,6 +211,11 @@ class Machine
         Tick completion;
         std::uint64_t accesses = 0;
         bool done = false;
+        /// Per-thread translation cache; registered as a PTE hook so
+        /// eviction / teardown / injection-revoke shoot it down. Lives
+        /// here (threads are unique_ptr-stable) so its address can sit
+        /// in the VMS hook list for the machine's lifetime.
+        vm::Tlb tlb;
     };
 
     void build();

@@ -4,16 +4,37 @@
  * queries. The kernel hook points HoPP installs (set_pte_at /
  * pte_clear, §V) are modelled as PteHook callbacks fired by the VMS
  * whenever a mapping is created or destroyed.
+ *
+ * Layout: a two-level radix table, exactly the shape real kernels use
+ * instead of a hash. Level one is a per-process directory indexed by
+ * the high VPN bits; level two is a fixed 512-entry leaf of contiguous
+ * PageInfo records indexed by the low VPN bits. A walk is two array
+ * indexations — no hashing, no probing, no pointer-chased buckets —
+ * which is what puts it in front of every simulated memory access.
+ *
+ * Three properties the rest of the simulator leans on:
+ *
+ *  - Stable pointers: leaves are heap blocks that never move once
+ *    allocated, so a PageInfo* stays valid until the record is erased
+ *    (process teardown). This is what lets the software TLB (vm/tlb.hh)
+ *    cache VPN -> PageInfo* across accesses.
+ *  - Deterministic iteration: walking directories in pid order and
+ *    leaves in vpn order visits records in ascending (pid, vpn) key
+ *    order by construction — no sort step, no stdlib dependence.
+ *  - Contiguous storage: the 512 records of a leaf are one array, so
+ *    sequential access streams walk the table with near-perfect
+ *    spatial locality.
  */
 
 #ifndef HOPP_VM_PAGE_TABLE_HH
 #define HOPP_VM_PAGE_TABLE_HH
 
-#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "vm/page.hh"
 
@@ -38,32 +59,58 @@ class PteHook
 };
 
 /**
- * Page table over all simulated processes.
+ * Page table over all simulated processes: per-pid two-level radix.
  */
 class PageTable
 {
   public:
+    /** log2 of the pages covered by one leaf (512, like one PTE page). */
+    static constexpr unsigned leafShift = 9;
+
+    /** Pages per leaf. */
+    static constexpr std::uint64_t leafPages = 1ull << leafShift;
+
     /** Find-or-create the record for (pid, vpn). */
     PageInfo &
     get(Pid pid, Vpn vpn)
     {
-        return pages_[pageKey(pid, vpn)];
+        Directory &dir = directoryOf(pid);
+        std::uint64_t di = dirIndex(vpn);
+        if (di >= dir.leaves.size())
+            dir.leaves.resize(di + 1);
+        if (!dir.leaves[di])
+            dir.leaves[di] = std::make_unique<Leaf>();
+        Leaf &leaf = *dir.leaves[di];
+        std::uint64_t slot = slotIndex(vpn);
+        if (!leaf.test(slot)) {
+            leaf.set(slot);
+            ++dir.live;
+            ++size_;
+        }
+        return leaf.pages[slot];
     }
 
     /** Lookup without creating. @return nullptr when absent. */
     PageInfo *
     find(Pid pid, Vpn vpn)
     {
-        auto it = pages_.find(pageKey(pid, vpn));
-        return it == pages_.end() ? nullptr : &it->second;
+        std::uint16_t p = pid.raw(); // dense directory index. hopp-lint: allow(raw)
+        if (p >= dirs_.size())
+            return nullptr;
+        Directory &dir = dirs_[p];
+        std::uint64_t di = dirIndex(vpn);
+        if (di >= dir.leaves.size() || !dir.leaves[di])
+            return nullptr;
+        Leaf &leaf = *dir.leaves[di];
+        std::uint64_t slot = slotIndex(vpn);
+        return leaf.test(slot) ? &leaf.pages[slot] : nullptr;
     }
 
     /** Const lookup without creating. */
     const PageInfo *
     find(Pid pid, Vpn vpn) const
     {
-        auto it = pages_.find(pageKey(pid, vpn));
-        return it == pages_.end() ? nullptr : &it->second;
+        return const_cast<PageTable *>(this)->find(pid, vpn);
     }
 
     /** True when (pid, vpn) has a present PTE (Resident). */
@@ -75,28 +122,23 @@ class PageTable
     }
 
     /** Number of page records (any state). */
-    std::size_t size() const { return pages_.size(); }
+    std::size_t size() const { return size_; }
 
     /**
      * Visit every present mapping: fn(pid, vpn, const PageInfo&), in
-     * sorted (pid, vpn) order so consumers — HoPP's initial RPT build,
-     * which walks all page tables at startup (§III-C) — observe the
-     * same sequence on every stdlib implementation.
+     * ascending (pid, vpn) order — the radix layout yields that order
+     * by construction, so consumers (HoPP's initial RPT build, which
+     * walks all page tables at startup, §III-C) observe the same
+     * sequence on every stdlib implementation with no sort step.
      */
     template <typename Fn>
     void
     forEachPresent(Fn &&fn) const
     {
-        std::vector<std::uint64_t> keys;
-        keys.reserve(pages_.size());
-        // Collection order is erased by the sort below.
-        for (const auto &[key, pi] : pages_) { // hopp-lint: allow(unordered-iter)
+        forEach([&](std::uint64_t key, const PageInfo &pi) {
             if (pi.state == PageState::Resident)
-                keys.push_back(key);
-        }
-        std::sort(keys.begin(), keys.end());
-        for (std::uint64_t key : keys)
-            fn(keyPid(key), keyVpn(key), pages_.at(key));
+                fn(keyPid(key), keyVpn(key), pi);
+        });
     }
 
     /** Count of pages in a given state (test/metrics helper). */
@@ -104,29 +146,28 @@ class PageTable
     countState(PageState s) const
     {
         std::size_t n = 0;
-        // Commutative count: iteration order cannot leak out.
-        for (const auto &[key, pi] : pages_) { // hopp-lint: allow(unordered-iter)
-            (void)key;
+        forEach([&](std::uint64_t, const PageInfo &pi) {
             n += pi.state == s;
-        }
+        });
         return n;
     }
 
     /**
-     * All page keys belonging to @p pid, in ascending vpn order (the
-     * sort makes process teardown deterministic).
+     * All page keys belonging to @p pid, in ascending vpn order (so
+     * process teardown is deterministic).
      */
     std::vector<std::uint64_t>
     keysOf(Pid pid) const
     {
         std::vector<std::uint64_t> keys;
-        // Collection order is erased by the sort below.
-        for (const auto &[key, pi] : pages_) { // hopp-lint: allow(unordered-iter)
-            (void)pi;
-            if (keyPid(key) == pid)
-                keys.push_back(key);
-        }
-        std::sort(keys.begin(), keys.end());
+        std::uint16_t p = pid.raw(); // dense directory index. hopp-lint: allow(raw)
+        if (p >= dirs_.size())
+            return keys;
+        const Directory &dir = dirs_[p];
+        keys.reserve(dir.live);
+        forEachInDir(dir, [&](Vpn vpn, const PageInfo &) {
+            keys.push_back(pageKey(pid, vpn));
+        });
         return keys;
     }
 
@@ -134,24 +175,127 @@ class PageTable
     void
     erase(Pid pid, Vpn vpn)
     {
-        pages_.erase(pageKey(pid, vpn));
+        std::uint16_t p = pid.raw(); // dense directory index. hopp-lint: allow(raw)
+        if (p >= dirs_.size())
+            return;
+        Directory &dir = dirs_[p];
+        std::uint64_t di = dirIndex(vpn);
+        if (di >= dir.leaves.size() || !dir.leaves[di])
+            return;
+        Leaf &leaf = *dir.leaves[di];
+        std::uint64_t slot = slotIndex(vpn);
+        if (!leaf.test(slot))
+            return;
+        leaf.clear(slot);
+        // Reset in place: the slot may be re-created later and must
+        // come back in the default (Untouched) state. The leaf itself
+        // stays allocated — its siblings' addresses must not move.
+        leaf.pages[slot] = PageInfo{};
+        --dir.live;
+        --size_;
     }
 
     /**
-     * Visit every record in any state: fn(key, const PageInfo&). Used
-     * by the invariant checker; order-insensitive consumers only.
+     * Visit every record in any state: fn(key, const PageInfo&), in
+     * ascending (pid, vpn) key order (deterministic by construction).
      */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
-        // Validation is order-insensitive by construction.
-        for (const auto &[key, pi] : pages_) // hopp-lint: allow(unordered-iter)
-            fn(key, pi);
+        for (std::size_t p = 0; p < dirs_.size(); ++p) {
+            const Directory &dir = dirs_[p];
+            if (dir.live == 0)
+                continue;
+            Pid pid{static_cast<std::uint64_t>(p)};
+            forEachInDir(dir, [&](Vpn vpn, const PageInfo &pi) {
+                fn(pageKey(pid, vpn), pi);
+            });
+        }
     }
 
   private:
-    std::unordered_map<std::uint64_t, PageInfo> pages_;
+    /**
+     * One leaf: 512 contiguous PageInfo records plus a presence bitmap
+     * (a record exists only after get() created it, so Untouched slots
+     * that were never asked for do not count as records).
+     */
+    struct Leaf
+    {
+        std::array<PageInfo, leafPages> pages{};
+        std::array<std::uint64_t, leafPages / 64> used{};
+
+        bool
+        test(std::uint64_t slot) const
+        {
+            return (used[slot >> 6] >> (slot & 63)) & 1;
+        }
+
+        void set(std::uint64_t slot) { used[slot >> 6] |= 1ull << (slot & 63); }
+        void clear(std::uint64_t slot) { used[slot >> 6] &= ~(1ull << (slot & 63)); }
+    };
+
+    /** Level-one directory of one process. */
+    struct Directory
+    {
+        std::vector<std::unique_ptr<Leaf>> leaves;
+        std::uint64_t live = 0; //!< records under this directory
+    };
+
+    static std::uint64_t
+    dirIndex(Vpn vpn)
+    {
+        // The directory is a dense array over vpn >> leafShift; bound
+        // the index so a stray huge VPN cannot balloon it. Real
+        // workloads top out around 2^25 pages (dir index ~2^16).
+        std::uint64_t di = vpn.raw() >> leafShift; // radix split. hopp-lint: allow(raw)
+        hopp_assert(di < (1ull << 28),
+                    "vpn %llu beyond the radix directory range",
+                    (unsigned long long)vpn.raw()); // hopp-lint: allow(raw)
+        return di;
+    }
+
+    static std::uint64_t
+    slotIndex(Vpn vpn)
+    {
+        return vpn.raw() & (leafPages - 1); // radix split. hopp-lint: allow(raw)
+    }
+
+    Directory &
+    directoryOf(Pid pid)
+    {
+        std::uint16_t p = pid.raw(); // dense directory index. hopp-lint: allow(raw)
+        if (p >= dirs_.size())
+            dirs_.resize(p + 1);
+        return dirs_[p];
+    }
+
+    /** Visit one directory's records in ascending vpn order. */
+    template <typename Fn>
+    static void
+    forEachInDir(const Directory &dir, Fn &&fn)
+    {
+        for (std::size_t di = 0; di < dir.leaves.size(); ++di) {
+            const Leaf *leaf = dir.leaves[di].get();
+            if (!leaf)
+                continue;
+            for (std::uint64_t w = 0; w < leaf->used.size(); ++w) {
+                std::uint64_t bits = leaf->used[w];
+                while (bits) {
+                    auto b = static_cast<std::uint64_t>(
+                        __builtin_ctzll(bits));
+                    bits &= bits - 1;
+                    std::uint64_t slot = w * 64 + b;
+                    fn(Vpn{(static_cast<std::uint64_t>(di) << leafShift) |
+                           slot},
+                       leaf->pages[slot]);
+                }
+            }
+        }
+    }
+
+    std::vector<Directory> dirs_; //!< indexed by pid
+    std::uint64_t size_ = 0;      //!< total records, all processes
 };
 
 } // namespace hopp::vm

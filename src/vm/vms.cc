@@ -106,45 +106,6 @@ Vms::firePteClear(Pid pid, Vpn vpn, Ppn ppn, Tick now)
         h->onPteClear(pid, vpn, ppn, now);
 }
 
-Duration
-Vms::residentAccess(Pid pid, PageInfo &pi, VirtAddr va, bool is_write,
-                    Tick now)
-{
-    // Diagnostic formatting of pid/vpn. hopp-lint: allow(raw)
-    HOPP_DCHECK(pi.state == PageState::Resident,
-                "data-path access to page %u:%llu in state %u", pid.raw(),
-                (unsigned long long)pageOf(va).raw(), unsigned(pi.state));
-    pi.accessedBit = true;
-    if (is_write) {
-        pi.dirty = true;
-        pi.hasSwapCopy = false;
-    }
-    if (pi.injected) {
-        // First touch of an early-injected page: a plain DRAM hit
-        // instead of a 2.3 us prefetch-hit fault (§II-C).
-        pi.injected = false;
-        ++stats_.injectedHits;
-        for (auto *l : listeners_)
-            l->onPrefetchHit(pid, pageOf(va), pi.origin, pi.fetchedAt, now,
-                             true);
-    }
-    PhysAddr pa = pageBase(pi.ppn) + pageOffset(va);
-    if (llc_.access(pa)) {
-        ++stats_.llcHits;
-        return cfg_.cost.llcHit;
-    }
-    ++stats_.llcMisses;
-    if (trace_ && stats_.llcMisses % 4096 == 0) {
-        // Miss-stream counters, sampled to keep the trace small.
-        trace_->counter("mem", "llc_misses", now, stats_.llcMisses);
-        trace_->counter("mem", "llc_hits", now, stats_.llcHits);
-    }
-    // A write miss performs read-for-ownership first, so the MC sees a
-    // READ either way (§III-B).
-    mc_.demandRead(lineBase(pa), now);
-    return cfg_.cost.dramHit;
-}
-
 bool
 Vms::evictOne(Cgroup &cg, Tick now, bool direct, Duration *cost)
 {
@@ -337,14 +298,19 @@ Vms::mapPage(Pid pid, Vpn vpn, PageInfo &pi, Ppn ppn, bool charged,
 }
 
 Duration
-Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
+Vms::accessSlow(Pid pid, VirtAddr va, bool is_write, Tick now, Tlb *tlb)
 {
     ++stats_.accesses;
     Vpn vpn = pageOf(va);
     PageInfo &pi = table_.get(pid, vpn);
 
+    // Radix leaves never move, so &pi stays valid across the frame
+    // allocation / reclaim below and is safe to cache in the TLB once
+    // the page is Resident (any later PTE clear shoots it down).
     switch (pi.state) {
       case PageState::Resident:
+        if (tlb)
+            tlb->fill(pid, vpn, &pi);
         return residentAccess(pid, pi, va, is_write, now);
 
       case PageState::Untouched: {
@@ -361,6 +327,8 @@ Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
                              obs::track::ofPid(pid));
         for (auto *l : listeners_)
             l->onFaultResolved(pid, vpn, FaultKind::Cold, cost, now + cost);
+        if (tlb)
+            tlb->fill(pid, vpn, &pi);
         cost += residentAccess(pid, pi, va, is_write, now + cost);
         return cost;
       }
@@ -405,6 +373,8 @@ Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
             faultCb_(FaultContext{pid, vpn, pi.slot,
                                   FaultKind::SwapCacheHit, now + cost});
         }
+        if (tlb)
+            tlb->fill(pid, vpn, &pi);
         cost += residentAccess(pid, pi, va, is_write, now + cost);
         return cost;
       }
@@ -446,6 +416,8 @@ Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
                 faultCb_(FaultContext{pid, vpn, pi.slot,
                                       FaultKind::InflightWait, now + cost});
             }
+            if (tlb)
+                tlb->fill(pid, vpn, &pi);
             cost += residentAccess(pid, pi, va, is_write, now + cost);
             return cost;
         }
@@ -484,6 +456,8 @@ Vms::access(Pid pid, VirtAddr va, bool is_write, Tick now)
             faultCb_(FaultContext{pid, vpn, pi.slot, FaultKind::Remote,
                                   now + cost});
         }
+        if (tlb)
+            tlb->fill(pid, vpn, &pi);
         cost += residentAccess(pid, pi, va, is_write, now + cost);
         return cost;
       }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/check.hh"
 #include "common/types.hh"
 #include "mem/llc.hh"
 #include "mem/memctrl.hh"
@@ -26,6 +27,7 @@
 #include "vm/cost_model.hh"
 #include "vm/listener.hh"
 #include "vm/page_table.hh"
+#include "vm/tlb.hh"
 
 namespace hopp::check
 {
@@ -111,10 +113,31 @@ class Vms
      * One application memory access (the whole data path: translate,
      * fault if needed, LLC/DRAM access).
      *
+     * The translation itself is the host-side hot path: with a @p tlb
+     * the caller-provided software TLB (vm/tlb.hh) short-circuits the
+     * radix walk for resident pages, and the whole hit chain — TLB
+     * probe, accessed-bit update, LLC tag probe — inlines here with no
+     * out-of-line call. TLB on and off produce bit-identical simulation
+     * results; only host throughput differs.
+     *
      * @param now the issuing thread's local time.
+     * @param tlb optional per-thread software TLB.
      * @return the access latency charged to the thread.
      */
-    Duration access(Pid pid, VirtAddr va, bool is_write, Tick now);
+    Duration
+    access(Pid pid, VirtAddr va, bool is_write, Tick now,
+           Tlb *tlb = nullptr)
+    {
+        if (tlb) {
+            if (PageInfo *pi = tlb->lookup(pid, pageOf(va))) {
+                // Cached translations are invalidated on every PTE
+                // clear, so a hit is by construction Resident.
+                ++stats_.accesses;
+                return residentAccess(pid, *pi, va, is_write, now);
+            }
+        }
+        return accessSlow(pid, va, is_write, now, tlb);
+    }
 
     /**
      * Issue an asynchronous prefetch that lands in the swapcache
@@ -234,9 +257,69 @@ class Vms
   private:
     friend class hopp::check::Access;
 
-    /** LLC + DRAM data-path cost for a resident access. */
-    Duration residentAccess(Pid pid, PageInfo &pi, VirtAddr va, bool is_write,
-                        Tick now);
+    /**
+     * LLC + DRAM data-path cost for a resident access. Inline: this is
+     * the tail of both the TLB fast path and every fault resolution.
+     */
+    Duration
+    residentAccess(Pid pid, PageInfo &pi, VirtAddr va, bool is_write,
+                   Tick now)
+    {
+        // Diagnostic formatting of pid/vpn. hopp-lint: allow(raw)
+        HOPP_DCHECK(pi.state == PageState::Resident,
+                    "data-path access to page %u:%llu in state %u",
+                    pid.raw(), (unsigned long long)pageOf(va).raw(),
+                    unsigned(pi.state));
+        pi.accessedBit = true;
+        if (is_write) {
+            pi.dirty = true;
+            pi.hasSwapCopy = false;
+        }
+        if (pi.injected) {
+            // First touch of an early-injected page: a plain DRAM hit
+            // instead of a 2.3 us prefetch-hit fault (§II-C).
+            pi.injected = false;
+            ++stats_.injectedHits;
+            for (auto *l : listeners_)
+                l->onPrefetchHit(pid, pageOf(va), pi.origin, pi.fetchedAt,
+                                 now, true);
+        }
+        PhysAddr pa = pageBase(pi.ppn) + pageOffset(va);
+        if (llc_.access(pa)) {
+            ++stats_.llcHits;
+            if (trace_ && stats_.llcHits % llcTraceSample == 0)
+                traceLlcCounters(now);
+            return cfg_.cost.llcHit;
+        }
+        ++stats_.llcMisses;
+        if (trace_ && stats_.llcMisses % llcTraceSample == 0)
+            traceLlcCounters(now);
+        // A write miss performs read-for-ownership first, so the MC
+        // sees a READ either way (§III-B).
+        mc_.demandRead(lineBase(pa), now);
+        return cfg_.cost.dramHit;
+    }
+
+    /** Sampling cadence of the LLC trace counters (every Nth event). */
+    static constexpr std::uint64_t llcTraceSample = 4096;
+
+    /**
+     * Emit both sampled LLC counters together (hit- and miss-side call
+     * sites share this, so the pair always moves in lockstep). Each
+     * side samples on its own counter's cadence — hit-heavy phases
+     * used to go untraced because only the miss counter gated the
+     * emission.
+     */
+    void
+    traceLlcCounters(Tick now)
+    {
+        trace_->counter("mem", "llc_misses", now, stats_.llcMisses);
+        trace_->counter("mem", "llc_hits", now, stats_.llcHits);
+    }
+
+    /** Fault path and first resident touch; fills @p tlb on the way out. */
+    Duration accessSlow(Pid pid, VirtAddr va, bool is_write, Tick now,
+                        Tlb *tlb);
 
     /**
      * Make a frame available for (pid, charged ? charged alloc : cache

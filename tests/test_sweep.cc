@@ -1,0 +1,122 @@
+/**
+ * @file
+ * SweepPool tests: the determinism contract (results indexed by
+ * submission order for any worker count), inline-serial fallback,
+ * exception propagation, and parity between a parallel sweep of real
+ * simulation runs and its serial reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runner/machine.hh"
+#include "runner/sweep_pool.hh"
+
+using namespace hopp;
+using namespace hopp::runner;
+
+TEST(SweepPool, SerialRunsInSubmissionOrder)
+{
+    SweepPool pool(1);
+    auto out = pool.run<std::size_t>(8, [](std::size_t i) {
+        return i * i;
+    });
+    ASSERT_EQ(out.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SweepPool, ZeroJobsClampsToOne)
+{
+    EXPECT_EQ(SweepPool(0).jobs(), 1u);
+    EXPECT_EQ(SweepPool(4).jobs(), 4u);
+}
+
+TEST(SweepPool, EmptyAndSingleCounts)
+{
+    SweepPool pool(4);
+    EXPECT_TRUE(pool.run<int>(0, [](std::size_t) { return 1; }).empty());
+    auto one = pool.run<int>(1, [](std::size_t) { return 7; });
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 7);
+}
+
+TEST(SweepPool, ParallelMatchesSerialWithUnbalancedWork)
+{
+    // Task i busy-works an amount that varies wildly with i, so workers
+    // finish far out of submission order; the result vector must still
+    // be index-ordered and identical to the serial pool's.
+    auto task = [](std::size_t i) {
+        volatile std::uint64_t sink = 0;
+        for (std::uint64_t k = 0; k < (i % 7) * 20000; ++k)
+            sink = sink + k;
+        return std::to_string(i) + ":" + std::to_string(i * 31);
+    };
+    auto serial = SweepPool(1).run<std::string>(64, task);
+    auto parallel = SweepPool(4).run<std::string>(64, task);
+    EXPECT_EQ(parallel, serial);
+}
+
+TEST(SweepPool, MoreJobsThanTasksIsFine)
+{
+    auto out = SweepPool(16).run<std::size_t>(3, [](std::size_t i) {
+        return i + 100;
+    });
+    EXPECT_EQ(out, (std::vector<std::size_t>{100, 101, 102}));
+}
+
+TEST(SweepPool, FirstTaskExceptionIsRethrown)
+{
+    SweepPool pool(4);
+    EXPECT_THROW(pool.run<int>(40,
+                               [](std::size_t i) {
+                                   if (i == 17)
+                                       throw std::runtime_error("boom");
+                                   return static_cast<int>(i);
+                               }),
+                 std::runtime_error);
+}
+
+TEST(SweepPool, HardwareJobsIsAtLeastOne)
+{
+    EXPECT_GE(SweepPool::hardwareJobs(), 1u);
+}
+
+TEST(SweepPool, ParallelSimulationSweepMatchesSerial)
+{
+    // The real use: each task builds its own Machine and runs a small
+    // config. Makespans and headline stats must be identical whatever
+    // the worker count (full byte-level parity of the rendered sweep
+    // document is covered by the hopp_sweep.determinism ctest).
+    struct Cell
+    {
+        SystemKind system;
+        double ratio;
+    };
+    std::vector<Cell> cells = {
+        {SystemKind::Fastswap, 0.3},
+        {SystemKind::Fastswap, 0.6},
+        {SystemKind::Hopp, 0.3},
+        {SystemKind::Hopp, 0.6},
+    };
+    auto task = [&](std::size_t i) {
+        MachineConfig cfg;
+        cfg.system = cells[i].system;
+        cfg.localMemRatio = cells[i].ratio;
+        Machine machine(cfg);
+        workloads::WorkloadScale scale;
+        scale.footprint = 0.1;
+        scale.iterations = 0.2;
+        machine.addWorkload(
+            workloads::makeWorkload("microbench", scale, 43));
+        RunResult r = machine.run();
+        return r.makespan;
+    };
+    auto serial = SweepPool(1).run<Tick>(cells.size(), task);
+    auto parallel = SweepPool(4).run<Tick>(cells.size(), task);
+    EXPECT_EQ(parallel, serial);
+}

@@ -51,6 +51,12 @@
  *                   closures go through sim::InlineEvent (fixed inline
  *                   storage, compile-time capture budget) or a template
  *                   parameter, never a type-erased heap closure.
+ *   thread-primitive  raw std::thread / mutex / atomic / futures
+ *                   anywhere but runner/sweep* — simulation code is
+ *                   single-threaded by contract (results are a pure
+ *                   function of config + seed), and the only sanctioned
+ *                   host parallelism is whole independent runs behind
+ *                   runner::SweepPool's index-ordered API.
  *
  * Suppression:
  *   // hopp-lint: allow(<rule>[, <rule>...])    this or next line
@@ -454,6 +460,10 @@ scanFile(const fs::path &path, FileScan &out)
                   generic.rfind("obs/", 0) == 0;
     bool in_sim = generic.find("/sim/") != std::string::npos ||
                   generic.rfind("sim/", 0) == 0;
+    // The sweep pool is the one sanctioned home for host threads; a
+    // basename prefix ("runner/sweep") covers sweep_pool.* and any
+    // future sweep_*.cc split out beside it.
+    bool in_sweep = generic.find("runner/sweep") != std::string::npos;
     bool is_types_hh =
         generic.size() >= std::strlen("common/types.hh") &&
         generic.compare(generic.size() - std::strlen("common/types.hh"),
@@ -618,6 +628,26 @@ scanFile(const fs::path &path, FileScan &out)
                  "std::function in the simulation core; closures "
                  "must use sim::InlineEvent (or a template parameter) "
                  "so the event hot path stays allocation-free");
+        }
+
+        if (!in_sweep) {
+            for (const char *tok :
+                 {"std::thread", "std::jthread", "std::mutex",
+                  "std::recursive_mutex", "std::shared_mutex",
+                  "std::atomic", "std::condition_variable",
+                  "std::lock_guard", "std::unique_lock",
+                  "std::scoped_lock", "std::future", "std::promise",
+                  "std::async"}) {
+                if (line.find(tok) != std::string::npos) {
+                    emit(lineno, "thread-primitive",
+                         std::string(tok) +
+                             " outside runner/sweep*; simulation code "
+                             "is single-threaded by contract — host "
+                             "parallelism goes through "
+                             "runner::SweepPool");
+                    break;
+                }
+            }
         }
     }
 }

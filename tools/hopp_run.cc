@@ -55,6 +55,8 @@ usage(const char *argv0)
         "  --batch             enable huge-batch prefetching\n"
         "  --markov            shorthand for --tiers 15\n"
         "  --eviction-advisor  enable trace-informed reclaim advice\n"
+        "  --no-tlb            disable the host-side software TLB (the"
+        " output must not change)\n"
         "  --check N           run the invariant validators every N"
         " events (0 = off)\n"
         "  --seed N            workload seed (default 42)\n"
@@ -195,6 +197,8 @@ main(int argc, char **argv)
             cfg.hopp.tierMask |= core::tiers::markov;
         } else if (arg == "--eviction-advisor") {
             cfg.hopp.evictionAdvisor = true;
+        } else if (arg == "--no-tlb") {
+            cfg.tlb = false;
         } else if (arg == "--check") {
             cfg.checkInterval =
                 static_cast<std::uint64_t>(std::atoll(need(i)));
