@@ -14,8 +14,7 @@
  * use the macros without a dependency cycle.
  */
 
-#ifndef HOPP_CHECK_CHECK_HH
-#define HOPP_CHECK_CHECK_HH
+#pragma once
 
 #include "common/logging.hh"
 
@@ -41,4 +40,3 @@
 
 #endif // HOPP_DCHECKS_ENABLED
 
-#endif // HOPP_CHECK_CHECK_HH

@@ -17,8 +17,7 @@
  * than a mid-transition artefact.
  */
 
-#ifndef HOPP_CHECK_INVARIANTS_HH
-#define HOPP_CHECK_INVARIANTS_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -130,4 +129,3 @@ void leakLlcOccupancy(mem::Llc &llc);
 
 } // namespace hopp::check
 
-#endif // HOPP_CHECK_INVARIANTS_HH

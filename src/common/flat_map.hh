@@ -14,8 +14,7 @@
  * forEach/eraseIf must be order-insensitive, because the order is
  * hash order, not insertion order.
  */
-#ifndef HOPP_COMMON_FLAT_MAP_HH
-#define HOPP_COMMON_FLAT_MAP_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -238,4 +237,3 @@ class FlatU64Map
 
 } // namespace hopp
 
-#endif // HOPP_COMMON_FLAT_MAP_HH

@@ -1,4 +1,4 @@
-#include "logging.hh"
+#include "common/logging.hh"
 
 #include <cstdarg>
 #include <vector>

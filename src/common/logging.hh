@@ -6,8 +6,7 @@
  * unrecoverable user/configuration errors, warn()/inform() for status.
  */
 
-#ifndef HOPP_COMMON_LOGGING_HH
-#define HOPP_COMMON_LOGGING_HH
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -67,4 +66,3 @@ std::string formatMessage(const char *fmt, ...)
 
 } // namespace hopp
 
-#endif // HOPP_COMMON_LOGGING_HH

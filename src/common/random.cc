@@ -1,9 +1,9 @@
-#include "random.hh"
+#include "common/random.hh"
 
 #include <algorithm>
 #include <cmath>
 
-#include "logging.hh"
+#include "common/logging.hh"
 
 namespace hopp
 {

@@ -7,8 +7,7 @@
  * small, fast, and statistically far better than rand().
  */
 
-#ifndef HOPP_COMMON_RANDOM_HH
-#define HOPP_COMMON_RANDOM_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -111,4 +110,3 @@ class ZipfSampler
 
 } // namespace hopp
 
-#endif // HOPP_COMMON_RANDOM_HH

@@ -42,8 +42,7 @@
  * hopp-lint: allow-file(raw)
  */
 
-#ifndef HOPP_COMMON_TYPES_HH
-#define HOPP_COMMON_TYPES_HH
+#pragma once
 
 #include <compare>
 #include <cstddef>
@@ -418,4 +417,3 @@ struct std::hash<hopp::Pid>
     }
 };
 
-#endif // HOPP_COMMON_TYPES_HH

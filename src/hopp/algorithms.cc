@@ -1,4 +1,4 @@
-#include "algorithms.hh"
+#include "hopp/algorithms.hh"
 
 #include <algorithm>
 #include <cstdlib>

@@ -12,8 +12,7 @@
  * Applied in order SSP -> LSP -> RSP; the first identification wins.
  */
 
-#ifndef HOPP_HOPP_ALGORITHMS_HH
-#define HOPP_HOPP_ALGORITHMS_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -90,4 +89,3 @@ std::optional<Prediction> runThreeTier(const StreamView &view,
 
 } // namespace hopp::core
 
-#endif // HOPP_HOPP_ALGORITHMS_HH

@@ -7,8 +7,7 @@
  * report per-tier accuracy/coverage.
  */
 
-#ifndef HOPP_HOPP_EXEC_ENGINE_HH
-#define HOPP_HOPP_EXEC_ENGINE_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -184,4 +183,3 @@ class ExecEngine
 
 } // namespace hopp::core
 
-#endif // HOPP_HOPP_EXEC_ENGINE_HH

@@ -1,4 +1,4 @@
-#include "hopp_system.hh"
+#include "hopp/hopp_system.hh"
 
 #include <algorithm>
 
@@ -236,6 +236,24 @@ HoppSystem::onPrefetchEvicted(Pid pid, Vpn vpn, vm::Origin o, Tick)
 {
     if (o == prefetch::origin::hopp)
         exec_.onEvicted(pid, vpn);
+}
+
+void
+HoppSystem::resetStats()
+{
+    for (unsigned c = 0; c < cfg_.channels; ++c) {
+        hpds_[c].resetStats();
+        rptCaches_[c].resetStats();
+    }
+    stt_.resetStats();
+    trainer_.resetStats();
+    policy_.resetStats();
+    exec_.resetStats();
+    ring_.resetStats();
+    unmapped_ = 0;
+    hotPagesSeen_ = 0;
+    warmPruned_ = 0;
+    warmPrunePasses_ = 0;
 }
 
 } // namespace hopp::core

@@ -7,8 +7,7 @@
  * kernel's fault-driven swap path.
  */
 
-#ifndef HOPP_HOPP_HOPP_SYSTEM_HH
-#define HOPP_HOPP_HOPP_SYSTEM_HH
+#pragma once
 
 #include <vector>
 
@@ -171,6 +170,16 @@ class HoppSystem : public mem::McObserver,
     std::uint64_t warmPrunePasses() const { return warmPrunePasses_; }
 
     /**
+     * Reset every statistic this system owns: the per-channel HPD and
+     * RPT-cache counters, the software pipeline stats, and the
+     * system-level counters (unmapped drops, hot pages seen, advisor
+     * prune totals). Structural state — the RPT, the advisor hotness
+     * table, stream state — is untouched: resetting stats must not
+     * change simulated behaviour.
+     */
+    void resetStats();
+
+    /**
      * Attach the flight recorder: ring-drain batch spans on the HoPP
      * software track, hot-page extraction counters and RPT-lookup
      * outcome counters. nullptr detaches.
@@ -220,4 +229,3 @@ class HoppSystem : public mem::McObserver,
 
 } // namespace hopp::core
 
-#endif // HOPP_HOPP_HOPP_SYSTEM_HH

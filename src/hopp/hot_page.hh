@@ -6,8 +6,7 @@
  * extraction timestamp.
  */
 
-#ifndef HOPP_HOPP_HOT_PAGE_HH
-#define HOPP_HOPP_HOT_PAGE_HH
+#pragma once
 
 #include "common/types.hh"
 #include "trace/trace_buffer.hh"
@@ -36,4 +35,3 @@ inline constexpr std::uint64_t hotPageRecordBytes = 8;
 
 } // namespace hopp::core
 
-#endif // HOPP_HOPP_HOT_PAGE_HH

@@ -9,8 +9,7 @@
  * evicted. WRITEs (including RDMA DMA fills) are ignored (§III-B).
  */
 
-#ifndef HOPP_HOPP_HPD_HH
-#define HOPP_HOPP_HPD_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -135,4 +134,3 @@ class Hpd
 
 } // namespace hopp::core
 
-#endif // HOPP_HOPP_HPD_HH

@@ -1,4 +1,4 @@
-#include "markov.hh"
+#include "hopp/markov.hh"
 
 #include "common/logging.hh"
 

@@ -12,8 +12,7 @@
  * observes enough of the sequence to learn it at all.
  */
 
-#ifndef HOPP_HOPP_MARKOV_HH
-#define HOPP_HOPP_MARKOV_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -94,4 +93,3 @@ class MarkovTable
 
 } // namespace hopp::core
 
-#endif // HOPP_HOPP_MARKOV_HH

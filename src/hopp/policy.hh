@@ -11,8 +11,7 @@
  *    means local memory is occupied too early (i *= 1-alpha).
  */
 
-#ifndef HOPP_HOPP_POLICY_HH
-#define HOPP_HOPP_POLICY_HH
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -154,4 +153,3 @@ class PolicyEngine
 
 } // namespace hopp::core
 
-#endif // HOPP_HOPP_POLICY_HH

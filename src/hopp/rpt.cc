@@ -1,4 +1,4 @@
-#include "rpt.hh"
+#include "hopp/rpt.hh"
 
 #include "common/logging.hh"
 

@@ -9,8 +9,7 @@
  * DRAM copy is updated lazily on dirty write-back.
  */
 
-#ifndef HOPP_HOPP_RPT_HH
-#define HOPP_HOPP_RPT_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -162,4 +161,3 @@ class RptCache
 
 } // namespace hopp::core
 
-#endif // HOPP_HOPP_RPT_HH

@@ -1,4 +1,4 @@
-#include "stt.hh"
+#include "hopp/stt.hh"
 
 #include <cstdlib>
 

@@ -11,8 +11,7 @@
  * run on every subsequent append.
  */
 
-#ifndef HOPP_HOPP_STT_HH
-#define HOPP_HOPP_STT_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -135,4 +134,3 @@ class Stt
 
 } // namespace hopp::core
 
-#endif // HOPP_HOPP_STT_HH

@@ -6,8 +6,7 @@
  * policy-expanded prefetch requests to the execution engine.
  */
 
-#ifndef HOPP_HOPP_TRAINER_HH
-#define HOPP_HOPP_TRAINER_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -212,4 +211,3 @@ class Trainer
 
 } // namespace hopp::core
 
-#endif // HOPP_HOPP_TRAINER_HH

@@ -1,4 +1,4 @@
-#include "dram.hh"
+#include "mem/dram.hh"
 
 namespace hopp::mem
 {

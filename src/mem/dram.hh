@@ -7,8 +7,7 @@
  * relative to application traffic.
  */
 
-#ifndef HOPP_MEM_DRAM_HH
-#define HOPP_MEM_DRAM_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -111,4 +110,3 @@ class Dram
 
 } // namespace hopp::mem
 
-#endif // HOPP_MEM_DRAM_HH

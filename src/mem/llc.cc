@@ -1,4 +1,4 @@
-#include "llc.hh"
+#include "mem/llc.hh"
 
 namespace hopp::mem
 {

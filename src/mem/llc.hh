@@ -9,8 +9,7 @@
  * ratio of the scaled-down workloads matches the paper's testbed.
  */
 
-#ifndef HOPP_MEM_LLC_HH
-#define HOPP_MEM_LLC_HH
+#pragma once
 
 #include <cstdint>
 
@@ -122,4 +121,3 @@ class Llc
 
 } // namespace hopp::mem
 
-#endif // HOPP_MEM_LLC_HH

@@ -1,4 +1,4 @@
-#include "memctrl.hh"
+#include "mem/memctrl.hh"
 
 #include <algorithm>
 

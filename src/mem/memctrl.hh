@@ -9,8 +9,7 @@
  * bump-in-the-wire (§V).
  */
 
-#ifndef HOPP_MEM_MEMCTRL_HH
-#define HOPP_MEM_MEMCTRL_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -137,4 +136,3 @@ class MemCtrl
 
 } // namespace hopp::mem
 
-#endif // HOPP_MEM_MEMCTRL_HH

@@ -9,8 +9,7 @@
  * exactly as the paper indexes the HPD table with the low PPN bits.
  */
 
-#ifndef HOPP_MEM_SET_ASSOC_HH
-#define HOPP_MEM_SET_ASSOC_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -230,4 +229,3 @@ class SetAssocCache
 
 } // namespace hopp::mem
 
-#endif // HOPP_MEM_SET_ASSOC_HH

@@ -10,8 +10,7 @@
  * step 4), and queueing delay emerges naturally under prefetch bursts.
  */
 
-#ifndef HOPP_NET_LINK_HH
-#define HOPP_NET_LINK_HH
+#pragma once
 
 #include <cstdint>
 
@@ -149,4 +148,3 @@ class Link
 
 } // namespace hopp::net
 
-#endif // HOPP_NET_LINK_HH

@@ -6,8 +6,7 @@
  * HoPP's separate prefetch data path use, so they naturally contend.
  */
 
-#ifndef HOPP_NET_RDMA_HH
-#define HOPP_NET_RDMA_HH
+#pragma once
 
 #include <utility>
 
@@ -111,4 +110,3 @@ class RdmaFabric
 
 } // namespace hopp::net
 
-#endif // HOPP_NET_RDMA_HH

@@ -10,8 +10,7 @@
  * unchecked and numbers are parsed with strtod.
  */
 
-#ifndef HOPP_OBS_JSON_HH
-#define HOPP_OBS_JSON_HH
+#pragma once
 
 #include <cstdlib>
 #include <memory>
@@ -357,4 +356,3 @@ parse(const std::string &text, Value &out, std::string *err = nullptr)
 
 } // namespace hopp::obs::json
 
-#endif // HOPP_OBS_JSON_HH

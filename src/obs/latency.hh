@@ -17,8 +17,7 @@
  *                   any direct reclaim — the load-dependent part
  */
 
-#ifndef HOPP_OBS_LATENCY_HH
-#define HOPP_OBS_LATENCY_HH
+#pragma once
 
 #include <array>
 
@@ -166,4 +165,3 @@ class FaultLatency : public vm::PageEventListener
 
 } // namespace hopp::obs
 
-#endif // HOPP_OBS_LATENCY_HH

@@ -1,4 +1,4 @@
-#include "metrics.hh"
+#include "obs/metrics.hh"
 
 #include <cstdio>
 

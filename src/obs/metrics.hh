@@ -11,8 +11,7 @@
  * machine takes one final snapshot after the run for the end state.
  */
 
-#ifndef HOPP_OBS_METRICS_HH
-#define HOPP_OBS_METRICS_HH
+#pragma once
 
 #include <functional>
 #include <string>
@@ -86,4 +85,3 @@ class MetricsSampler
 
 } // namespace hopp::obs
 
-#endif // HOPP_OBS_METRICS_HH

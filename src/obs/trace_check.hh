@@ -15,8 +15,7 @@
  * matched 'B'/'E' pairs).
  */
 
-#ifndef HOPP_OBS_TRACE_CHECK_HH
-#define HOPP_OBS_TRACE_CHECK_HH
+#pragma once
 
 #include <map>
 #include <string>
@@ -232,4 +231,3 @@ checkTrace(const json::Value &root)
 
 } // namespace hopp::obs
 
-#endif // HOPP_OBS_TRACE_CHECK_HH

@@ -1,4 +1,4 @@
-#include "trace_writer.hh"
+#include "obs/trace_writer.hh"
 
 #include <cstdio>
 #include <cstring>

@@ -10,8 +10,7 @@
  * sub-microsecond precision survives the unit change.
  */
 
-#ifndef HOPP_OBS_TRACE_WRITER_HH
-#define HOPP_OBS_TRACE_WRITER_HH
+#pragma once
 
 #include <string>
 
@@ -41,4 +40,3 @@ bool writeFile(const std::string &path, const std::string &content);
 
 } // namespace hopp::obs
 
-#endif // HOPP_OBS_TRACE_WRITER_HH

@@ -28,8 +28,7 @@
  * string literals (the buffer stores the pointers, not copies).
  */
 
-#ifndef HOPP_OBS_TRACER_HH
-#define HOPP_OBS_TRACER_HH
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -212,4 +211,3 @@ class Tracer
 
 } // namespace hopp::obs
 
-#endif // HOPP_OBS_TRACER_HH

@@ -7,8 +7,7 @@
  * at the MRU end of the LRU list where they are hard to evict.
  */
 
-#ifndef HOPP_PREFETCH_DEPTHN_HH
-#define HOPP_PREFETCH_DEPTHN_HH
+#pragma once
 
 #include "prefetch/prefetcher.hh"
 #include "vm/vms.hh"
@@ -51,4 +50,3 @@ class DepthN : public Prefetcher
 
 } // namespace hopp::prefetch
 
-#endif // HOPP_PREFETCH_DEPTHN_HH

@@ -1,4 +1,4 @@
-#include "leap.hh"
+#include "prefetch/leap.hh"
 
 #include <cstdlib>
 #include <vector>

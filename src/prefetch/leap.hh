@@ -7,8 +7,7 @@
  * swapcache, with a hit-rate-adaptive prefetch window.
  */
 
-#ifndef HOPP_PREFETCH_LEAP_HH
-#define HOPP_PREFETCH_LEAP_HH
+#pragma once
 
 #include <deque>
 
@@ -105,4 +104,3 @@ class Leap : public Prefetcher, public vm::PageEventListener
 
 } // namespace hopp::prefetch
 
-#endif // HOPP_PREFETCH_LEAP_HH

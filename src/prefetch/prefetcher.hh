@@ -6,8 +6,7 @@
  * issues prefetches through the VMS insertion paths.
  */
 
-#ifndef HOPP_PREFETCH_PREFETCHER_HH
-#define HOPP_PREFETCH_PREFETCHER_HH
+#pragma once
 
 #include <string>
 
@@ -46,4 +45,3 @@ class Prefetcher
 
 } // namespace hopp::prefetch
 
-#endif // HOPP_PREFETCH_PREFETCHER_HH

@@ -10,8 +10,7 @@
  * stream — the window backs off instead of wasting link bandwidth.
  */
 
-#ifndef HOPP_PREFETCH_READAHEAD_HH
-#define HOPP_PREFETCH_READAHEAD_HH
+#pragma once
 
 #include <algorithm>
 
@@ -122,4 +121,3 @@ class Readahead : public Prefetcher, public vm::PageEventListener
 
 } // namespace hopp::prefetch
 
-#endif // HOPP_PREFETCH_READAHEAD_HH

@@ -11,8 +11,7 @@
  * Figure 11 splits coverage into swapcache hits vs DRAM hits.
  */
 
-#ifndef HOPP_PREFETCH_STATS_HH
-#define HOPP_PREFETCH_STATS_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -167,4 +166,3 @@ class PrefetchStats : public vm::PageEventListener
 
 } // namespace hopp::prefetch
 
-#endif // HOPP_PREFETCH_STATS_HH

@@ -5,8 +5,7 @@
  * adjacent to the fault, rather than the swap-offset neighbours.
  */
 
-#ifndef HOPP_PREFETCH_VMA_HH
-#define HOPP_PREFETCH_VMA_HH
+#pragma once
 
 #include "prefetch/prefetcher.hh"
 #include "vm/vms.hh"
@@ -57,4 +56,3 @@ class VmaPrefetcher : public Prefetcher
 
 } // namespace hopp::prefetch
 
-#endif // HOPP_PREFETCH_VMA_HH

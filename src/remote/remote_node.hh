@@ -5,8 +5,7 @@
  * remote memory" and runs no compute.
  */
 
-#ifndef HOPP_REMOTE_REMOTE_NODE_HH
-#define HOPP_REMOTE_REMOTE_NODE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -77,4 +76,3 @@ class RemoteNode
 
 } // namespace hopp::remote
 
-#endif // HOPP_REMOTE_REMOTE_NODE_HH

@@ -7,8 +7,7 @@
  * requests into 4 KB RDMA transfers on the shared fabric.
  */
 
-#ifndef HOPP_REMOTE_SWAP_BACKEND_HH
-#define HOPP_REMOTE_SWAP_BACKEND_HH
+#pragma once
 
 #include <optional>
 #include <vector>
@@ -183,4 +182,3 @@ class SwapBackend
 
 } // namespace hopp::remote
 
-#endif // HOPP_REMOTE_SWAP_BACKEND_HH

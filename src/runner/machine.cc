@@ -1,4 +1,4 @@
-#include "machine.hh"
+#include "runner/machine.hh"
 
 #include <algorithm>
 

@@ -7,8 +7,7 @@
  * every benchmark reports.
  */
 
-#ifndef HOPP_RUNNER_MACHINE_HH
-#define HOPP_RUNNER_MACHINE_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -258,4 +257,3 @@ double normalizedPerformance(Tick ct_local, Tick ct_system);
 
 } // namespace hopp::runner
 
-#endif // HOPP_RUNNER_MACHINE_HH

@@ -5,8 +5,7 @@
  * machine-readable companion to the benchmark tables.
  */
 
-#ifndef HOPP_RUNNER_STATS_REPORT_HH
-#define HOPP_RUNNER_STATS_REPORT_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -45,4 +44,3 @@ void resetAllStats(Machine &machine);
 
 } // namespace hopp::runner
 
-#endif // HOPP_RUNNER_STATS_REPORT_HH

@@ -23,8 +23,7 @@
  * host parallelism stays quarantined behind this index-based API.
  */
 
-#ifndef HOPP_RUNNER_SWEEP_POOL_HH
-#define HOPP_RUNNER_SWEEP_POOL_HH
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -116,4 +115,3 @@ class SweepPool
 
 } // namespace hopp::runner
 
-#endif // HOPP_RUNNER_SWEEP_POOL_HH

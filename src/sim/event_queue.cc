@@ -1,4 +1,4 @@
-#include "event_queue.hh"
+#include "sim/event_queue.hh"
 
 namespace hopp::sim
 {

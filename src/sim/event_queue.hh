@@ -17,8 +17,7 @@
  * allocation — per event in the old `std::function` design).
  */
 
-#ifndef HOPP_SIM_EVENT_QUEUE_HH
-#define HOPP_SIM_EVENT_QUEUE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -204,4 +203,3 @@ class EventQueue
 
 } // namespace hopp::sim
 
-#endif // HOPP_SIM_EVENT_QUEUE_HH

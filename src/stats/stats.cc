@@ -1,4 +1,4 @@
-#include "stats.hh"
+#include "stats/stats.hh"
 
 #include <algorithm>
 #include <bit>

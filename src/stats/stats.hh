@@ -7,8 +7,7 @@
  * registration metadata so copies of components stay cheap and safe.
  */
 
-#ifndef HOPP_STATS_STATS_HH
-#define HOPP_STATS_STATS_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -234,4 +233,3 @@ class StatSet
 
 } // namespace hopp::stats
 
-#endif // HOPP_STATS_STATS_HH

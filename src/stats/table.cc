@@ -1,4 +1,4 @@
-#include "table.hh"
+#include "stats/table.hh"
 
 #include <algorithm>
 #include <cstdio>

@@ -4,8 +4,7 @@
  * rows/series the paper's tables and figures report.
  */
 
-#ifndef HOPP_STATS_TABLE_HH
-#define HOPP_STATS_TABLE_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -53,4 +52,3 @@ class Table
 
 } // namespace hopp::stats
 
-#endif // HOPP_STATS_TABLE_HH

@@ -8,8 +8,7 @@
  * which HPD lives inside the MC and only hot pages are written out).
  */
 
-#ifndef HOPP_TRACE_HMTT_HH
-#define HOPP_TRACE_HMTT_HH
+#pragma once
 
 #include <cstdint>
 
@@ -83,4 +82,3 @@ class Hmtt : public mem::McObserver
 
 } // namespace hopp::trace
 
-#endif // HOPP_TRACE_HMTT_HH

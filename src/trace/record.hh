@@ -12,8 +12,7 @@
 
 // Wire-format packing boundary. hopp-lint: allow-file(raw, page-shift)
 
-#ifndef HOPP_TRACE_RECORD_HH
-#define HOPP_TRACE_RECORD_HH
+#pragma once
 
 #include <cstdint>
 
@@ -83,4 +82,3 @@ toAddr29(PhysAddr pa)
 
 } // namespace hopp::trace
 
-#endif // HOPP_TRACE_RECORD_HH

@@ -6,8 +6,7 @@
  * the hardware drops records and counts them.
  */
 
-#ifndef HOPP_TRACE_TRACE_BUFFER_HH
-#define HOPP_TRACE_TRACE_BUFFER_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -91,4 +90,3 @@ class RingBuffer
 
 } // namespace hopp::trace
 
-#endif // HOPP_TRACE_TRACE_BUFFER_HH

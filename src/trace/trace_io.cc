@@ -1,7 +1,7 @@
 // Binary trace serialisation is a designated raw boundary.
 // hopp-lint: allow-file(raw, page-shift)
 
-#include "trace_io.hh"
+#include "trace/trace_io.hh"
 
 #include <cstdio>
 #include <memory>

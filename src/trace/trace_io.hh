@@ -6,8 +6,7 @@
  * (packed wire bits + full timestamp).
  */
 
-#ifndef HOPP_TRACE_TRACE_IO_HH
-#define HOPP_TRACE_TRACE_IO_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -26,4 +25,3 @@ std::vector<HmttRecord> readTraceFile(const std::string &path);
 
 } // namespace hopp::trace
 
-#endif // HOPP_TRACE_TRACE_IO_HH

@@ -5,8 +5,7 @@
  * the evaluation isolates applications with cgroups (§VI-B).
  */
 
-#ifndef HOPP_VM_CGROUP_HH
-#define HOPP_VM_CGROUP_HH
+#pragma once
 
 #include <cstdint>
 #include <list>
@@ -130,4 +129,3 @@ class Cgroup
 
 } // namespace hopp::vm
 
-#endif // HOPP_VM_CGROUP_HH

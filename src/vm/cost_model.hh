@@ -5,8 +5,7 @@
  * memory systems. All values in nanoseconds of simulated time.
  */
 
-#ifndef HOPP_VM_COST_MODEL_HH
-#define HOPP_VM_COST_MODEL_HH
+#pragma once
 
 #include "common/types.hh"
 
@@ -77,4 +76,3 @@ struct CostModel
 
 } // namespace hopp::vm
 
-#endif // HOPP_VM_COST_MODEL_HH

@@ -4,8 +4,7 @@
  * engine and the metric sinks.
  */
 
-#ifndef HOPP_VM_LISTENER_HH
-#define HOPP_VM_LISTENER_HH
+#pragma once
 
 #include <functional>
 
@@ -95,4 +94,3 @@ class PageEventListener
 
 } // namespace hopp::vm
 
-#endif // HOPP_VM_LISTENER_HH

@@ -4,8 +4,7 @@
  * statistics sinks.
  */
 
-#ifndef HOPP_VM_PAGE_HH
-#define HOPP_VM_PAGE_HH
+#pragma once
 
 #include <cstdint>
 #include <list>
@@ -118,4 +117,3 @@ struct PageInfo
 
 } // namespace hopp::vm
 
-#endif // HOPP_VM_PAGE_HH

@@ -26,8 +26,7 @@
  *    spatial locality.
  */
 
-#ifndef HOPP_VM_PAGE_TABLE_HH
-#define HOPP_VM_PAGE_TABLE_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -300,4 +299,3 @@ class PageTable
 
 } // namespace hopp::vm
 
-#endif // HOPP_VM_PAGE_TABLE_HH

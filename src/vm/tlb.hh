@@ -20,8 +20,7 @@
  * reaches it (tested by the TLB-on/TLB-off cross-check).
  */
 
-#ifndef HOPP_VM_TLB_HH
-#define HOPP_VM_TLB_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -142,4 +141,3 @@ class Tlb : public PteHook
 
 } // namespace hopp::vm
 
-#endif // HOPP_VM_TLB_HH

@@ -1,4 +1,4 @@
-#include "vms.hh"
+#include "vm/vms.hh"
 
 #include <algorithm>
 

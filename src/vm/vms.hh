@@ -10,8 +10,7 @@
  * arrive via the swapcache or via injection.
  */
 
-#ifndef HOPP_VM_VMS_HH
-#define HOPP_VM_VMS_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -373,4 +372,3 @@ class Vms
 
 } // namespace hopp::vm
 
-#endif // HOPP_VM_VMS_HH

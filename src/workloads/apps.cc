@@ -1,4 +1,4 @@
-#include "apps.hh"
+#include "workloads/apps.hh"
 
 #include <algorithm>
 #include <cmath>

@@ -11,8 +11,7 @@
  * short streams + GC scans of Spark applications (§VI-B).
  */
 
-#ifndef HOPP_WORKLOADS_APPS_HH
-#define HOPP_WORKLOADS_APPS_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -70,4 +69,3 @@ std::vector<std::string> sparkWorkloadNames();
 
 } // namespace hopp::workloads
 
-#endif // HOPP_WORKLOADS_APPS_HH

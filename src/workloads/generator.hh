@@ -8,8 +8,7 @@
  * limits) happens through combinator generators.
  */
 
-#ifndef HOPP_WORKLOADS_GENERATOR_HH
-#define HOPP_WORKLOADS_GENERATOR_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -175,4 +174,3 @@ class LimitGen : public AccessGenerator
 
 } // namespace hopp::workloads
 
-#endif // HOPP_WORKLOADS_GENERATOR_HH

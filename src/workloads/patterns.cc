@@ -1,4 +1,4 @@
-#include "patterns.hh"
+#include "workloads/patterns.hh"
 
 #include <algorithm>
 

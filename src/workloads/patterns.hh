@@ -8,8 +8,7 @@
  * used by the application models.
  */
 
-#ifndef HOPP_WORKLOADS_PATTERNS_HH
-#define HOPP_WORKLOADS_PATTERNS_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -339,4 +338,3 @@ class QuicksortGen : public AccessGenerator
 
 } // namespace hopp::workloads
 
-#endif // HOPP_WORKLOADS_PATTERNS_HH

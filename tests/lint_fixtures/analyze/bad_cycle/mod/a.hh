@@ -1,0 +1,13 @@
+#pragma once
+
+#include "mod/b.hh"
+
+namespace fixture
+{
+
+struct A
+{
+    int x = 0;
+};
+
+} // namespace fixture

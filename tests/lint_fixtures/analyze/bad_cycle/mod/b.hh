@@ -1,0 +1,14 @@
+// Seeded violation: closes the a.hh -> b.hh -> a.hh include cycle.
+#pragma once
+
+#include "mod/a.hh" // hopp-analyze-expect(include-cycle)
+
+namespace fixture
+{
+
+struct B
+{
+    int y = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+// Not part of the cycle: including into a cycle is not itself a cycle.
+#pragma once
+
+#include "mod/a.hh"
+
+namespace fixture
+{
+
+struct C
+{
+    int z = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,11 @@
+#pragma once
+
+namespace fixture
+{
+
+struct Ok
+{
+    int fine = 1;
+};
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Seeded violation: #ifndef guards are not the sanctioned style.
+#ifndef FIXTURE_MOD_OLD_GUARD_HH // hopp-analyze-expect(guard-style)
+#define FIXTURE_MOD_OLD_GUARD_HH
+
+#include "mod/ok.hh"
+
+namespace fixture
+{
+
+struct OldGuard
+{
+    Ok inner;
+};
+
+} // namespace fixture
+
+#endif

@@ -1,0 +1,15 @@
+// Seeded violation: an interface header must only include the bottom
+// layer, otherwise it smuggles upper-layer dependencies everywhere.
+#pragma once
+
+#include "top/high.hh" // hopp-analyze-expect(interface-purity)
+
+namespace fixture
+{
+
+struct Iface
+{
+    int tag = 0;
+};
+
+} // namespace fixture

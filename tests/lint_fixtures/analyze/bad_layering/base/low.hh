@@ -1,0 +1,14 @@
+// Seeded violation: the bottom layer reaching into the top layer.
+#pragma once
+
+#include "top/high.hh" // hopp-analyze-expect(layer)
+
+namespace fixture
+{
+
+struct Low
+{
+    High h;
+};
+
+} // namespace fixture

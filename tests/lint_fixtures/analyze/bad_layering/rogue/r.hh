@@ -1,0 +1,16 @@
+// Seeded violations: a module absent from layers.conf, and a quote
+// include that is not module-rooted.
+#pragma once
+
+#include "base/low.hh" // hopp-analyze-expect(undeclared-module)
+#include "util.hh"     // hopp-analyze-expect(include-rooted)
+
+namespace fixture
+{
+
+struct Rogue
+{
+    int x = 0;
+};
+
+} // namespace fixture

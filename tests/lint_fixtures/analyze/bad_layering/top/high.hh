@@ -1,0 +1,11 @@
+#pragma once
+
+namespace fixture
+{
+
+struct High
+{
+    int level = 1;
+};
+
+} // namespace fixture

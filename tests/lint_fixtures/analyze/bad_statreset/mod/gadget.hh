@@ -1,0 +1,19 @@
+// Counter properly covered by resetStats(); the gap for this class is
+// in the factory (no addResetter), not here.
+#pragma once
+
+namespace fixture
+{
+
+class Gadget
+{
+  public:
+    void bump() { count_ += 1; }
+    unsigned long long count() const { return count_; }
+    void resetStats() { count_ = 0; }
+
+  private:
+    unsigned long long count_ = 0;
+};
+
+} // namespace fixture

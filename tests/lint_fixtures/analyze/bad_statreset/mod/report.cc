@@ -1,0 +1,25 @@
+// Seeded violations for the stat-reset completeness pass.
+#include "mod/gadget.hh"
+#include "mod/widget.hh"
+
+namespace fixture
+{
+
+stats::StatSet
+widgetStats(Widget &w)
+{
+    stats::StatSet s("widget");
+    s.record("hits", static_cast<double>(w.hits()), "touches"); // hopp-analyze-expect(stat-unreset)
+    s.addResetter([&w] {});
+    return s;
+}
+
+stats::StatSet
+gadgetStats(Gadget &g)
+{
+    stats::StatSet s("gadget"); // hopp-analyze-expect(stat-no-resetter)
+    s.record("count", static_cast<double>(g.count()), "bumps");
+    return s;
+}
+
+} // namespace fixture

@@ -1,0 +1,18 @@
+// Seeded violation (used by report.cc): hits_ is a counter with no
+// reset method covering it — the batchReads_ bug class.
+#pragma once
+
+namespace fixture
+{
+
+class Widget
+{
+  public:
+    void touch() { ++hits_; }
+    unsigned long long hits() const { return hits_; }
+
+  private:
+    unsigned long long hits_ = 0;
+};
+
+} // namespace fixture

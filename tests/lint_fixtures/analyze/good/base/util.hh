@@ -1,0 +1,13 @@
+// Bottom-layer utility: includable from everywhere.
+#pragma once
+
+namespace fixture
+{
+
+inline int
+twice(int v)
+{
+    return v * 2;
+}
+
+} // namespace fixture

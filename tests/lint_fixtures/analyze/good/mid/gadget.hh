@@ -1,0 +1,21 @@
+// A well-behaved component: its counter is covered by resetStats().
+#pragma once
+
+#include "base/util.hh"
+#include "top/note.hh"
+
+namespace fixture
+{
+
+class Gadget
+{
+  public:
+    void touch() { ++uses_; }
+    unsigned long long uses() const { return uses_; }
+    void resetStats() { uses_ = 0; }
+
+  private:
+    unsigned long long uses_ = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Interface header: lives in the top layer but is includable from any
+// layer because it only depends on the bottom layer.
+#pragma once
+
+#include "base/util.hh"
+
+namespace fixture
+{
+
+struct Note
+{
+    int value = 0;
+};
+
+} // namespace fixture

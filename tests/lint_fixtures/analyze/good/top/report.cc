@@ -1,0 +1,17 @@
+// A well-behaved stat factory: every member-backed stat is covered by
+// the component's resetStats(), and a resetter is registered.
+#include "mid/gadget.hh"
+
+namespace fixture
+{
+
+stats::StatSet
+gadgetStats(Gadget &g)
+{
+    stats::StatSet s("gadget");
+    s.record("uses", static_cast<double>(g.uses()), "touches seen");
+    s.addResetter([&g] { g.resetStats(); });
+    return s;
+}
+
+} // namespace fixture

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Source model shared by the hopp_analyze passes.
+ *
+ * hopp_analyze is a cross-translation-unit analyzer: every pass needs
+ * the same view of the tree (all files lexed once, module = first path
+ * component under the analyzed root) and the same diagnostic plumbing
+ * (suppression comments, expect markers for the self-test). This
+ * header provides both; the passes live in include_graph.hh and
+ * stat_reset.hh.
+ *
+ * Suppression mirrors hopp_lint's syntax under the tool's own prefix:
+ *
+ *   // hopp-analyze: allow(<rule>[, <rule>...])   this or next line
+ *   // hopp-analyze: allow-file(<rule>)           whole file
+ *
+ * with `*` as a wildcard, and `hopp-analyze-expect(<rule>)` markers
+ * driving `--self-test`. Directives are parsed from comment tokens
+ * only, so nothing inside a string literal can suppress a finding.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/token_stream.hh"
+
+namespace hopp::analysis
+{
+
+struct Diag
+{
+    std::string file; //!< path as given (root-relative for tree scans)
+    int line = 0;
+    std::string rule;
+    std::string message;
+
+    bool
+    operator<(const Diag &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        if (rule != o.rule)
+            return rule < o.rule;
+        return message < o.message;
+    }
+};
+
+/** Suppression + expect directives from one file's comments. */
+struct Directives
+{
+    std::map<int, std::vector<std::string>> lineAllows;
+    std::vector<std::string> fileAllows;
+    std::vector<std::pair<int, std::string>> expects;
+};
+
+inline std::vector<std::string>
+parseRuleList(const std::string &text, std::size_t open_paren)
+{
+    std::vector<std::string> rules;
+    std::size_t close = text.find(')', open_paren);
+    if (close == std::string::npos)
+        return rules;
+    std::string args = text.substr(open_paren + 1, close - open_paren - 1);
+    std::string cur;
+    for (char c : args) {
+        if (c == ',' || c == ' ') {
+            if (!cur.empty())
+                rules.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        rules.push_back(cur);
+    return rules;
+}
+
+/**
+ * Parse `<prefix>: allow(...)` / `<prefix>: allow-file(...)` and
+ * `<prefix>-expect(...)` from comment tokens, attributing each
+ * directive to the physical line it sits on.
+ */
+inline Directives
+parseDirectives(const std::vector<Token> &comments, const char *prefix)
+{
+    const std::string kw = std::string(prefix) + ":";
+    const std::string expect_kw = std::string(prefix) + "-expect(";
+    Directives d;
+    for (const auto &tok : comments) {
+        std::istringstream in(tok.text);
+        int lineno = tok.line;
+        for (std::string line; std::getline(in, line); ++lineno) {
+            std::size_t pos = line.find(kw);
+            while (pos != std::string::npos) {
+                std::size_t after = pos + kw.size();
+                std::size_t file_kw = line.find("allow-file(", after);
+                std::size_t line_kw = line.find("allow(", after);
+                if (file_kw != std::string::npos) {
+                    auto rs = parseRuleList(
+                        line, file_kw + std::strlen("allow-file"));
+                    d.fileAllows.insert(d.fileAllows.end(), rs.begin(),
+                                        rs.end());
+                } else if (line_kw != std::string::npos) {
+                    auto rs = parseRuleList(
+                        line, line_kw + std::strlen("allow"));
+                    auto &dst = d.lineAllows[lineno];
+                    dst.insert(dst.end(), rs.begin(), rs.end());
+                }
+                pos = line.find(kw, after);
+            }
+            std::size_t expect = line.find(expect_kw);
+            if (expect != std::string::npos) {
+                for (const auto &rule : parseRuleList(
+                         line, expect + expect_kw.size() - 1))
+                    d.expects.emplace_back(lineno, rule);
+            }
+        }
+    }
+    return d;
+}
+
+inline bool
+listCovers(const std::vector<std::string> &rules, const std::string &rule)
+{
+    return std::any_of(rules.begin(), rules.end(),
+                       [&](const std::string &r) {
+                           return r == "*" || r == rule;
+                       });
+}
+
+/** One lexed source file of the analyzed tree. */
+struct SourceFile
+{
+    std::filesystem::path path; //!< absolute/as-walked path
+    std::string rel;            //!< root-relative, '/' separators
+    std::string module;         //!< first path component ("" at root)
+    bool header = false;
+    std::vector<CodeToken> code;
+    std::vector<Token> pp;      //!< PpDirective tokens, raw text
+    Directives directives;
+};
+
+/** The whole analyzed tree, files sorted by relative path. */
+struct SourceTree
+{
+    std::filesystem::path root;
+    std::vector<SourceFile> files;
+    std::vector<Diag> diags;
+
+    const SourceFile *
+    find(const std::string &rel) const
+    {
+        for (const auto &f : files)
+            if (f.rel == rel)
+                return &f;
+        return nullptr;
+    }
+
+    /** Report unless suppressed on the line, one above, or file-wide. */
+    void
+    report(const SourceFile &f, int line, const char *rule,
+           std::string message)
+    {
+        if (listCovers(f.directives.fileAllows, rule))
+            return;
+        for (int n : {line, line - 1}) {
+            auto it = f.directives.lineAllows.find(n);
+            if (it != f.directives.lineAllows.end() &&
+                listCovers(it->second, rule))
+                return;
+        }
+        diags.push_back({f.rel, line, rule, std::move(message)});
+    }
+};
+
+inline bool
+analyzableFile(const std::filesystem::path &p)
+{
+    auto ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" || ext == ".hpp";
+}
+
+/** Load and lex every C++ file under `root` (or the single file). */
+inline SourceTree
+loadTree(const std::filesystem::path &root)
+{
+    namespace fs = std::filesystem;
+    SourceTree tree;
+    tree.root = root;
+
+    std::vector<fs::path> paths;
+    if (fs::is_regular_file(root))
+        paths.push_back(root);
+    else
+        for (const auto &entry : fs::recursive_directory_iterator(root))
+            if (entry.is_regular_file() && analyzableFile(entry.path()))
+                paths.push_back(entry.path());
+    std::sort(paths.begin(), paths.end());
+
+    for (const auto &p : paths) {
+        std::ifstream in(p);
+        if (!in)
+            continue;
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        TokenStream ts(ss.str());
+
+        SourceFile f;
+        f.path = p;
+        f.rel = fs::is_regular_file(root)
+                    ? p.filename().generic_string()
+                    : fs::relative(p, root).generic_string();
+        std::size_t slash = f.rel.find('/');
+        f.module = slash == std::string::npos ? std::string()
+                                              : f.rel.substr(0, slash);
+        auto ext = p.extension().string();
+        f.header = ext == ".hh" || ext == ".hpp";
+        f.code = ts.code();
+        for (const auto &t : ts.all())
+            if (t.kind == TokKind::PpDirective)
+                f.pp.push_back(t);
+        f.directives = parseDirectives(ts.comments(), "hopp-analyze");
+        tree.files.push_back(std::move(f));
+    }
+    return tree;
+}
+
+/**
+ * The target of a quote include directive, or "" when the directive is
+ * not a quote include (`#include <...>` and every other directive).
+ */
+inline std::string
+quoteIncludeTarget(const std::string &directive_text)
+{
+    std::string flat = ppText(directive_text);
+    std::size_t h = flat.find('#');
+    if (h == std::string::npos)
+        return "";
+    std::size_t i = flat.find_first_not_of(" \t", h + 1);
+    if (i == std::string::npos || flat.compare(i, 7, "include") != 0)
+        return "";
+    std::size_t open = flat.find('"', i + 7);
+    if (open == std::string::npos)
+        return "";
+    std::size_t close = flat.find('"', open + 1);
+    if (close == std::string::npos)
+        return "";
+    return flat.substr(open + 1, close - open - 1);
+}
+
+} // namespace hopp::analysis

@@ -1,0 +1,741 @@
+/**
+ * @file
+ * Stat-reset completeness pass: every registered stat backed by a
+ * counter member must be covered by a reset method of its component.
+ *
+ * The repo's steady-state benchmarking and multi-phase runs rely on
+ * runner::resetAllStats() truly zeroing every counter that the stats
+ * report reads. PR 3 found (by hand) that SwapBackend::batchReads_ was
+ * registered in the report but missing from SwapBackend::resetStats();
+ * this pass turns that bug class into a compile gate.
+ *
+ * What it does, cross-TU:
+ *
+ *   1. builds a class database over the whole tree: member variables,
+ *      inline and out-of-line method bodies, simple accessors
+ *      (`return member_;` / `return member_[...];`), *counter* members
+ *      (incremented via ++ or += anywhere in the class's methods), and
+ *      members mentioned in reset* methods (a whole-value assignment
+ *      `m_ = T{};` marks m_ fully reset);
+ *   2. finds StatSet factory functions (a local `stats::StatSet
+ *      s("name")`), maps their parameters to classes, resolves each
+ *      `s.record("stat", expr)` to a backing member where the
+ *      expression is a single accessor call (through `static_cast`,
+ *      and through one struct-ref local like `const VmsStats &v =
+ *      vms.stats()`), and checks the backing member against the
+ *      class's reset coverage;
+ *   3. requires each factory that records at least one resolvable
+ *      member-backed stat to register a resetter (`s.addResetter`).
+ *
+ * Rules:
+ *
+ *   stat-unreset       a registered stat reads a counter member that
+ *                      no reset* method of its class resets
+ *   stat-no-resetter   a factory records member-backed stats but never
+ *                      calls addResetter
+ *
+ * Deliberate limits (kept honest in --verbose): chained accessors
+ * (`h.exec().deduped()`), computed stats (ratios, sizes), and members
+ * that are never incremented (gauges, capacities) are skipped, never
+ * guessed at.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/model.hh"
+
+namespace hopp::analysis
+{
+
+struct MethodInfo
+{
+    std::string name;
+    std::vector<CodeToken> body; //!< tokens between the braces
+    int line = 0;
+};
+
+struct ClassInfo
+{
+    std::string name;
+    std::set<std::string> members;
+    std::map<std::string, std::string> accessorBacking;
+    std::vector<MethodInfo> methods;
+    std::set<std::string> counters;
+    std::set<std::string> resetMentioned;
+};
+
+using ClassDb = std::map<std::string, ClassInfo>;
+
+namespace statreset_detail
+{
+
+inline bool
+isIdent(const CodeToken &t)
+{
+    return t.kind == TokKind::Ident;
+}
+
+inline bool
+isKeywordCall(const std::string &s)
+{
+    return s == "if" || s == "for" || s == "while" || s == "switch" ||
+           s == "return" || s == "sizeof" || s == "catch" ||
+           s == "alignof" || s == "decltype" || s == "static_assert";
+}
+
+/**
+ * From an opening paren of a parameter/argument list, the index one
+ * past the matching close; `out_close` receives the close index.
+ */
+inline bool
+parenSpan(const std::vector<CodeToken> &code, std::size_t open,
+          std::size_t &out_close)
+{
+    std::size_t close = matchForward(code, open);
+    if (close >= code.size())
+        return false;
+    out_close = close;
+    return true;
+}
+
+/**
+ * Walk the tokens after a parameter list's `)` looking for a function
+ * body. Accepts cv/ref qualifiers, noexcept(...), override/final,
+ * trailing return types, and constructor initializer lists. Returns
+ * the index of the body '{', or npos when the construct is a
+ * declaration / expression instead.
+ */
+inline std::size_t
+findBodyBrace(const std::vector<CodeToken> &code, std::size_t after_close)
+{
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    bool in_init_list = false;
+    for (std::size_t i = after_close; i < code.size(); ++i) {
+        const CodeToken &t = code[i];
+        if (t.text == "{")
+            return i;
+        if (t.text == ";")
+            return npos;
+        if (t.text == "(") {
+            // noexcept(...) or an initializer-list member init.
+            std::size_t close;
+            if (!parenSpan(code, i, close))
+                return npos;
+            i = close;
+            continue;
+        }
+        if (t.text == ":") {
+            // Either `::` (trailing return type) or a ctor init list.
+            if (i + 1 < code.size() && code[i + 1].text == ":") {
+                ++i;
+                continue;
+            }
+            in_init_list = true;
+            continue;
+        }
+        if (isIdent(t) || t.text == "&" || t.text == "-" ||
+            t.text == ">" || t.text == "<" || t.text == "*" ||
+            t.text == "," || in_init_list)
+            continue;
+        if (t.text == "=")
+            return npos; // = default / = delete / = 0
+        return npos;
+    }
+    return npos;
+}
+
+/** Simple accessor: body is `return M;` or `return M[...];`. */
+inline std::string
+simpleAccessorBacking(const std::vector<CodeToken> &body)
+{
+    if (body.size() < 3 || body[0].text != "return" || !isIdent(body[1]))
+        return "";
+    if (body[2].text == ";" && body.size() == 3)
+        return body[1].text;
+    if (body[2].text == "[") {
+        std::size_t close = matchForward(body, 2);
+        if (close + 1 < body.size() && body[close + 1].text == ";" &&
+            close + 2 == body.size())
+            return body[1].text;
+    }
+    return "";
+}
+
+/** Slice [begin, end) of a code-token vector. */
+inline std::vector<CodeToken>
+slice(const std::vector<CodeToken> &code, std::size_t begin,
+      std::size_t end)
+{
+    return {code.begin() + static_cast<std::ptrdiff_t>(begin),
+            code.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+/**
+ * Parse one class body ([begin, end) inside the braces) into `info`,
+ * registering nested classes in `db` as they appear.
+ */
+inline void
+parseClassBody(const std::vector<CodeToken> &code, std::size_t begin,
+               std::size_t end, ClassInfo &info, ClassDb &db);
+
+inline std::size_t
+end_scan(const std::vector<CodeToken> &code, std::size_t from)
+{
+    // Bound the class-head scan (base-clause lists are finite; the
+    // rejection tokens end real statements long before this).
+    return from + 96 < code.size() ? from + 96 : code.size();
+}
+
+/**
+ * Try to parse a class/struct definition whose `class`/`struct`
+ * keyword sits at `i`. Returns one past the definition on success.
+ */
+inline std::size_t
+parseClassDef(const std::vector<CodeToken> &code, std::size_t i,
+              ClassDb &db)
+{
+    // `class X ... {` with nothing statement-like in between; `enum
+    // class` and template parameter lists are rejected by the callers
+    // and the scan below.
+    if (i + 1 >= code.size() || !isIdent(code[i + 1]))
+        return i + 1;
+    const std::string &name = code[i + 1].text;
+    for (std::size_t j = i + 2; j < end_scan(code, i); ++j) {
+        const std::string &t = code[j].text;
+        if (t == "{") {
+            std::size_t close = matchForward(code, j);
+            if (close >= code.size())
+                return code.size();
+            ClassInfo &info = db[name];
+            info.name = name;
+            parseClassBody(code, j + 1, close, info, db);
+            return close + 1;
+        }
+        if (t == ";" || t == "(" || t == ")" || t == "=" || t == ">")
+            return j; // forward decl / template param / other
+        // base clause idents, ':', '<...>', commas all acceptable
+    }
+    return i + 1;
+}
+
+inline void
+parseClassBody(const std::vector<CodeToken> &code, std::size_t begin,
+               std::size_t end, ClassInfo &info, ClassDb &db)
+{
+    std::size_t i = begin;
+    while (i < end) {
+        const CodeToken &t = code[i];
+
+        // Access specifiers.
+        if (isIdent(t) &&
+            (t.text == "public" || t.text == "private" ||
+             t.text == "protected") &&
+            i + 1 < end && code[i + 1].text == ":" &&
+            (i + 2 >= end || code[i + 2].text != ":")) {
+            i += 2;
+            continue;
+        }
+
+        // Nested class / struct definitions become their own entries.
+        if (isIdent(t) && (t.text == "class" || t.text == "struct") &&
+            (i == begin || code[i - 1].text != "enum")) {
+            std::size_t next = parseClassDef(code, i, db);
+            if (next > i) {
+                i = next;
+                continue;
+            }
+        }
+
+        // Skip enums, friends, usings, templates wholesale.
+        if (isIdent(t) && t.text == "enum") {
+            while (i < end && code[i].text != "{" && code[i].text != ";")
+                ++i;
+            if (i < end && code[i].text == "{")
+                i = matchForward(code, i) + 1;
+            continue;
+        }
+        if (isIdent(t) &&
+            (t.text == "friend" || t.text == "using" ||
+             t.text == "typedef")) {
+            while (i < end && code[i].text != ";")
+                ++i;
+            ++i;
+            continue;
+        }
+        if (isIdent(t) && t.text == "template") {
+            // Skip the parameter list `<...>`.
+            std::size_t j = i + 1;
+            int depth = 0;
+            for (; j < end; ++j) {
+                if (code[j].text == "<")
+                    ++depth;
+                else if (code[j].text == ">" && --depth == 0)
+                    break;
+            }
+            i = j + 1;
+            continue;
+        }
+
+        // Member function or member variable: find the declarator.
+        std::size_t j = i;
+        bool handled = false;
+        for (; j < end; ++j) {
+            const CodeToken &u = code[j];
+            if (u.text == ";") {
+                ++j;
+                handled = true;
+                break; // nothing declared we care about
+            }
+            if (isIdent(u) && j + 1 < end) {
+                const std::string &nx = code[j + 1].text;
+                if (nx == "(" && !isKeywordCall(u.text)) {
+                    // Method (or constructor). Find body or decl end.
+                    std::size_t close;
+                    if (!parenSpan(code, j + 1, close)) {
+                        j = end;
+                        handled = true;
+                        break;
+                    }
+                    std::size_t body = findBodyBrace(code, close + 1);
+                    if (body == static_cast<std::size_t>(-1)) {
+                        // Declaration (or `= default`): skip past ';'.
+                        std::size_t k = close + 1;
+                        while (k < end && code[k].text != ";")
+                            ++k;
+                        j = k + 1;
+                    } else {
+                        std::size_t bclose = matchForward(code, body);
+                        MethodInfo m;
+                        m.name = u.text;
+                        m.line = u.line;
+                        m.body = slice(code, body + 1,
+                                       bclose < end ? bclose : end);
+                        std::string backing =
+                            simpleAccessorBacking(m.body);
+                        if (!backing.empty())
+                            info.accessorBacking[m.name] = backing;
+                        info.methods.push_back(std::move(m));
+                        j = (bclose < end ? bclose : end) + 1;
+                    }
+                    handled = true;
+                    break;
+                }
+                if (nx == ";" || nx == "=" || nx == "[" || nx == "{") {
+                    // Member variable declarator.
+                    info.members.insert(u.text);
+                    std::size_t k = j + 1;
+                    int brace = 0;
+                    while (k < end) {
+                        if (code[k].text == "{")
+                            ++brace;
+                        else if (code[k].text == "}")
+                            --brace;
+                        else if (code[k].text == ";" && brace == 0)
+                            break;
+                        ++k;
+                    }
+                    j = k + 1;
+                    handled = true;
+                    break;
+                }
+            }
+        }
+        i = handled ? (j > i ? j : i + 1) : j;
+        if (!handled)
+            ++i;
+    }
+}
+
+} // namespace statreset_detail
+
+/** Build the class database over every file of the tree. */
+inline ClassDb
+buildClassDb(const SourceTree &tree)
+{
+    using namespace statreset_detail;
+    ClassDb db;
+
+    // Phase 1: class/struct bodies (members, inline methods).
+    for (const auto &f : tree.files) {
+        const auto &code = f.code;
+        for (std::size_t i = 0; i < code.size(); ++i) {
+            if (!isIdent(code[i]) ||
+                (code[i].text != "class" && code[i].text != "struct"))
+                continue;
+            if (i > 0 && (code[i - 1].text == "enum" ||
+                          code[i - 1].text == "<" ||
+                          code[i - 1].text == ","))
+                continue; // enum class / template parameter
+            std::size_t next = parseClassDef(code, i, db);
+            if (next > i + 1)
+                i = next - 1;
+        }
+    }
+
+    // Phase 2: out-of-line method definitions `Type Class::method(...)`.
+    for (const auto &f : tree.files) {
+        const auto &code = f.code;
+        for (std::size_t i = 0; i + 4 < code.size(); ++i) {
+            if (!isIdent(code[i]) || code[i + 1].text != ":" ||
+                code[i + 2].text != ":" || !isIdent(code[i + 3]) ||
+                code[i + 4].text != "(")
+                continue;
+            auto cls = db.find(code[i].text);
+            if (cls == db.end())
+                continue;
+            std::size_t close;
+            if (!parenSpan(code, i + 4, close))
+                continue;
+            std::size_t body = findBodyBrace(code, close + 1);
+            if (body == static_cast<std::size_t>(-1))
+                continue;
+            std::size_t bclose = matchForward(code, body);
+            if (bclose >= code.size())
+                continue;
+            MethodInfo m;
+            m.name = code[i + 3].text;
+            m.line = code[i + 3].line;
+            m.body = slice(code, body + 1, bclose);
+            std::string backing = simpleAccessorBacking(m.body);
+            if (!backing.empty())
+                cls->second.accessorBacking[m.name] = backing;
+            cls->second.methods.push_back(std::move(m));
+            i = bclose;
+        }
+    }
+
+    // Phase 3: counters and reset coverage from the method bodies.
+    for (auto &[name, cls] : db) {
+        for (const auto &m : cls.methods) {
+            const auto &b = m.body;
+            for (std::size_t i = 0; i < b.size(); ++i) {
+                if (!isIdent(b[i]) || !cls.members.count(b[i].text))
+                    continue;
+                const std::string &mem = b[i].text;
+                bool pre_inc = i >= 2 && b[i - 1].text == "+" &&
+                               b[i - 2].text == "+";
+                // Direct: M += / M ++ ; subscript: M[...] += ;
+                // through-struct: M.field += / ++M.field (covered by
+                // pre_inc since M directly follows ++).
+                std::size_t after = i + 1;
+                if (after < b.size() && b[after].text == "[") {
+                    std::size_t close = matchForward(b, after);
+                    after = close < b.size() ? close + 1 : b.size();
+                } else if (after + 1 < b.size() &&
+                           b[after].text == "." &&
+                           isIdent(b[after + 1])) {
+                    after += 2;
+                }
+                bool post_inc =
+                    after + 1 < b.size() && b[after].text == "+" &&
+                    b[after + 1].text == "+";
+                bool compound =
+                    after + 1 < b.size() && b[after].text == "+" &&
+                    b[after + 1].text == "=";
+                if (pre_inc || post_inc || compound)
+                    cls.counters.insert(mem);
+            }
+        }
+        for (const auto &m : cls.methods) {
+            if (m.name.rfind("reset", 0) != 0)
+                continue;
+            for (std::size_t i = 0; i < m.body.size(); ++i)
+                if (isIdent(m.body[i]) &&
+                    cls.members.count(m.body[i].text))
+                    cls.resetMentioned.insert(m.body[i].text);
+        }
+    }
+    return db;
+}
+
+/** Counters of the pass, surfaced by --verbose. */
+struct StatResetSummary
+{
+    int factories = 0;
+    int recordsResolved = 0;
+    int recordsSkipped = 0;
+};
+
+namespace statreset_detail
+{
+
+/** A resolved backing member: class + member names. */
+struct Backing
+{
+    std::string cls;
+    std::string member;
+    std::string via; //!< human-readable access path for diagnostics
+};
+
+/**
+ * Resolve a record value expression to its backing member, if the
+ * expression is a single accessor step. `params` maps parameter names
+ * to class names; `locals` maps struct-ref locals to (param, accessor).
+ */
+inline bool
+resolveExpr(std::vector<CodeToken> expr, const ClassDb &db,
+            const std::map<std::string, std::string> &params,
+            const std::map<std::string, std::pair<std::string, std::string>>
+                &locals,
+            Backing &out)
+{
+    // Unwrap static_cast<...>( inner ).
+    while (expr.size() > 5 && expr[0].text == "static_cast") {
+        std::size_t open = 1;
+        while (open < expr.size() && expr[open].text != "(")
+            ++open;
+        if (open >= expr.size())
+            return false;
+        std::size_t close = matchForward(expr, open);
+        if (close + 1 != expr.size())
+            return false;
+        expr = slice(expr, open + 1, close);
+    }
+    if (expr.size() < 3 || !isIdent(expr[0]) || expr[1].text != "." ||
+        !isIdent(expr[2]))
+        return false;
+    const std::string &recv = expr[0].text;
+    const std::string &mem = expr[2].text;
+
+    // P.method(args...) — args must be the final balanced list.
+    if (expr.size() > 3 && expr[3].text == "(") {
+        std::size_t close = matchForward(expr, 3);
+        if (close + 1 != expr.size())
+            return false; // chained or arithmetic continuation
+        auto p = params.find(recv);
+        if (p == params.end())
+            return false; // method on a local: derived
+        auto cls = db.find(p->second);
+        if (cls == db.end())
+            return false;
+        auto acc = cls->second.accessorBacking.find(mem);
+        if (acc == cls->second.accessorBacking.end())
+            return false; // computed accessor: derived stat
+        out = {p->second, acc->second, recv + "." + mem + "()"};
+        return true;
+    }
+
+    // P.field — on a struct-ref local or directly on a parameter.
+    if (expr.size() != 3)
+        return false;
+    auto l = locals.find(recv);
+    if (l != locals.end()) {
+        auto p = params.find(l->second.first);
+        if (p == params.end())
+            return false;
+        auto cls = db.find(p->second);
+        if (cls == db.end())
+            return false;
+        auto acc = cls->second.accessorBacking.find(l->second.second);
+        if (acc == cls->second.accessorBacking.end())
+            return false;
+        out = {p->second, acc->second,
+               l->second.first + "." + l->second.second + "()." + mem};
+        return true;
+    }
+    auto p = params.find(recv);
+    if (p != params.end() && db.count(p->second)) {
+        out = {p->second, mem, recv + "." + mem};
+        return true;
+    }
+    return false;
+}
+
+/** Split a token range into top-level comma-separated chunks. */
+inline std::vector<std::vector<CodeToken>>
+splitTopLevel(const std::vector<CodeToken> &code, std::size_t begin,
+              std::size_t end)
+{
+    std::vector<std::vector<CodeToken>> out(1);
+    int paren = 0, brace = 0, bracket = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+        const std::string &t = code[i].text;
+        if (t == "(")
+            ++paren;
+        else if (t == ")")
+            --paren;
+        else if (t == "{")
+            ++brace;
+        else if (t == "}")
+            --brace;
+        else if (t == "[")
+            ++bracket;
+        else if (t == "]")
+            --bracket;
+        if (t == "," && paren == 0 && brace == 0 && bracket == 0) {
+            out.emplace_back();
+            continue;
+        }
+        out.back().push_back(code[i]);
+    }
+    return out;
+}
+
+} // namespace statreset_detail
+
+/**
+ * Run the stat-reset pass: find StatSet factories, resolve records,
+ * check reset coverage.
+ */
+inline void
+statResetPass(SourceTree &tree, const ClassDb &db,
+              StatResetSummary &summary)
+{
+    using namespace statreset_detail;
+
+    for (auto &f : tree.files) {
+        const auto &code = f.code;
+        // Find function definitions: Ident '(' ... ')' ... '{' with a
+        // type token directly before the name.
+        for (std::size_t i = 1; i + 1 < code.size(); ++i) {
+            if (!isIdent(code[i]) || code[i + 1].text != "(" ||
+                isKeywordCall(code[i].text))
+                continue;
+            const CodeToken &prev = code[i - 1];
+            if (!(isIdent(prev) || prev.text == ">" || prev.text == "*" ||
+                  prev.text == "&"))
+                continue;
+            if (isIdent(prev) && isKeywordCall(prev.text))
+                continue;
+            std::size_t close;
+            if (!parenSpan(code, i + 1, close))
+                continue;
+            std::size_t body = findBodyBrace(code, close + 1);
+            if (body == static_cast<std::size_t>(-1))
+                continue;
+            std::size_t bclose = matchForward(code, body);
+            if (bclose >= code.size())
+                continue;
+
+            // Parameters: name = last ident of each chunk, class = the
+            // ident directly before it (skipping & and *).
+            std::map<std::string, std::string> params;
+            for (const auto &chunk :
+                 splitTopLevel(code, i + 2, close)) {
+                if (chunk.size() < 2)
+                    continue;
+                std::size_t n = chunk.size();
+                if (!isIdent(chunk[n - 1]))
+                    continue;
+                std::size_t ty = n - 1;
+                while (ty > 0 && (chunk[ty - 1].text == "&" ||
+                                  chunk[ty - 1].text == "*"))
+                    --ty;
+                if (ty == 0 || !isIdent(chunk[ty - 1]))
+                    continue;
+                params[chunk[n - 1].text] = chunk[ty - 1].text;
+            }
+
+            // The factory anchor: a local `StatSet <var>(...)`.
+            std::string set_var, set_name;
+            int set_line = 0;
+            for (std::size_t k = body + 1; k + 2 < bclose; ++k) {
+                if (isIdent(code[k]) && code[k].text == "StatSet" &&
+                    isIdent(code[k + 1]) && code[k + 2].text == "(") {
+                    set_var = code[k + 1].text;
+                    set_line = code[k + 1].line;
+                    if (k + 3 < bclose &&
+                        code[k + 3].kind == TokKind::String) {
+                        const std::string &s = code[k + 3].text;
+                        if (s.size() >= 2)
+                            set_name = s.substr(1, s.size() - 2);
+                    }
+                    break;
+                }
+            }
+            if (set_var.empty()) {
+                i = body; // not a factory; keep scanning inside
+                continue;
+            }
+            ++summary.factories;
+            if (set_name.empty())
+                set_name = code[i].text; // fall back to function name
+
+            // Struct-ref locals: `<v> = <param> . <accessor> ( )`.
+            std::map<std::string, std::pair<std::string, std::string>>
+                locals;
+            for (std::size_t k = body + 1; k + 6 < bclose; ++k) {
+                if (isIdent(code[k]) && code[k + 1].text == "=" &&
+                    isIdent(code[k + 2]) && code[k + 3].text == "." &&
+                    isIdent(code[k + 4]) && code[k + 5].text == "(" &&
+                    code[k + 6].text == ")" &&
+                    params.count(code[k + 2].text)) {
+                    locals[code[k].text] = {code[k + 2].text,
+                                            code[k + 4].text};
+                }
+            }
+
+            // Records and resetter registration.
+            bool has_resetter = false;
+            int resolved_here = 0;
+            for (std::size_t k = body + 1; k + 2 < bclose; ++k) {
+                if (!isIdent(code[k]) || code[k].text != set_var ||
+                    code[k + 1].text != ".")
+                    continue;
+                const std::string &call = code[k + 2].text;
+                if (call == "addResetter") {
+                    has_resetter = true;
+                    continue;
+                }
+                if (call != "record" || k + 3 >= bclose ||
+                    code[k + 3].text != "(")
+                    continue;
+                std::size_t rclose = matchForward(code, k + 3);
+                if (rclose >= bclose)
+                    continue;
+                auto args = splitTopLevel(code, k + 4, rclose);
+                if (args.size() < 2 || args[0].size() != 1 ||
+                    args[0][0].kind != TokKind::String) {
+                    ++summary.recordsSkipped;
+                    continue;
+                }
+                const std::string &quoted = args[0][0].text;
+                std::string stat =
+                    quoted.size() >= 2
+                        ? quoted.substr(1, quoted.size() - 2)
+                        : quoted;
+                Backing backing;
+                if (!resolveExpr(args[1], db, params, locals,
+                                 backing)) {
+                    ++summary.recordsSkipped;
+                    continue;
+                }
+                ++summary.recordsResolved;
+                ++resolved_here;
+                const ClassInfo &cls = db.at(backing.cls);
+                bool counter = cls.counters.count(backing.member) != 0;
+                bool reset =
+                    cls.resetMentioned.count(backing.member) != 0;
+                if (counter && !reset) {
+                    tree.report(
+                        f, code[k].line, "stat-unreset",
+                        "stat '" + set_name + "." + stat + "' reads " +
+                            backing.cls + "::" + backing.member +
+                            " (via " + backing.via +
+                            "), a counter no reset method of " +
+                            backing.cls +
+                            " ever resets — resetAllStats() would "
+                            "keep a stale value (the batchReads_ bug "
+                            "class)");
+                }
+            }
+            if (resolved_here > 0 && !has_resetter) {
+                tree.report(
+                    f, set_line, "stat-no-resetter",
+                    "StatSet '" + set_name +
+                        "' records member-backed stats but never "
+                        "calls addResetter; resetAllStats() would "
+                        "skip this component entirely");
+            }
+            i = bclose; // continue after this function
+        }
+    }
+}
+
+} // namespace hopp::analysis

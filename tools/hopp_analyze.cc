@@ -1,0 +1,217 @@
+// hopp-lint: allow-file(*)
+/**
+ * @file
+ * hopp_analyze — cross-translation-unit static analyzer for the HoPP
+ * tree. Where hopp_lint checks one file at a time, this tool loads the
+ * whole source tree (tools/analysis/model.hh), lexes every file with
+ * the shared lexer, and runs passes that need the global view:
+ *
+ *   include_graph.hh  module layering against tools/analysis/layers.conf,
+ *                     rooted include paths, one guard style, and
+ *                     include-cycle detection
+ *   stat_reset.hh     stat-reset completeness: every registered stat
+ *                     backed by a counter member must be reset by its
+ *                     component's reset method, and every factory that
+ *                     records member-backed stats must addResetter
+ *
+ * Usage:
+ *   hopp_analyze [--layers FILE] [--verbose] ROOT...
+ *   hopp_analyze --self-test FIXTURE_DIR
+ *
+ * With no --layers, ROOT/layers.conf is used when present; otherwise
+ * the layering rules are skipped (rooted includes, guard style, cycles
+ * and the stat pass still run). --self-test treats each immediate
+ * subdirectory of FIXTURE_DIR as an independent tree and checks the
+ * emitted diagnostics against `hopp-analyze-expect(rule)` markers.
+ *
+ * Exit codes: 0 clean, 1 violations (or self-test mismatch), 2 usage /
+ * IO error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/include_graph.hh"
+#include "analysis/model.hh"
+#include "analysis/stat_reset.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace hopp::analysis;
+
+struct Options
+{
+    std::string layersFile;
+    bool selfTest = false;
+    bool verbose = false;
+    std::vector<std::string> roots;
+};
+
+/** Analyze one tree; returns its diagnostics, sorted. */
+std::vector<Diag>
+analyzeRoot(const fs::path &root, const std::string &layers_file,
+            bool verbose)
+{
+    SourceTree tree = loadTree(root);
+
+    fs::path conf = layers_file.empty() ? root / "layers.conf"
+                                        : fs::path(layers_file);
+    LayerConfig cfg = loadLayerConfig(conf);
+    if (!cfg.error.empty()) {
+        std::fprintf(stderr, "hopp_analyze: %s: %s\n",
+                     conf.string().c_str(), cfg.error.c_str());
+        std::exit(2);
+    }
+    if (verbose) {
+        std::fprintf(stderr,
+                     "hopp_analyze: %s: %zu files, layers.conf %s\n",
+                     root.string().c_str(), tree.files.size(),
+                     cfg.loaded ? "loaded" : "absent (layering skipped)");
+    }
+
+    includeGraphPass(tree, cfg);
+
+    ClassDb db = buildClassDb(tree);
+    StatResetSummary stats;
+    statResetPass(tree, db, stats);
+    if (verbose) {
+        std::fprintf(stderr,
+                     "hopp_analyze: %d stat factories, %d records "
+                     "resolved to members, %d skipped as derived\n",
+                     stats.factories, stats.recordsResolved,
+                     stats.recordsSkipped);
+    }
+
+    std::sort(tree.diags.begin(), tree.diags.end());
+    return tree.diags;
+}
+
+void
+printDiags(const std::vector<Diag> &diags, const std::string &prefix)
+{
+    for (const auto &d : diags)
+        std::printf("%s%s:%d: [%s] %s\n", prefix.c_str(),
+                    d.file.c_str(), d.line, d.rule.c_str(),
+                    d.message.c_str());
+}
+
+/**
+ * Self-test over fixture trees: each immediate subdirectory of
+ * `fixture_dir` is analyzed on its own (with its own layers.conf, when
+ * present) and the diagnostics must match the `hopp-analyze-expect`
+ * markers in its files, line by line and rule by rule.
+ */
+int
+runSelfTest(const fs::path &fixture_dir, bool verbose)
+{
+    if (!fs::is_directory(fixture_dir)) {
+        std::fprintf(stderr, "hopp_analyze: --self-test: %s is not a "
+                             "directory\n",
+                     fixture_dir.string().c_str());
+        return 2;
+    }
+    int expected = 0, emitted = 0, mismatches = 0;
+    std::vector<fs::path> subdirs;
+    for (const auto &entry : fs::directory_iterator(fixture_dir))
+        if (entry.is_directory())
+            subdirs.push_back(entry.path());
+    std::sort(subdirs.begin(), subdirs.end());
+
+    for (const auto &dir : subdirs) {
+        SourceTree tree = loadTree(dir);
+        std::set<std::pair<std::string, std::pair<int, std::string>>>
+            want;
+        for (const auto &f : tree.files)
+            for (const auto &[line, rule] : f.directives.expects)
+                want.insert({f.rel, {line, rule}});
+        expected += static_cast<int>(want.size());
+
+        auto diags = analyzeRoot(dir, "", verbose);
+        emitted += static_cast<int>(diags.size());
+        auto left = want;
+        for (const auto &d : diags) {
+            std::pair<std::string, std::pair<int, std::string>> key{
+                d.file, {d.line, d.rule}};
+            if (left.erase(key))
+                continue;
+            ++mismatches;
+            std::printf("SPURIOUS %s/%s:%d: [%s] %s\n",
+                        dir.filename().string().c_str(),
+                        d.file.c_str(), d.line, d.rule.c_str(),
+                        d.message.c_str());
+        }
+        for (const auto &[file, at] : left) {
+            ++mismatches;
+            std::printf("MISSING  %s/%s:%d: [%s] expected but not "
+                        "emitted\n",
+                        dir.filename().string().c_str(), file.c_str(),
+                        at.first, at.second.c_str());
+        }
+    }
+    std::printf("hopp_analyze self-test: %d expected, %d emitted, %d "
+                "mismatches\n",
+                expected, emitted, mismatches);
+    return mismatches == 0 ? 0 : 1;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: hopp_analyze [--layers FILE] [--verbose] "
+                 "ROOT...\n"
+                 "       hopp_analyze --self-test FIXTURE_DIR\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--layers" && i + 1 < argc) {
+            opt.layersFile = argv[++i];
+        } else if (arg == "--self-test") {
+            opt.selfTest = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage();
+        } else {
+            opt.roots.push_back(arg);
+        }
+    }
+    if (opt.roots.empty())
+        return usage();
+
+    if (opt.selfTest) {
+        if (opt.roots.size() != 1)
+            return usage();
+        return runSelfTest(opt.roots[0], opt.verbose);
+    }
+
+    int total = 0;
+    for (const auto &root : opt.roots) {
+        if (!fs::exists(root)) {
+            std::fprintf(stderr, "hopp_analyze: %s: no such path\n",
+                         root.c_str());
+            return 2;
+        }
+        auto diags = analyzeRoot(root, opt.layersFile, opt.verbose);
+        printDiags(diags, opt.roots.size() > 1 ? root + ": " : "");
+        total += static_cast<int>(diags.size());
+    }
+    if (total)
+        std::fprintf(stderr, "hopp_analyze: %d violation%s\n", total,
+                     total == 1 ? "" : "s");
+    return total == 0 ? 0 : 1;
+}

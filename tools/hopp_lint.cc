@@ -58,11 +58,21 @@
  *                   host parallelism is whole independent runs behind
  *                   runner::SweepPool's index-ordered API.
  *
+ * Since PR 6 the scanner is a thin driver over the shared token lexer
+ * in tools/analysis/ (also the base of hopp_analyze): rules match
+ * lexed tokens or comment-stripped, literal-blanked line text, so a
+ * `//` inside a raw string, an `allow(` inside a string literal, or a
+ * rule keyword in prose can no longer confuse them. The three
+ * historically noisiest rules (raw, unordered-iter, ptr-key) match
+ * token sequences directly and now see through multi-line declarations
+ * and for-headers.
+ *
  * Suppression:
  *   // hopp-lint: allow(<rule>[, <rule>...])    this or next line
  *   // hopp-lint: allow-file(<rule>)            whole file
  * with `*` accepted as a rule wildcard. Every allow should carry a
- * justification in the surrounding comment.
+ * justification in the surrounding comment. Directives are only read
+ * from comments.
  *
  * Usage:
  *   hopp_lint PATH...            lint files / directory trees
@@ -73,7 +83,8 @@
  */
 
 // The rule patterns below necessarily spell out the very tokens they
-// hunt for, so this file suppresses its own rules wholesale.
+// hunt for outside string literals too (token spellings in matchers),
+// so this file suppresses its own rules wholesale.
 // hopp-lint: allow-file(*)
 
 #include <algorithm>
@@ -82,14 +93,25 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "analysis/lexer.hh"
+#include "analysis/token_stream.hh"
 
 namespace fs = std::filesystem;
 
 namespace
 {
+
+using hopp::analysis::CodeToken;
+using hopp::analysis::TokKind;
+using hopp::analysis::Token;
+using hopp::analysis::TokenStream;
 
 struct Diagnostic
 {
@@ -114,44 +136,6 @@ isIdentChar(char c)
 {
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
-
-/**
- * Removes comment text line by line, tracking slash-star block
- * comments across lines. Rules scan stripped text so prose never trips
- * them; allow and expect directives are parsed from the raw line.
- */
-class CommentStripper
-{
-  public:
-    std::string
-    strip(const std::string &line)
-    {
-        std::string out;
-        std::size_t i = 0;
-        while (i < line.size()) {
-            if (inBlock_) {
-                std::size_t end = line.find("*/", i);
-                if (end == std::string::npos)
-                    return out;
-                inBlock_ = false;
-                i = end + 2;
-                continue;
-            }
-            if (line.compare(i, 2, "//") == 0)
-                return out;
-            if (line.compare(i, 2, "/*") == 0) {
-                inBlock_ = true;
-                i += 2;
-                continue;
-            }
-            out += line[i++];
-        }
-        return out;
-    }
-
-  private:
-    bool inBlock_ = false;
-};
 
 /**
  * Find `token` in `line` at a non-identifier boundary, optionally
@@ -199,31 +183,52 @@ parseRuleList(const std::string &line, std::size_t open_paren)
     return rules;
 }
 
-/** Allow directives found on one line. */
-struct AllowDirective
+/** Directives gathered from one file's comments. */
+struct Directives
 {
-    std::vector<std::string> lineRules; //!< allow(...) — this/next line
-    std::vector<std::string> fileRules; //!< allow-file(...)
+    std::map<int, std::vector<std::string>> lineAllows;
+    std::vector<std::string> fileAllows;
+    std::vector<std::pair<int, std::string>> expects;
 };
 
-AllowDirective
-parseAllows(const std::string &line)
+/**
+ * Parse allow / allow-file / expect directives from comment tokens.
+ * Multi-line block comments attribute each directive to the physical
+ * line it sits on.
+ */
+Directives
+parseDirectives(const std::vector<Token> &comments)
 {
-    AllowDirective d;
-    std::size_t pos = line.find("hopp-lint:");
-    while (pos != std::string::npos) {
-        std::size_t after = pos + std::strlen("hopp-lint:");
-        std::size_t file_kw = line.find("allow-file(", after);
-        std::size_t line_kw = line.find("allow(", after);
-        if (file_kw != std::string::npos) {
-            auto rs = parseRuleList(line, file_kw +
-                                              std::strlen("allow-file"));
-            d.fileRules.insert(d.fileRules.end(), rs.begin(), rs.end());
-        } else if (line_kw != std::string::npos) {
-            auto rs = parseRuleList(line, line_kw + std::strlen("allow"));
-            d.lineRules.insert(d.lineRules.end(), rs.begin(), rs.end());
+    Directives d;
+    for (const auto &tok : comments) {
+        std::istringstream in(tok.text);
+        int lineno = tok.line;
+        for (std::string line; std::getline(in, line); ++lineno) {
+            std::size_t pos = line.find("hopp-lint:");
+            while (pos != std::string::npos) {
+                std::size_t after = pos + std::strlen("hopp-lint:");
+                std::size_t file_kw = line.find("allow-file(", after);
+                std::size_t line_kw = line.find("allow(", after);
+                if (file_kw != std::string::npos) {
+                    auto rs = parseRuleList(
+                        line, file_kw + std::strlen("allow-file"));
+                    d.fileAllows.insert(d.fileAllows.end(), rs.begin(),
+                                        rs.end());
+                } else if (line_kw != std::string::npos) {
+                    auto rs = parseRuleList(
+                        line, line_kw + std::strlen("allow"));
+                    auto &dst = d.lineAllows[lineno];
+                    dst.insert(dst.end(), rs.begin(), rs.end());
+                }
+                pos = line.find("hopp-lint:", after);
+            }
+            std::size_t expect = line.find("hopp-lint-expect(");
+            if (expect != std::string::npos) {
+                for (const auto &rule : parseRuleList(
+                         line, expect + std::strlen("hopp-lint-expect")))
+                    d.expects.emplace_back(lineno, rule);
+            }
         }
-        pos = line.find("hopp-lint:", after);
     }
     return d;
 }
@@ -238,91 +243,115 @@ listCovers(const std::vector<std::string> &rules, const std::string &rule)
 }
 
 /**
- * Names of variables/members declared as unordered containers in this
- * file. Single-line declarations only — a documented limitation that
- * covers the style used throughout this tree.
+ * Names declared as unordered containers in a code-token stream.
+ * Token-based: multi-line declarations are seen whole.
  */
 void
-recordUnorderedDecls(const std::string &line,
+recordUnorderedDecls(const std::vector<CodeToken> &code,
                      std::vector<std::string> &names)
 {
-    for (const char *kw : {"unordered_map<", "unordered_set<"}) {
-        std::size_t pos = line.find(kw);
-        if (pos == std::string::npos)
+    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+        if (code[i].kind != TokKind::Ident ||
+            (code[i].text != "unordered_map" &&
+             code[i].text != "unordered_set"))
+            continue;
+        if (code[i + 1].text != "<")
             continue;
         // Walk to the matching '>' of the template argument list.
-        std::size_t i = pos + std::strlen(kw);
-        int depth = 1;
-        while (i < line.size() && depth > 0) {
-            if (line[i] == '<')
+        std::size_t j = i + 1;
+        int depth = 0;
+        for (; j < code.size(); ++j) {
+            if (code[j].text == "<")
                 ++depth;
-            else if (line[i] == '>')
-                --depth;
-            ++i;
-        }
-        if (depth != 0)
-            continue;
-        // The declared name is the next identifier (skip &, *, spaces).
-        while (i < line.size() && !isIdentChar(line[i])) {
-            if (line[i] == ';' || line[i] == '(' || line[i] == ')')
+            else if (code[j].text == ">" && --depth == 0)
                 break;
-            ++i;
         }
+        if (j >= code.size())
+            continue;
+        // The declared name is the next identifier (skip &, *); stop at
+        // statement punctuation, which means this was a type mention,
+        // not a declaration.
         std::string name;
-        while (i < line.size() && isIdentChar(line[i]))
-            name += line[i++];
+        for (++j; j < code.size(); ++j) {
+            const std::string &t = code[j].text;
+            if (code[j].kind == TokKind::Ident) {
+                name = t;
+                break;
+            }
+            if (t != "&" && t != "*")
+                break;
+        }
         if (!name.empty())
             names.push_back(name);
     }
 }
 
-/** True when `line` iterates over one of the recorded unordered names. */
-const std::string *
-findUnorderedIteration(const std::string &line,
-                       const std::vector<std::string> &names)
+/**
+ * Token-based for-header scan: flag any use of a recorded unordered
+ * container name inside a `for (...)` header (range-for sequence or
+ * iterator begin()/end() calls alike).
+ */
+void
+findUnorderedIterations(
+    const std::vector<CodeToken> &code,
+    const std::vector<std::string> &names,
+    const std::function<void(int, const std::string &)> &flag)
 {
-    std::size_t for_pos = line.find("for ");
-    if (for_pos == std::string::npos)
-        for_pos = line.find("for(");
-    if (for_pos == std::string::npos)
-        return nullptr;
-    // Range-for: the sequence expression after ':'; iterator-for: any
-    // name.begin() use. Either way a mention of the container inside
-    // the for header is what we flag.
-    for (const auto &name : names) {
-        if (hasToken(line.substr(for_pos), name.c_str(), false))
-            return &name;
+    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+        if (code[i].kind != TokKind::Ident || code[i].text != "for" ||
+            code[i + 1].text != "(")
+            continue;
+        std::size_t close = hopp::analysis::matchForward(code, i + 1);
+        for (std::size_t j = i + 2; j < close && j < code.size(); ++j) {
+            if (code[j].kind != TokKind::Ident)
+                continue;
+            for (const auto &name : names) {
+                if (code[j].text == name) {
+                    flag(code[i].line, name);
+                    j = close; // one diagnostic per for-header
+                    break;
+                }
+            }
+        }
     }
-    return nullptr;
 }
 
-/** True when a std::map/std::set on this line has a pointer key. */
-bool
-hasPointerKeyedOrdered(const std::string &line)
+/**
+ * Token-based pointer-key scan: std::map< K or std::set< K where the
+ * first template argument contains a '*' at template depth 1.
+ */
+void
+findPointerKeyedOrdered(const std::vector<CodeToken> &code,
+                        const std::function<void(int)> &flag)
 {
-    for (const char *kw : {"std::map<", "std::set<"}) {
-        std::size_t pos = line.find(kw);
-        if (pos == std::string::npos)
+    for (std::size_t i = 0; i + 3 < code.size(); ++i) {
+        if (code[i].kind != TokKind::Ident || code[i].text != "std")
             continue;
-        // First template argument: up to ',' or '>' at depth 0.
-        std::size_t i = pos + std::strlen(kw);
+        if (code[i + 1].text != ":" || code[i + 2].text != ":")
+            continue;
+        const std::string &container = code[i + 3].text;
+        if (container != "map" && container != "set")
+            continue;
+        if (i + 4 >= code.size() || code[i + 4].text != "<")
+            continue;
         int depth = 0;
-        std::string key;
-        while (i < line.size()) {
-            char c = line[i];
-            if (c == '<')
+        for (std::size_t j = i + 4; j < code.size(); ++j) {
+            const std::string &t = code[j].text;
+            if (t == "<") {
                 ++depth;
-            else if (c == '>' && depth > 0)
-                --depth;
-            else if ((c == ',' || c == '>') && depth == 0)
+            } else if (t == ">") {
+                if (--depth == 0)
+                    break;
+            } else if (depth == 1 && t == ",") {
+                break; // end of the key argument
+            } else if (depth >= 1 && t == "*") {
+                flag(code[i].line);
                 break;
-            key += c;
-            ++i;
+            } else if (t == ";" || t == "{") {
+                break; // not a template argument list after all
+            }
         }
-        if (key.find('*') != std::string::npos)
-            return true;
     }
-    return false;
 }
 
 /** Lowercased word-split of an identifier (camelCase and snake_case). */
@@ -429,30 +458,43 @@ struct FileScan
 };
 
 bool
-readLines(const fs::path &path, std::vector<std::string> &lines)
+readFile(const fs::path &path, std::string &out)
 {
     std::ifstream in(path);
     if (!in)
         return false;
-    for (std::string line; std::getline(in, line);)
-        lines.push_back(line);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
     return true;
 }
 
 void
 scanFile(const fs::path &path, FileScan &out)
 {
-    std::vector<std::string> lines;
-    if (!readLines(path, lines)) {
+    std::string src;
+    if (!readFile(path, src)) {
         std::fprintf(stderr, "hopp_lint: cannot open %s\n",
                      path.c_str());
         return;
     }
 
+    TokenStream ts(src);
+    const std::vector<std::string> code_lines = ts.strippedLines();
+    const std::vector<CodeToken> code = ts.code();
+    const Directives dirs = parseDirectives(ts.comments());
+
+    // Raw lines: the allow-window logic must see comment-only lines as
+    // occupied, so it walks the original text, not the stripped text.
+    std::vector<std::string> raw_lines;
+    {
+        std::istringstream in(src);
+        for (std::string line; std::getline(in, line);)
+            raw_lines.push_back(line);
+    }
+
     std::vector<std::string> unordered_names;
 
-    // Members declared in the class header are iterated from the .cc:
-    // preload sibling-header declarations so those loops are seen too.
     auto ext = path.extension().string();
     bool is_header = ext == ".hh" || ext == ".hpp";
     std::string generic = path.generic_string();
@@ -468,41 +510,33 @@ scanFile(const fs::path &path, FileScan &out)
         generic.size() >= std::strlen("common/types.hh") &&
         generic.compare(generic.size() - std::strlen("common/types.hh"),
                         std::string::npos, "common/types.hh") == 0;
+
+    // Members declared in the class header are iterated from the .cc:
+    // preload sibling-header declarations so those loops are seen too.
     if (ext == ".cc" || ext == ".cpp") {
         for (const char *hdr_ext : {".hh", ".hpp"}) {
             fs::path hdr = path;
             hdr.replace_extension(hdr_ext);
-            std::vector<std::string> hdr_lines;
-            if (!readLines(hdr, hdr_lines))
+            std::string hdr_src;
+            if (!readFile(hdr, hdr_src))
                 continue;
-            CommentStripper hdr_strip;
-            for (const auto &line : hdr_lines)
-                recordUnorderedDecls(hdr_strip.strip(line),
-                                     unordered_names);
+            recordUnorderedDecls(TokenStream(hdr_src).code(),
+                                 unordered_names);
             break;
         }
     }
+    recordUnorderedDecls(code, unordered_names);
 
-    // Pass 1: stripped code for declarations, raw text for directives.
-    std::vector<std::string> code(lines.size());
-    {
-        CommentStripper stripper;
-        for (std::size_t n = 0; n < lines.size(); ++n)
-            code[n] = stripper.strip(lines[n]);
-    }
-    std::vector<std::string> file_allows;
-    for (std::size_t n = 0; n < lines.size(); ++n) {
-        auto d = parseAllows(lines[n]);
-        file_allows.insert(file_allows.end(), d.fileRules.begin(),
-                           d.fileRules.end());
-        recordUnorderedDecls(code[n], unordered_names);
-    }
+    auto lineAllowed = [&](int lineno, const char *rule) {
+        auto it = dirs.lineAllows.find(lineno);
+        return it != dirs.lineAllows.end() &&
+               listCovers(it->second, rule);
+    };
 
     auto emit = [&](int lineno, const char *rule, std::string msg) {
-        const std::string &line = lines[lineno - 1];
-        if (listCovers(file_allows, rule))
+        if (listCovers(dirs.fileAllows, rule))
             return;
-        if (listCovers(parseAllows(line).lineRules, rule))
+        if (lineAllowed(lineno, rule))
             return;
         // An allow on an earlier line covers this one as long as no
         // completed statement (';', '{', '}') or blank line intervenes
@@ -510,12 +544,17 @@ scanFile(const fs::path &path, FileScan &out)
         // continuation line. Bounded walk; statements wrap a few lines.
         for (int n = lineno - 1, steps = 0; n >= 1 && steps < 8;
              --n, ++steps) {
-            const std::string &prev_raw = lines[n - 1];
+            if (static_cast<std::size_t>(n) > raw_lines.size())
+                break;
+            const std::string &prev_raw = raw_lines[n - 1];
             if (prev_raw.find_first_not_of(" \t") == std::string::npos)
                 break;
-            if (listCovers(parseAllows(prev_raw).lineRules, rule))
+            if (lineAllowed(n, rule))
                 return;
-            std::string trimmed = code[n - 1];
+            std::string trimmed = static_cast<std::size_t>(n) <=
+                                          code_lines.size()
+                                      ? code_lines[n - 1]
+                                      : std::string();
             while (!trimmed.empty() &&
                    (trimmed.back() == ' ' || trimmed.back() == '\t'))
                 trimmed.pop_back();
@@ -528,17 +567,40 @@ scanFile(const fs::path &path, FileScan &out)
             {path.string(), lineno, rule, std::move(msg)});
     };
 
-    for (std::size_t n = 0; n < lines.size(); ++n) {
-        const std::string &raw = lines[n];
-        const std::string &line = code[n];
-        int lineno = static_cast<int>(n + 1);
+    for (const auto &[lineno, rule] : dirs.expects)
+        out.expected.push_back({path.string(), lineno, rule, ""});
 
-        std::size_t expect = raw.find("hopp-lint-expect(");
-        if (expect != std::string::npos) {
-            for (const auto &rule : parseRuleList(
-                     raw, expect + std::strlen("hopp-lint-expect")))
-                out.expected.push_back({path.string(), lineno, rule, ""});
+    // --- Token-sequence rules (multi-line aware) ---------------------
+
+    findUnorderedIterations(
+        code, unordered_names, [&](int lineno, const std::string &name) {
+            emit(lineno, "unordered-iter",
+                 "iteration over unordered container '" + name +
+                     "' has unspecified order; sort keys first or "
+                     "justify order-insensitivity with an allow comment");
+        });
+
+    findPointerKeyedOrdered(code, [&](int lineno) {
+        emit(lineno, "ptr-key",
+             "std::map/std::set keyed by a pointer iterates in "
+             "allocation-address order, which ASLR randomises");
+    });
+
+    for (std::size_t i = 0; i + 2 < code.size(); ++i) {
+        if (code[i].text == "." && code[i + 1].kind == TokKind::Ident &&
+            code[i + 1].text == "raw" && code[i + 2].text == "(") {
+            emit(code[i].line, "raw",
+                 ".raw() unwraps a tagged type; confine it to "
+                 "serialization/stats boundaries and justify with "
+                 "hopp-lint: allow(raw)");
         }
+    }
+
+    // --- Line rules over comment-stripped, literal-blanked text ------
+
+    for (std::size_t n = 0; n < code_lines.size(); ++n) {
+        const std::string &line = code_lines[n];
+        int lineno = static_cast<int>(n + 1);
 
         for (const char *tok :
              {"rand", "srand", "rand_r", "random", "srandom", "drand48"}) {
@@ -578,20 +640,6 @@ scanFile(const fs::path &path, FileScan &out)
             }
         }
 
-        if (const std::string *name =
-                findUnorderedIteration(line, unordered_names)) {
-            emit(lineno, "unordered-iter",
-                 "iteration over unordered container '" + *name +
-                     "' has unspecified order; sort keys first or "
-                     "justify order-insensitivity with an allow comment");
-        }
-
-        if (hasPointerKeyedOrdered(line)) {
-            emit(lineno, "ptr-key",
-                 "std::map/std::set keyed by a pointer iterates in "
-                 "allocation-address order, which ASLR randomises");
-        }
-
         if (is_header) {
             std::string ident;
             if (findRawIntAddr(line, ident)) {
@@ -607,13 +655,6 @@ scanFile(const fs::path &path, FileScan &out)
                  "manual pageShift arithmetic outside common/types.hh; "
                  "use pageOf()/pageBase() so page geometry stays "
                  "centralized");
-        }
-
-        if (line.find(".raw(") != std::string::npos) {
-            emit(lineno, "raw",
-                 ".raw() unwraps a tagged type; confine it to "
-                 "serialization/stats boundaries and justify with "
-                 "hopp-lint: allow(raw)");
         }
 
         if (in_obs && hasToken(line, "chrono", false)) {
