@@ -129,6 +129,8 @@ class FlatU64Map
                 ++live;
         }
         removed = size_ - live;
+        // One table rebuild per prune sweep, amortized over the whole
+        // sweep's erasures. hopp-analyze: allow(hotpath-alloc)
         slots_.assign(slotsFor(live), Slot{});
         mask_ = slots_.empty() ? 0 : slots_.size() - 1;
         size_ = 0;
@@ -186,6 +188,9 @@ class FlatU64Map
     rehash(std::size_t new_slots)
     {
         std::vector<Slot> old = std::move(slots_);
+        // Geometric growth: the table reaches its high-water size in
+        // O(log n) rehashes, then steady state never reallocates.
+        // hopp-analyze: allow(hotpath-alloc)
         slots_.assign(new_slots, Slot{});
         mask_ = new_slots - 1;
         size_ = 0;

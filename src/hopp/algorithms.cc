@@ -61,6 +61,10 @@ runLsp(const StreamView &view)
         return std::nullopt;
     std::int64_t pt0 = s[n - 2];
     std::int64_t pt1 = s[n - 1];
+    // Trainer-side scratch, bounded by the per-page history length and
+    // live only for this software-plane training call — never on the
+    // simulated memory-access fast path.
+    // hopp-analyze: allow-file(hotpath-alloc)
     std::vector<std::int64_t> next_stride;
     std::vector<std::int64_t> stride_sum;
     // The VPN ending the most recent pattern occurrence; v has n+1

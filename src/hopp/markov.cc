@@ -89,6 +89,9 @@ MarkovTable::predict(Pid pid, Vpn vpn, unsigned depth)
 {
     if (depth == 0)
         depth = cfg_.chainDepth;
+    // Prediction list bounded by slots + chainDepth, built once per
+    // hot-page event on the software plane, returned to the caller.
+    // hopp-analyze: allow-file(hotpath-alloc)
     std::vector<Vpn> out;
     // Runner-up of the first hop, if it is also confident.
     if (Entry *e = table_.peek(vm::pageKey(pid, vpn))) {

@@ -28,6 +28,9 @@ Llc::invalidatePage(Ppn ppn)
     // Frame number as dense per-frame vector index. hopp-lint: allow(raw)
     std::uint64_t frame = ppn.raw();
     if (frame >= epochs_.size())
+        // Dense per-frame epoch vector grows monotonically to the peak
+        // frame index, then never again: a handful of reallocations
+        // early in a run. hopp-analyze: allow(hotpath-alloc)
         epochs_.resize(frame + 1, 0);
     ++epochs_[frame];
 }

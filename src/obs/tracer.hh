@@ -84,8 +84,19 @@ struct TraceEvent
 class Tracer
 {
   public:
-    /** Turn recording on (or off). Off is the constructed state. */
-    void enable(bool on = true) { enabled_ = on; }
+    /**
+     * Turn recording on (or off). Off is the constructed state. The
+     * first enable reserves the event buffer up front so steady-state
+     * recording does not allocate on the simulator hot path; growth
+     * past the reservation is amortized doubling.
+     */
+    void
+    enable(bool on = true)
+    {
+        enabled_ = on;
+        if (on && events_.capacity() == 0)
+            events_.reserve(initialCapacity);
+    }
 
     /** True while recording. */
     bool enabled() const { return enabled_; }
@@ -185,6 +196,10 @@ class Tracer
     void clear() { events_.clear(); }
 
   private:
+    /// First-enable reservation: steady runs stay within it, so the
+    /// per-event push below never reallocates on the hot path.
+    static constexpr std::size_t initialCapacity = 4096;
+
     void
     push(char ph, const char *cat, const char *name, Tick ts,
          Duration dur, std::uint64_t value, std::uint32_t tid)

@@ -71,6 +71,11 @@ class Cgroup
     lruInsert(std::uint64_t key, PageInfo &pi)
     {
         hopp_assert(!pi.inLru, "page already on an LRU list");
+        // std::list node per first-touch insert: PageInfo stores the
+        // iterator, so node pointer stability is load-bearing (splice
+        // rotation relies on it); an intrusive list is the known
+        // allocation-free alternative and is deliberately out of
+        // scope. hopp-analyze: allow(hotpath-alloc)
         lru_.push_front(key);
         pi.lruIt = lru_.begin();
         pi.inLru = true;

@@ -75,9 +75,15 @@ class PageTable
     {
         Directory &dir = directoryOf(pid);
         std::uint64_t di = dirIndex(vpn);
+        // Lazy first-touch radix growth: a directory slot and its leaf
+        // are allocated exactly once per address-space region, leaf
+        // pointers are pinned thereafter, and steady state is
+        // allocation-free (the PR-5 radix design).
         if (di >= dir.leaves.size())
+            // hopp-analyze: allow(hotpath-alloc)
             dir.leaves.resize(di + 1);
         if (!dir.leaves[di])
+            // hopp-analyze: allow(hotpath-alloc)
             dir.leaves[di] = std::make_unique<Leaf>();
         Leaf &leaf = *dir.leaves[di];
         std::uint64_t slot = slotIndex(vpn);
@@ -265,6 +271,8 @@ class PageTable
     {
         std::uint16_t p = pid.raw(); // dense directory index. hopp-lint: allow(raw)
         if (p >= dirs_.size())
+            // Grows once per new pid (process creation), never on a
+            // steady-state walk. hopp-analyze: allow(hotpath-alloc)
             dirs_.resize(p + 1);
         return dirs_[p];
     }

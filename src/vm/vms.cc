@@ -11,6 +11,7 @@ Vms::Vms(sim::EventQueue &eq, mem::Dram &dram, mem::MemCtrl &mc,
          mem::Llc &llc, remote::SwapBackend &backend, const VmsConfig &cfg)
     : eq_(eq), dram_(dram), mc_(mc), llc_(llc), backend_(backend), cfg_(cfg)
 {
+    bundleScratch_.reserve(64);
 }
 
 void
@@ -564,31 +565,33 @@ unsigned
 Vms::prefetchInjectBatch(Pid pid, Vpn vpn, unsigned count,
                          Origin origin, Tick now)
 {
-    // Collect the bundle: consecutive pages that are fetchable now.
-    std::vector<Vpn> bundle;
+    // Collect the bundle into the reused scratch buffer (reserved in
+    // the ctor): consecutive pages that are fetchable now. Only the
+    // async completion below copies it, once per batch transfer.
+    bundleScratch_.clear();
     for (unsigned i = 0; i < count; ++i) {
         if (prefetchable(pid, vpn + i))
-            bundle.push_back(vpn + i);
+            bundleScratch_.push_back(vpn + i);
     }
-    if (bundle.empty())
+    if (bundleScratch_.empty())
         return 0;
-    for (Vpn v : bundle) {
+    for (Vpn v : bundleScratch_) {
         PageInfo &pi = table_.get(pid, v);
         pi.inflight = true;
         pi.injectOnArrival = true;
         pi.origin = origin;
     }
-    inflight_ += bundle.size();
+    inflight_ += bundleScratch_.size();
     // One transfer for the whole bundle: a single base latency, with
     // serialization proportional to the bundle size.
     Tick issue = std::max(now, eq_.now());
     Tick completion = backend_.readBatchAsync(
-        bundle.size(), issue,
-        [this, pid, bundle](Tick t) {
+        bundleScratch_.size(), issue,
+        [this, pid, bundle = bundleScratch_](Tick t) {
             for (Vpn v : bundle)
                 finishPrefetch(pid, v, t);
         });
-    for (Vpn v : bundle)
+    for (Vpn v : bundleScratch_)
         table_.get(pid, v).completesAt = completion;
     if (trace_) {
         // One span covers the whole bundle (one RDMA transfer).
@@ -596,7 +599,7 @@ Vms::prefetchInjectBatch(Pid pid, Vpn vpn, unsigned count,
         trace_->asyncBegin("vm", "prefetch.batch", issue, id);
         trace_->asyncEnd("vm", "prefetch.batch", completion, id);
     }
-    return static_cast<unsigned>(bundle.size());
+    return static_cast<unsigned>(bundleScratch_.size());
 }
 
 void

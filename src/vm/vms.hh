@@ -368,6 +368,9 @@ class Vms
     obs::Tracer *trace_ = nullptr;
     std::uint64_t swapCachedPages_ = 0; //!< live SwapCached count
     std::uint64_t inflight_ = 0;        //!< live in-flight prefetches
+    /// Reused by prefetchInjectBatch so batch assembly on the drain
+    /// path does not allocate per call (reserved in the ctor).
+    std::vector<Vpn> bundleScratch_;
 };
 
 } // namespace hopp::vm

@@ -1,0 +1,40 @@
+// Seeded violations for the hot-path allocation pass: the root
+// Engine::step reaches one direct allocation and one transitive
+// container growth through Buffer::grow.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace fixture
+{
+
+class Buffer
+{
+  public:
+    void
+    grow(int v)
+    {
+        data_.push_back(v); // hopp-analyze-expect(hotpath-alloc)
+    }
+
+  private:
+    std::vector<int> data_;
+};
+
+class Engine
+{
+  public:
+    void
+    step()
+    {
+        buf_.grow(1);
+        spare_ = std::make_unique<Buffer>(); // hopp-analyze-expect(hotpath-alloc)
+    }
+
+  private:
+    Buffer buf_;
+    std::unique_ptr<Buffer> spare_;
+};
+
+} // namespace fixture

@@ -1,0 +1,68 @@
+// Clean hot-path fixture: growth excused by reserve() (ctor for the
+// member, same body for the local), a placement new into existing
+// storage, and one justified suppression.
+#pragma once
+
+#include <new>
+#include <vector>
+
+namespace fixture
+{
+
+class Pool
+{
+  public:
+    Pool() { slab_.reserve(64); }
+
+    void
+    put(int v)
+    {
+        // Within the ctor's reservation in steady state.
+        slab_.push_back(v);
+    }
+
+    int
+    take()
+    {
+        int v = slab_.back();
+        slab_.pop_back();
+        return v;
+    }
+
+    void
+    fill(int n)
+    {
+        std::vector<int> tmp;
+        tmp.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i)
+            tmp.push_back(i);
+        total_ += static_cast<int>(tmp.size());
+    }
+
+  private:
+    std::vector<int> slab_;
+    int total_ = 0;
+};
+
+class Engine
+{
+  public:
+    void
+    step()
+    {
+        pool_.put(1);
+        pool_.fill(4);
+        // Placement new constructs into existing storage.
+        new (buf_) int(pool_.take());
+        // Bounded debug ring, capped by the caller; growth accepted.
+        // hopp-analyze: allow(hotpath-alloc)
+        scratch_.push_back(pool_.take());
+    }
+
+  private:
+    alignas(int) unsigned char buf_[sizeof(int)];
+    Pool pool_;
+    std::vector<int> scratch_;
+};
+
+} // namespace fixture

@@ -177,6 +177,79 @@ TEST(Lexer, UnterminatedLiteralStillRoundTrips)
     EXPECT_EQ(reassemble(lex(block)), block);
 }
 
+TEST(Lexer, SpaceshipLexesAsThreePuncts)
+{
+    // Punct tokens are single characters by design; <=> must arrive
+    // as "<", "=", ">" in order, never swallow a neighbor, and still
+    // round-trip.
+    std::string src = "auto c = a <=> b;";
+    EXPECT_EQ(reassemble(lex(src)), src);
+    std::vector<std::string> puncts;
+    for (const auto &t : lex(src))
+        if (t.kind == TokKind::Punct)
+            puncts.push_back(t.text);
+    ASSERT_EQ(puncts.size(), 5u); // '=' then '<' '=' '>' ';'
+    EXPECT_EQ(puncts[1], "<");
+    EXPECT_EQ(puncts[2], "=");
+    EXPECT_EQ(puncts[3], ">");
+}
+
+TEST(Lexer, UserDefinedLiteralSuffixes)
+{
+    // A numeric UDL is one pp-number (the suffix is part of the
+    // pp-number grammar); a string UDL is a String followed by an
+    // Ident suffix token.
+    std::string src = "auto d = 12.5_km; auto s = \"abc\"_sv;";
+    EXPECT_EQ(reassemble(lex(src)), src);
+    auto nums = tokensOf(src, TokKind::Number);
+    ASSERT_EQ(nums.size(), 1u);
+    EXPECT_EQ(nums[0].text, "12.5_km");
+    auto strings = tokensOf(src, TokKind::String);
+    ASSERT_EQ(strings.size(), 1u);
+    EXPECT_EQ(strings[0].text, "\"abc\"");
+    bool saw_suffix = false;
+    for (const auto &t : tokensOf(src, TokKind::Ident))
+        saw_suffix = saw_suffix || t.text == "_sv";
+    EXPECT_TRUE(saw_suffix);
+}
+
+TEST(Lexer, AdjacentStringLiteralsStaySeparate)
+{
+    // Translation-phase-6 concatenation happens after lexing: the
+    // lexer must produce one String token per literal, comments
+    // between them included.
+    std::string src = "auto s = \"one\" \"two\" /* glue */ \"three\";";
+    EXPECT_EQ(reassemble(lex(src)), src);
+    auto strings = tokensOf(src, TokKind::String);
+    ASSERT_EQ(strings.size(), 3u);
+    EXPECT_EQ(strings[0].text, "\"one\"");
+    EXPECT_EQ(strings[1].text, "\"two\"");
+    EXPECT_EQ(strings[2].text, "\"three\"");
+    ASSERT_EQ(tokensOf(src, TokKind::Comment).size(), 1u);
+}
+
+TEST(Lexer, OperatorCallDefinition)
+{
+    // operator() definitions: 'operator' is an Ident, the two paren
+    // pairs are separate Punct tokens, and matchForward pairs the
+    // empty operator parens without sliding into the parameter list.
+    std::string src = "int operator()(int v) const { return v; }";
+    EXPECT_EQ(reassemble(lex(src)), src);
+    TokenStream ts(src);
+    auto code = ts.code();
+    std::size_t op = 0;
+    for (std::size_t i = 0; i < code.size(); ++i)
+        if (code[i].text == "operator")
+            op = i;
+    ASSERT_GT(op, 0u);
+    ASSERT_EQ(code[op + 1].text, "(");
+    EXPECT_EQ(matchForward(code, op + 1), op + 2); // '()' pairs itself
+    ASSERT_EQ(code[op + 3].text, "(");
+    std::size_t close = matchForward(code, op + 3);
+    EXPECT_EQ(code[close].text, ")");
+    EXPECT_EQ(code[close + 1].text, "const");
+}
+
 TEST(TokenStream, CodeViewDropsCommentsKeepsLiterals)
 {
     TokenStream ts("int a = 1; // note\nauto s = \"text\";\n");
@@ -231,6 +304,10 @@ TEST(Lexer, RandomizedRoundTrip)
         "f(g(h(1, 2), \"x\"), 'y');\n",
         "\t \n",
         "u8\"utf\" L\"wide\";\n",
+        "auto cmp = a <=> b;\n",
+        "auto w = 9.81_mps2; auto t = \"txt\"_sv;\n",
+        "auto j = \"ab\" \"cd\" \"ef\";\n",
+        "int operator()(int v) const { return v; }\n",
     };
     const std::size_t n = sizeof(fragments) / sizeof(fragments[0]);
 

@@ -1,0 +1,599 @@
+/**
+ * @file
+ * Conservative cross-TU call graph over the symbol index.
+ *
+ * Nodes are every function *definition* the index knows: class methods
+ * (inline and out-of-line) and free functions. Edges are call sites
+ * resolved by token patterns:
+ *
+ *   - bare calls `f(...)`: same-class method first, then a free
+ *     function overload set narrowed by argument count;
+ *   - member calls `recv.m(...)` / `recv->m(...)`: the receiver's
+ *     declared type is looked up through a per-function type
+ *     environment (parameters, locals — including range-for variables
+ *     typed from the iterated container's element type — then the
+ *     enclosing class's members), `using` aliases are chased, and
+ *     smart-pointer receivers dereference to their element type;
+ *   - qualified calls `Cls::m(...)` and namespace-qualified free
+ *     calls;
+ *   - `recv[...]` on a class-typed receiver whose class defines
+ *     `operator[]` (project containers like FlatU64Map grow inside
+ *     it).
+ *
+ * The honest-conservatism contract: anything the resolver cannot
+ * prove a target for is *counted*, per function, with the call text
+ * kept for --verbose — virtual calls through bodiless declarations,
+ * callbacks through `std::function` members, receivers of unknown
+ * type, chained calls. Reachability consumers (the hotpath pass) must
+ * surface these counts next to their findings so "no diagnostic"
+ * can never silently mean "couldn't see the call". Calls into std/
+ * external types are deliberately *not* edges (their bodies are not
+ * in the tree); the hotpath pass catches the dangerous ones by token
+ * pattern at the call site instead.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/model.hh"
+#include "analysis/symbols.hh"
+
+namespace hopp::analysis
+{
+
+/** Resolved declared type of a variable: base + element for templates. */
+struct TypeInfo
+{
+    std::string base;
+    std::string elem;
+};
+
+/** One call-graph node: a function definition somewhere in the tree. */
+struct CallNode
+{
+    std::string cls; //!< enclosing class; "" for a free function
+    std::string name;
+    int arity = 0;
+    int line = 0;
+    std::string file;
+    const std::vector<CodeToken> *body = nullptr;
+    const std::vector<std::pair<std::string, std::string>> *params =
+        nullptr;
+
+    std::string
+    qual() const
+    {
+        return cls.empty() ? name : cls + "::" + name;
+    }
+};
+
+namespace callgraph_detail
+{
+
+using namespace symbol_detail;
+
+inline const std::set<std::string> &
+containerBases()
+{
+    static const std::set<std::string> s = {
+        "vector", "string", "basic_string", "deque", "list",
+        "forward_list", "map", "multimap", "set", "multiset",
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset", "queue", "priority_queue", "stack",
+    };
+    return s;
+}
+
+/** std/builtin types whose member calls are external, never edges. */
+inline const std::set<std::string> &
+externalTypes()
+{
+    static const std::set<std::string> s = {
+        // containers (kept in sync with containerBases)
+        "vector", "string", "basic_string", "deque", "list",
+        "forward_list", "map", "multimap", "set", "multiset",
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset", "queue", "priority_queue", "stack",
+        "array", "span", "bitset", "initializer_list", "string_view",
+        // vocabulary / io / sync std types
+        "optional", "pair", "tuple", "variant", "atomic", "function",
+        "unique_ptr", "shared_ptr", "weak_ptr", "ifstream", "ofstream",
+        "fstream", "istream", "ostream", "stringstream",
+        "ostringstream", "istringstream", "path", "mt19937",
+        "mt19937_64", "mutex", "thread", "error_code",
+        // builtins and fixed-width aliases
+        "void", "bool", "char", "short", "int", "long", "unsigned",
+        "signed", "float", "double", "auto", "size_t", "ssize_t",
+        "ptrdiff_t", "int8_t", "int16_t", "int32_t", "int64_t",
+        "uint8_t", "uint16_t", "uint32_t", "uint64_t", "uintptr_t",
+        "intptr_t",
+    };
+    return s;
+}
+
+/** Benign libc/builtin free calls: never edges, never unresolved. */
+inline bool
+benignFreeCall(const std::string &n)
+{
+    static const std::set<std::string> s = {
+        "assert", "memcpy", "memmove", "memset", "strcmp", "strlen",
+        "snprintf", "abs", "abort", "exit", "move", "forward", "swap",
+        "min", "max", "get", "size", "begin", "end",
+    };
+    return s.count(n) != 0;
+}
+
+/** Identifiers that look like macros: ALL_CAPS or the hopp_ family. */
+inline bool
+macroLike(const std::string &n)
+{
+    if (n.rfind("hopp_", 0) == 0 || n.rfind("HOPP_", 0) == 0)
+        return true;
+    bool alpha = false;
+    for (char c : n) {
+        if (c >= 'a' && c <= 'z')
+            return false;
+        if (c >= 'A' && c <= 'Z')
+            alpha = true;
+    }
+    return alpha && n.size() >= 2;
+}
+
+/** Backward bracket match: index of the opener for `close`. */
+inline std::size_t
+matchBackward(const std::vector<CodeToken> &code, std::size_t close)
+{
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    const std::string &c = code[close].text;
+    std::string open = c == ")" ? "(" : c == "]" ? "[" : "{";
+    int depth = 0;
+    for (std::size_t i = close + 1; i-- > 0;) {
+        if (code[i].text == c)
+            ++depth;
+        else if (code[i].text == open && --depth == 0)
+            return i;
+        if (i == 0)
+            break;
+    }
+    return npos;
+}
+
+} // namespace callgraph_detail
+
+/**
+ * Declared types visible inside one function: parameters and locals
+ * by name, then the enclosing class's members; `using` aliases chased
+ * via canonical().
+ */
+struct TypeEnv
+{
+    std::map<std::string, TypeInfo> vars;
+    const ClassInfo *cls = nullptr;
+    const SymbolIndex *sym = nullptr;
+
+    TypeInfo
+    resolve(const std::string &n) const
+    {
+        auto it = vars.find(n);
+        if (it != vars.end())
+            return it->second;
+        if (cls) {
+            auto mt = cls->memberTypes.find(n);
+            if (mt != cls->memberTypes.end()) {
+                TypeInfo t{mt->second, ""};
+                auto me = cls->memberElemTypes.find(n);
+                if (me != cls->memberElemTypes.end())
+                    t.elem = me->second;
+                return t;
+            }
+        }
+        return {};
+    }
+
+    /** Chase `using X = ...` aliases to a base the index may know. */
+    std::string
+    canonical(std::string base) const
+    {
+        for (int i = 0; i < 4 && sym; ++i) {
+            auto a = sym->aliases.find(base);
+            if (a == sym->aliases.end() || a->second.empty() ||
+                a->second == base)
+                break;
+            base = a->second;
+        }
+        return base;
+    }
+
+    /** True when `n` names a known variable (param/local/member). */
+    bool
+    isVariable(const std::string &n) const
+    {
+        return vars.count(n) != 0 || (cls && cls->members.count(n) != 0);
+    }
+};
+
+/**
+ * Build the type environment of one node: parameters first, then a
+ * scan of the body for local declarations (`Type v = ...;`,
+ * `Type v;`, and range-for variables — `for (auto *l : list_)` types
+ * `l` from `list_`'s element type).
+ */
+inline TypeEnv
+buildTypeEnv(const SymbolIndex &sym, const CallNode &node)
+{
+    using namespace callgraph_detail;
+    TypeEnv env;
+    env.sym = &sym;
+    env.cls = node.cls.empty() ? nullptr : sym.findClass(node.cls);
+    if (node.params)
+        for (const auto &[n, ty] : *node.params)
+            if (!n.empty() && !ty.empty())
+                env.vars[n] = {ty, ""};
+
+    const auto &body = *node.body;
+    std::size_t stmt = 0;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+        const CodeToken &t = body[i];
+        const std::string &x = t.text;
+        if (x == ";" || x == "{" || x == "}" || x == "(" || x == ",") {
+            stmt = i + 1;
+            continue;
+        }
+
+        // Range-for: `for ( <decl> : <range> )`.
+        if (isIdent(t) && x == "for" && i + 1 < body.size() &&
+            body[i + 1].text == "(") {
+            std::size_t close = matchForward(body, i + 1);
+            if (close >= body.size())
+                continue;
+            int depth = 0;
+            std::size_t colon = 0;
+            for (std::size_t j = i + 2; j < close; ++j) {
+                const std::string &c = body[j].text;
+                if (c == "(" || c == "[" || c == "{")
+                    ++depth;
+                else if (c == ")" || c == "]" || c == "}")
+                    --depth;
+                else if (c == ":" && depth == 0 &&
+                         (j + 1 >= close || body[j + 1].text != ":") &&
+                         body[j - 1].text != ":") {
+                    colon = j;
+                    break;
+                }
+            }
+            if (colon > i + 2 && isIdent(body[colon - 1])) {
+                const std::string &var = body[colon - 1].text;
+                std::string elem;
+                std::string base =
+                    declBaseType(body, i + 2, colon - 1, elem);
+                if (base.empty() || base == "auto") {
+                    // Type the variable from the iterated container.
+                    if (colon + 2 == close && isIdent(body[colon + 1])) {
+                        TypeInfo c =
+                            env.resolve(body[colon + 1].text);
+                        if (!c.elem.empty())
+                            env.vars.emplace(var,
+                                             TypeInfo{c.elem, ""});
+                    }
+                } else {
+                    env.vars.emplace(var, TypeInfo{base, elem});
+                }
+            }
+            continue;
+        }
+
+        // Plain local: `<type tokens> v = ...` / `<type tokens> v ;`.
+        if (isIdent(t) && i + 1 < body.size() &&
+            (body[i + 1].text == "=" || body[i + 1].text == ";" ||
+             body[i + 1].text == "{")) {
+            std::string elem;
+            std::string base = declBaseType(body, stmt, i, elem);
+            if (!base.empty() && base != "auto" && base != "return" &&
+                base != "else" && base != "case" &&
+                base != "delete" && !isKeywordCall(base))
+                env.vars.emplace(t.text, TypeInfo{base, elem});
+        }
+    }
+    return env;
+}
+
+/** The call graph: nodes, adjacency, and unresolved-call accounting. */
+struct CallGraph
+{
+    std::vector<CallNode> nodes;
+    /// "Cls::name" / free "name" -> node ids (the overload set).
+    std::map<std::string, std::vector<std::size_t>> byQual;
+    std::vector<std::vector<std::size_t>> callees;
+    /// per node: distinct call sites the resolver could not prove a
+    /// target for, with a short reason each.
+    std::vector<std::set<std::string>> unresolved;
+
+    /**
+     * Node ids matching `qual` ("Cls::m" or free "f"). With
+     * `argc >= 0`, overloads of that exact arity are preferred; the
+     * whole set is returned when none matches exactly.
+     */
+    std::vector<std::size_t>
+    findNodes(const std::string &qual, int argc = -1) const
+    {
+        auto it = byQual.find(qual);
+        if (it == byQual.end())
+            return {};
+        if (argc < 0)
+            return it->second;
+        std::vector<std::size_t> exact;
+        for (std::size_t id : it->second)
+            if (nodes[id].arity == argc)
+                exact.push_back(id);
+        return exact.empty() ? it->second : exact;
+    }
+};
+
+namespace callgraph_detail
+{
+
+/**
+ * Declared type of the receiver expression ending at `recv_end`: a
+ * plain variable, `this`, one chained member hop (`a.b` / `a->b`),
+ * or a subscript (`a[i]` resolves to the element type of `a`).
+ */
+inline TypeInfo
+resolveReceiver(const SymbolIndex &sym, const TypeEnv &env,
+                const std::string &self_cls,
+                const std::vector<CodeToken> &body,
+                std::size_t recv_end)
+{
+    const CodeToken &r = body[recv_end];
+    if (isIdent(r)) {
+        if (r.text == "this")
+            return {self_cls, ""};
+        TypeInfo ty = env.resolve(r.text);
+        if (!ty.base.empty())
+            return ty;
+        // One chained member hop: outer.inner / outer->inner.
+        std::size_t outer = 0;
+        bool chained = false;
+        if (recv_end >= 2 && body[recv_end - 1].text == "." &&
+            isIdent(body[recv_end - 2])) {
+            outer = recv_end - 2;
+            chained = true;
+        } else if (recv_end >= 3 && body[recv_end - 1].text == ">" &&
+                   body[recv_end - 2].text == "-" &&
+                   isIdent(body[recv_end - 3])) {
+            outer = recv_end - 3;
+            chained = true;
+        }
+        if (chained) {
+            std::string ob = env.canonical(
+                resolveReceiver(sym, env, self_cls, body, outer)
+                    .base);
+            if (const ClassInfo *oc = sym.findClass(ob)) {
+                auto mt = oc->memberTypes.find(r.text);
+                if (mt != oc->memberTypes.end()) {
+                    TypeInfo out{mt->second, ""};
+                    auto me = oc->memberElemTypes.find(r.text);
+                    if (me != oc->memberElemTypes.end())
+                        out.elem = me->second;
+                    return out;
+                }
+            }
+        }
+        return {};
+    }
+    if (r.text == "]" && recv_end > 0) {
+        std::size_t open = matchBackward(body, recv_end);
+        if (open != static_cast<std::size_t>(-1) && open > 0 &&
+            isIdent(body[open - 1])) {
+            TypeInfo c =
+                resolveReceiver(sym, env, self_cls, body, open - 1);
+            if (!c.elem.empty())
+                return {c.elem, ""};
+        }
+    }
+    return {};
+}
+
+/** Resolve one member/qualified/bare call site; append edges. */
+inline void
+resolveCall(const SymbolIndex &sym, const TypeEnv &env, CallGraph &cg,
+            std::size_t self, const std::vector<CodeToken> &body,
+            std::size_t i, std::size_t close)
+{
+    const std::string &name = body[i].text;
+    int argc = countArgs(body, i + 1, close);
+    auto &edges = cg.callees[self];
+    auto &unres = cg.unresolved[self];
+
+    auto link = [&](const std::vector<std::size_t> &targets) {
+        for (std::size_t id : targets)
+            if (id != self)
+                edges.push_back(id);
+        return !targets.empty();
+    };
+
+    // Member call: recv.name( / recv->name(.
+    bool member = false;
+    std::size_t recv_end = 0;
+    bool arrow = false;
+    if (i >= 2 && body[i - 1].text == ".") {
+        member = true;
+        recv_end = i - 2;
+    } else if (i >= 3 && body[i - 1].text == ">" &&
+               body[i - 2].text == "-") {
+        member = true;
+        arrow = true;
+        recv_end = i - 3;
+    }
+    if (member) {
+        TypeInfo ty = resolveReceiver(sym, env, cg.nodes[self].cls,
+                                      body, recv_end);
+        if (ty.base.empty()) {
+            unres.insert("." + name + " (unknown receiver)");
+            return;
+        }
+        std::string base = env.canonical(ty.base);
+        if (arrow &&
+            (base == "unique_ptr" || base == "shared_ptr") &&
+            !ty.elem.empty())
+            base = env.canonical(ty.elem);
+        if (externalTypes().count(base))
+            return; // std type: sinks are caught by token scan
+        const ClassInfo *ci = sym.findClass(base);
+        if (!ci) {
+            unres.insert("." + name + " (type " + base +
+                         " not indexed)");
+            return;
+        }
+        if (link(cg.findNodes(base + "::" + name, argc)))
+            return;
+        // A callable member variable: `e.fn(...)` dispatches through
+        // fn's own class (InlineEvent-style inline callables).
+        auto mt = ci->memberTypes.find(name);
+        if (mt != ci->memberTypes.end()) {
+            std::string mbase = env.canonical(mt->second);
+            if (sym.findClass(mbase) &&
+                link(cg.findNodes(mbase + "::operator()", argc)))
+                return;
+            unres.insert(base + "::" + name + " (callback member)");
+            return;
+        }
+        if (ci->methodDecls.count(name))
+            unres.insert(base + "::" + name + " (no visible body)");
+        else
+            unres.insert(base + "::" + name + " (unknown method)");
+        return;
+    }
+
+    // Qualified call: Qual::name(.
+    if (i >= 3 && body[i - 1].text == ":" && body[i - 2].text == ":" &&
+        isIdent(body[i - 3])) {
+        const std::string &qual = body[i - 3].text;
+        if (sym.findClass(qual)) {
+            if (link(cg.findNodes(qual + "::" + name, argc)))
+                return;
+            unres.insert(qual + "::" + name + " (unknown method)");
+            return;
+        }
+        // Namespace-qualified free call (vm::pageKey), else external
+        // (std::...) — sinks are caught by token scan.
+        link(cg.findNodes(name, argc));
+        return;
+    }
+
+    // Bare call.
+    if (!cg.nodes[self].cls.empty() &&
+        link(cg.findNodes(cg.nodes[self].cls + "::" + name, argc)))
+        return;
+    if (env.isVariable(name)) {
+        // A variable invoked like a function: a callback we cannot
+        // see through (std::function member or similar).
+        std::string base = env.canonical(env.resolve(name).base);
+        const ClassInfo *ci = sym.findClass(base);
+        if (ci && link(cg.findNodes(base + "::operator()", argc)))
+            return;
+        unres.insert(name + " (callback)");
+        return;
+    }
+    if (link(cg.findNodes(name, argc)))
+        return;
+    if (!cg.nodes[self].cls.empty()) {
+        const ClassInfo *ci = sym.findClass(cg.nodes[self].cls);
+        if (ci && ci->methodDecls.count(name)) {
+            unres.insert(cg.nodes[self].cls + "::" + name +
+                         " (no visible body)");
+            return;
+        }
+    }
+    if (macroLike(name) || benignFreeCall(name))
+        return;
+    if (sym.classes.count(name) || sym.aliases.count(name) ||
+        externalTypes().count(name))
+        return; // constructor cast: T(x)
+    unres.insert(name + " (unknown function)");
+}
+
+} // namespace callgraph_detail
+
+/** Build the call graph over every definition in the index. */
+inline CallGraph
+buildCallGraph(const SymbolIndex &sym)
+{
+    using namespace callgraph_detail;
+    CallGraph cg;
+
+    for (const auto &[cname, ci] : sym.classes) {
+        for (const auto &m : ci.methods) {
+            CallNode n;
+            n.cls = cname;
+            n.name = m.name;
+            n.arity = m.arity;
+            n.line = m.line;
+            n.file = m.file;
+            n.body = &m.body;
+            n.params = &m.params;
+            cg.byQual[n.qual()].push_back(cg.nodes.size());
+            cg.nodes.push_back(std::move(n));
+        }
+    }
+    for (const auto &fd : sym.frees) {
+        CallNode n;
+        n.name = fd.name;
+        n.arity = fd.arity;
+        n.line = fd.line;
+        n.file = fd.file;
+        n.body = &fd.body;
+        n.params = &fd.params;
+        cg.byQual[n.qual()].push_back(cg.nodes.size());
+        cg.nodes.push_back(std::move(n));
+    }
+
+    cg.callees.resize(cg.nodes.size());
+    cg.unresolved.resize(cg.nodes.size());
+
+    for (std::size_t id = 0; id < cg.nodes.size(); ++id) {
+        const CallNode &node = cg.nodes[id];
+        const auto &body = *node.body;
+        TypeEnv env = buildTypeEnv(sym, node);
+        for (std::size_t i = 0; i < body.size(); ++i) {
+            if (!isIdent(body[i]))
+                continue;
+            // Subscript into a project container: edges into its
+            // operator[] (growth may hide there).
+            if (i + 1 < body.size() && body[i + 1].text == "[" &&
+                (i == 0 || (body[i - 1].text != "." &&
+                            body[i - 1].text != ">"))) {
+                std::string base =
+                    env.canonical(env.resolve(body[i].text).base);
+                if (!base.empty() && sym.findClass(base))
+                    for (std::size_t tgt :
+                         cg.findNodes(base + "::operator[]"))
+                        if (tgt != id)
+                            cg.callees[id].push_back(tgt);
+            }
+            if (i + 1 >= body.size() || body[i + 1].text != "(")
+                continue;
+            const std::string &name = body[i].text;
+            if (isKeywordCall(name) || name == "operator" ||
+                name == "constexpr" || name == "noexcept" ||
+                name == "alignas" || name == "defined" ||
+                name == "new" || name == "delete")
+                continue; // placement new / operator invocations
+            std::size_t close = matchForward(body, i + 1);
+            if (close >= body.size())
+                continue;
+            resolveCall(sym, env, cg, id, body, i, close);
+        }
+        // Dedup edges.
+        auto &e = cg.callees[id];
+        std::sort(e.begin(), e.end());
+        e.erase(std::unique(e.begin(), e.end()), e.end());
+    }
+    return cg;
+}
+
+} // namespace hopp::analysis

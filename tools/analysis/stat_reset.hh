@@ -9,22 +9,19 @@
  * registered in the report but missing from SwapBackend::resetStats();
  * this pass turns that bug class into a compile gate.
  *
- * What it does, cross-TU:
+ * The cross-TU class database (members, method bodies, accessors,
+ * counters, reset coverage) now lives in the symbol index
+ * (analysis/symbols.hh), shared with the call graph. On top of it this
+ * pass:
  *
- *   1. builds a class database over the whole tree: member variables,
- *      inline and out-of-line method bodies, simple accessors
- *      (`return member_;` / `return member_[...];`), *counter* members
- *      (incremented via ++ or += anywhere in the class's methods), and
- *      members mentioned in reset* methods (a whole-value assignment
- *      `m_ = T{};` marks m_ fully reset);
- *   2. finds StatSet factory functions (a local `stats::StatSet
+ *   1. finds StatSet factory functions (a local `stats::StatSet
  *      s("name")`), maps their parameters to classes, resolves each
  *      `s.record("stat", expr)` to a backing member where the
  *      expression is a single accessor call (through `static_cast`,
  *      and through one struct-ref local like `const VmsStats &v =
  *      vms.stats()`), and checks the backing member against the
  *      class's reset coverage;
- *   3. requires each factory that records at least one resolvable
+ *   2. requires each factory that records at least one resolvable
  *      member-backed stat to register a resetter (`s.addResetter`).
  *
  * Rules:
@@ -49,410 +46,10 @@
 #include <vector>
 
 #include "analysis/model.hh"
+#include "analysis/symbols.hh"
 
 namespace hopp::analysis
 {
-
-struct MethodInfo
-{
-    std::string name;
-    std::vector<CodeToken> body; //!< tokens between the braces
-    int line = 0;
-};
-
-struct ClassInfo
-{
-    std::string name;
-    std::set<std::string> members;
-    std::map<std::string, std::string> accessorBacking;
-    std::vector<MethodInfo> methods;
-    std::set<std::string> counters;
-    std::set<std::string> resetMentioned;
-};
-
-using ClassDb = std::map<std::string, ClassInfo>;
-
-namespace statreset_detail
-{
-
-inline bool
-isIdent(const CodeToken &t)
-{
-    return t.kind == TokKind::Ident;
-}
-
-inline bool
-isKeywordCall(const std::string &s)
-{
-    return s == "if" || s == "for" || s == "while" || s == "switch" ||
-           s == "return" || s == "sizeof" || s == "catch" ||
-           s == "alignof" || s == "decltype" || s == "static_assert";
-}
-
-/**
- * From an opening paren of a parameter/argument list, the index one
- * past the matching close; `out_close` receives the close index.
- */
-inline bool
-parenSpan(const std::vector<CodeToken> &code, std::size_t open,
-          std::size_t &out_close)
-{
-    std::size_t close = matchForward(code, open);
-    if (close >= code.size())
-        return false;
-    out_close = close;
-    return true;
-}
-
-/**
- * Walk the tokens after a parameter list's `)` looking for a function
- * body. Accepts cv/ref qualifiers, noexcept(...), override/final,
- * trailing return types, and constructor initializer lists. Returns
- * the index of the body '{', or npos when the construct is a
- * declaration / expression instead.
- */
-inline std::size_t
-findBodyBrace(const std::vector<CodeToken> &code, std::size_t after_close)
-{
-    constexpr std::size_t npos = static_cast<std::size_t>(-1);
-    bool in_init_list = false;
-    for (std::size_t i = after_close; i < code.size(); ++i) {
-        const CodeToken &t = code[i];
-        if (t.text == "{")
-            return i;
-        if (t.text == ";")
-            return npos;
-        if (t.text == "(") {
-            // noexcept(...) or an initializer-list member init.
-            std::size_t close;
-            if (!parenSpan(code, i, close))
-                return npos;
-            i = close;
-            continue;
-        }
-        if (t.text == ":") {
-            // Either `::` (trailing return type) or a ctor init list.
-            if (i + 1 < code.size() && code[i + 1].text == ":") {
-                ++i;
-                continue;
-            }
-            in_init_list = true;
-            continue;
-        }
-        if (isIdent(t) || t.text == "&" || t.text == "-" ||
-            t.text == ">" || t.text == "<" || t.text == "*" ||
-            t.text == "," || in_init_list)
-            continue;
-        if (t.text == "=")
-            return npos; // = default / = delete / = 0
-        return npos;
-    }
-    return npos;
-}
-
-/** Simple accessor: body is `return M;` or `return M[...];`. */
-inline std::string
-simpleAccessorBacking(const std::vector<CodeToken> &body)
-{
-    if (body.size() < 3 || body[0].text != "return" || !isIdent(body[1]))
-        return "";
-    if (body[2].text == ";" && body.size() == 3)
-        return body[1].text;
-    if (body[2].text == "[") {
-        std::size_t close = matchForward(body, 2);
-        if (close + 1 < body.size() && body[close + 1].text == ";" &&
-            close + 2 == body.size())
-            return body[1].text;
-    }
-    return "";
-}
-
-/** Slice [begin, end) of a code-token vector. */
-inline std::vector<CodeToken>
-slice(const std::vector<CodeToken> &code, std::size_t begin,
-      std::size_t end)
-{
-    return {code.begin() + static_cast<std::ptrdiff_t>(begin),
-            code.begin() + static_cast<std::ptrdiff_t>(end)};
-}
-
-/**
- * Parse one class body ([begin, end) inside the braces) into `info`,
- * registering nested classes in `db` as they appear.
- */
-inline void
-parseClassBody(const std::vector<CodeToken> &code, std::size_t begin,
-               std::size_t end, ClassInfo &info, ClassDb &db);
-
-inline std::size_t
-end_scan(const std::vector<CodeToken> &code, std::size_t from)
-{
-    // Bound the class-head scan (base-clause lists are finite; the
-    // rejection tokens end real statements long before this).
-    return from + 96 < code.size() ? from + 96 : code.size();
-}
-
-/**
- * Try to parse a class/struct definition whose `class`/`struct`
- * keyword sits at `i`. Returns one past the definition on success.
- */
-inline std::size_t
-parseClassDef(const std::vector<CodeToken> &code, std::size_t i,
-              ClassDb &db)
-{
-    // `class X ... {` with nothing statement-like in between; `enum
-    // class` and template parameter lists are rejected by the callers
-    // and the scan below.
-    if (i + 1 >= code.size() || !isIdent(code[i + 1]))
-        return i + 1;
-    const std::string &name = code[i + 1].text;
-    for (std::size_t j = i + 2; j < end_scan(code, i); ++j) {
-        const std::string &t = code[j].text;
-        if (t == "{") {
-            std::size_t close = matchForward(code, j);
-            if (close >= code.size())
-                return code.size();
-            ClassInfo &info = db[name];
-            info.name = name;
-            parseClassBody(code, j + 1, close, info, db);
-            return close + 1;
-        }
-        if (t == ";" || t == "(" || t == ")" || t == "=" || t == ">")
-            return j; // forward decl / template param / other
-        // base clause idents, ':', '<...>', commas all acceptable
-    }
-    return i + 1;
-}
-
-inline void
-parseClassBody(const std::vector<CodeToken> &code, std::size_t begin,
-               std::size_t end, ClassInfo &info, ClassDb &db)
-{
-    std::size_t i = begin;
-    while (i < end) {
-        const CodeToken &t = code[i];
-
-        // Access specifiers.
-        if (isIdent(t) &&
-            (t.text == "public" || t.text == "private" ||
-             t.text == "protected") &&
-            i + 1 < end && code[i + 1].text == ":" &&
-            (i + 2 >= end || code[i + 2].text != ":")) {
-            i += 2;
-            continue;
-        }
-
-        // Nested class / struct definitions become their own entries.
-        if (isIdent(t) && (t.text == "class" || t.text == "struct") &&
-            (i == begin || code[i - 1].text != "enum")) {
-            std::size_t next = parseClassDef(code, i, db);
-            if (next > i) {
-                i = next;
-                continue;
-            }
-        }
-
-        // Skip enums, friends, usings, templates wholesale.
-        if (isIdent(t) && t.text == "enum") {
-            while (i < end && code[i].text != "{" && code[i].text != ";")
-                ++i;
-            if (i < end && code[i].text == "{")
-                i = matchForward(code, i) + 1;
-            continue;
-        }
-        if (isIdent(t) &&
-            (t.text == "friend" || t.text == "using" ||
-             t.text == "typedef")) {
-            while (i < end && code[i].text != ";")
-                ++i;
-            ++i;
-            continue;
-        }
-        if (isIdent(t) && t.text == "template") {
-            // Skip the parameter list `<...>`.
-            std::size_t j = i + 1;
-            int depth = 0;
-            for (; j < end; ++j) {
-                if (code[j].text == "<")
-                    ++depth;
-                else if (code[j].text == ">" && --depth == 0)
-                    break;
-            }
-            i = j + 1;
-            continue;
-        }
-
-        // Member function or member variable: find the declarator.
-        std::size_t j = i;
-        bool handled = false;
-        for (; j < end; ++j) {
-            const CodeToken &u = code[j];
-            if (u.text == ";") {
-                ++j;
-                handled = true;
-                break; // nothing declared we care about
-            }
-            if (isIdent(u) && j + 1 < end) {
-                const std::string &nx = code[j + 1].text;
-                if (nx == "(" && !isKeywordCall(u.text)) {
-                    // Method (or constructor). Find body or decl end.
-                    std::size_t close;
-                    if (!parenSpan(code, j + 1, close)) {
-                        j = end;
-                        handled = true;
-                        break;
-                    }
-                    std::size_t body = findBodyBrace(code, close + 1);
-                    if (body == static_cast<std::size_t>(-1)) {
-                        // Declaration (or `= default`): skip past ';'.
-                        std::size_t k = close + 1;
-                        while (k < end && code[k].text != ";")
-                            ++k;
-                        j = k + 1;
-                    } else {
-                        std::size_t bclose = matchForward(code, body);
-                        MethodInfo m;
-                        m.name = u.text;
-                        m.line = u.line;
-                        m.body = slice(code, body + 1,
-                                       bclose < end ? bclose : end);
-                        std::string backing =
-                            simpleAccessorBacking(m.body);
-                        if (!backing.empty())
-                            info.accessorBacking[m.name] = backing;
-                        info.methods.push_back(std::move(m));
-                        j = (bclose < end ? bclose : end) + 1;
-                    }
-                    handled = true;
-                    break;
-                }
-                if (nx == ";" || nx == "=" || nx == "[" || nx == "{") {
-                    // Member variable declarator.
-                    info.members.insert(u.text);
-                    std::size_t k = j + 1;
-                    int brace = 0;
-                    while (k < end) {
-                        if (code[k].text == "{")
-                            ++brace;
-                        else if (code[k].text == "}")
-                            --brace;
-                        else if (code[k].text == ";" && brace == 0)
-                            break;
-                        ++k;
-                    }
-                    j = k + 1;
-                    handled = true;
-                    break;
-                }
-            }
-        }
-        i = handled ? (j > i ? j : i + 1) : j;
-        if (!handled)
-            ++i;
-    }
-}
-
-} // namespace statreset_detail
-
-/** Build the class database over every file of the tree. */
-inline ClassDb
-buildClassDb(const SourceTree &tree)
-{
-    using namespace statreset_detail;
-    ClassDb db;
-
-    // Phase 1: class/struct bodies (members, inline methods).
-    for (const auto &f : tree.files) {
-        const auto &code = f.code;
-        for (std::size_t i = 0; i < code.size(); ++i) {
-            if (!isIdent(code[i]) ||
-                (code[i].text != "class" && code[i].text != "struct"))
-                continue;
-            if (i > 0 && (code[i - 1].text == "enum" ||
-                          code[i - 1].text == "<" ||
-                          code[i - 1].text == ","))
-                continue; // enum class / template parameter
-            std::size_t next = parseClassDef(code, i, db);
-            if (next > i + 1)
-                i = next - 1;
-        }
-    }
-
-    // Phase 2: out-of-line method definitions `Type Class::method(...)`.
-    for (const auto &f : tree.files) {
-        const auto &code = f.code;
-        for (std::size_t i = 0; i + 4 < code.size(); ++i) {
-            if (!isIdent(code[i]) || code[i + 1].text != ":" ||
-                code[i + 2].text != ":" || !isIdent(code[i + 3]) ||
-                code[i + 4].text != "(")
-                continue;
-            auto cls = db.find(code[i].text);
-            if (cls == db.end())
-                continue;
-            std::size_t close;
-            if (!parenSpan(code, i + 4, close))
-                continue;
-            std::size_t body = findBodyBrace(code, close + 1);
-            if (body == static_cast<std::size_t>(-1))
-                continue;
-            std::size_t bclose = matchForward(code, body);
-            if (bclose >= code.size())
-                continue;
-            MethodInfo m;
-            m.name = code[i + 3].text;
-            m.line = code[i + 3].line;
-            m.body = slice(code, body + 1, bclose);
-            std::string backing = simpleAccessorBacking(m.body);
-            if (!backing.empty())
-                cls->second.accessorBacking[m.name] = backing;
-            cls->second.methods.push_back(std::move(m));
-            i = bclose;
-        }
-    }
-
-    // Phase 3: counters and reset coverage from the method bodies.
-    for (auto &[name, cls] : db) {
-        for (const auto &m : cls.methods) {
-            const auto &b = m.body;
-            for (std::size_t i = 0; i < b.size(); ++i) {
-                if (!isIdent(b[i]) || !cls.members.count(b[i].text))
-                    continue;
-                const std::string &mem = b[i].text;
-                bool pre_inc = i >= 2 && b[i - 1].text == "+" &&
-                               b[i - 2].text == "+";
-                // Direct: M += / M ++ ; subscript: M[...] += ;
-                // through-struct: M.field += / ++M.field (covered by
-                // pre_inc since M directly follows ++).
-                std::size_t after = i + 1;
-                if (after < b.size() && b[after].text == "[") {
-                    std::size_t close = matchForward(b, after);
-                    after = close < b.size() ? close + 1 : b.size();
-                } else if (after + 1 < b.size() &&
-                           b[after].text == "." &&
-                           isIdent(b[after + 1])) {
-                    after += 2;
-                }
-                bool post_inc =
-                    after + 1 < b.size() && b[after].text == "+" &&
-                    b[after + 1].text == "+";
-                bool compound =
-                    after + 1 < b.size() && b[after].text == "+" &&
-                    b[after + 1].text == "=";
-                if (pre_inc || post_inc || compound)
-                    cls.counters.insert(mem);
-            }
-        }
-        for (const auto &m : cls.methods) {
-            if (m.name.rfind("reset", 0) != 0)
-                continue;
-            for (std::size_t i = 0; i < m.body.size(); ++i)
-                if (isIdent(m.body[i]) &&
-                    cls.members.count(m.body[i].text))
-                    cls.resetMentioned.insert(m.body[i].text);
-        }
-    }
-    return db;
-}
 
 /** Counters of the pass, surfaced by --verbose. */
 struct StatResetSummary
@@ -464,6 +61,8 @@ struct StatResetSummary
 
 namespace statreset_detail
 {
+
+using namespace symbol_detail;
 
 /** A resolved backing member: class + member names. */
 struct Backing
@@ -545,36 +144,6 @@ resolveExpr(std::vector<CodeToken> expr, const ClassDb &db,
         return true;
     }
     return false;
-}
-
-/** Split a token range into top-level comma-separated chunks. */
-inline std::vector<std::vector<CodeToken>>
-splitTopLevel(const std::vector<CodeToken> &code, std::size_t begin,
-              std::size_t end)
-{
-    std::vector<std::vector<CodeToken>> out(1);
-    int paren = 0, brace = 0, bracket = 0;
-    for (std::size_t i = begin; i < end; ++i) {
-        const std::string &t = code[i].text;
-        if (t == "(")
-            ++paren;
-        else if (t == ")")
-            --paren;
-        else if (t == "{")
-            ++brace;
-        else if (t == "}")
-            --brace;
-        else if (t == "[")
-            ++bracket;
-        else if (t == "]")
-            --bracket;
-        if (t == "," && paren == 0 && brace == 0 && bracket == 0) {
-            out.emplace_back();
-            continue;
-        }
-        out.back().push_back(code[i]);
-    }
-    return out;
 }
 
 } // namespace statreset_detail

@@ -13,16 +13,23 @@
  *                     backed by a counter member must be reset by its
  *                     component's reset method, and every factory that
  *                     records member-backed stats must addResetter
+ *   hotpath.hh        hot-path purity: no allocation / nondeterminism
+ *                     sink reachable (via the call graph built from
+ *                     symbols.hh + call_graph.hh) from the roots
+ *                     declared in tools/analysis/hotpaths.conf
  *
  * Usage:
- *   hopp_analyze [--layers FILE] [--verbose] ROOT...
+ *   hopp_analyze [--layers FILE] [--hotpaths FILE] [--json]
+ *                [--verbose] ROOT...
  *   hopp_analyze --self-test FIXTURE_DIR
  *
- * With no --layers, ROOT/layers.conf is used when present; otherwise
- * the layering rules are skipped (rooted includes, guard style, cycles
- * and the stat pass still run). --self-test treats each immediate
- * subdirectory of FIXTURE_DIR as an independent tree and checks the
- * emitted diagnostics against `hopp-analyze-expect(rule)` markers.
+ * With no --layers, ROOT/layers.conf is used when present; with no
+ * --hotpaths, ROOT/hotpaths.conf — either file being absent skips
+ * that pass (the remaining passes still run). --json prints the
+ * findings as a machine-readable array (for CI annotations) instead
+ * of the human lines. --self-test treats each immediate subdirectory
+ * of FIXTURE_DIR as an independent tree and checks the emitted
+ * diagnostics against `hopp-analyze-expect(rule)` markers.
  *
  * Exit codes: 0 clean, 1 violations (or self-test mismatch), 2 usage /
  * IO error.
@@ -35,9 +42,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/call_graph.hh"
+#include "analysis/hotpath.hh"
 #include "analysis/include_graph.hh"
 #include "analysis/model.hh"
 #include "analysis/stat_reset.hh"
+#include "analysis/symbols.hh"
 
 namespace
 {
@@ -48,44 +58,78 @@ using namespace hopp::analysis;
 struct Options
 {
     std::string layersFile;
+    std::string hotpathsFile;
     bool selfTest = false;
     bool verbose = false;
+    bool json = false;
     std::vector<std::string> roots;
 };
 
 /** Analyze one tree; returns its diagnostics, sorted. */
 std::vector<Diag>
-analyzeRoot(const fs::path &root, const std::string &layers_file,
-            bool verbose)
+analyzeRoot(const fs::path &root, const Options &opt)
 {
     SourceTree tree = loadTree(root);
 
-    fs::path conf = layers_file.empty() ? root / "layers.conf"
-                                        : fs::path(layers_file);
+    fs::path conf = opt.layersFile.empty() ? root / "layers.conf"
+                                           : fs::path(opt.layersFile);
     LayerConfig cfg = loadLayerConfig(conf);
     if (!cfg.error.empty()) {
         std::fprintf(stderr, "hopp_analyze: %s: %s\n",
                      conf.string().c_str(), cfg.error.c_str());
         std::exit(2);
     }
-    if (verbose) {
-        std::fprintf(stderr,
-                     "hopp_analyze: %s: %zu files, layers.conf %s\n",
-                     root.string().c_str(), tree.files.size(),
-                     cfg.loaded ? "loaded" : "absent (layering skipped)");
+    fs::path hconf_path = opt.hotpathsFile.empty()
+                              ? root / "hotpaths.conf"
+                              : fs::path(opt.hotpathsFile);
+    HotpathConfig hconf = loadHotpathConfig(hconf_path);
+    if (!hconf.error.empty()) {
+        std::fprintf(stderr, "hopp_analyze: %s\n", hconf.error.c_str());
+        std::exit(2);
+    }
+    if (opt.verbose) {
+        std::fprintf(
+            stderr,
+            "hopp_analyze: %s: %zu files, layers.conf %s, "
+            "hotpaths.conf %s\n",
+            root.string().c_str(), tree.files.size(),
+            cfg.loaded ? "loaded" : "absent (layering skipped)",
+            hconf.loaded ? "loaded" : "absent (hotpath skipped)");
     }
 
     includeGraphPass(tree, cfg);
 
-    ClassDb db = buildClassDb(tree);
+    SymbolIndex sym = buildSymbolIndex(tree);
     StatResetSummary stats;
-    statResetPass(tree, db, stats);
-    if (verbose) {
+    statResetPass(tree, sym.classes, stats);
+    if (opt.verbose) {
         std::fprintf(stderr,
                      "hopp_analyze: %d stat factories, %d records "
                      "resolved to members, %d skipped as derived\n",
                      stats.factories, stats.recordsResolved,
                      stats.recordsSkipped);
+    }
+
+    if (hconf.loaded) {
+        CallGraph cg = buildCallGraph(sym);
+        HotpathSummary hp;
+        hotpathPass(tree, sym, cg, hconf, hp);
+        if (opt.verbose) {
+            std::fprintf(
+                stderr,
+                "hopp_analyze: call graph %zu functions; hotpath "
+                "%d/%d roots matched, %d reachable functions, %d "
+                "unresolved calls, %d sink sites\n",
+                cg.nodes.size(), hp.matchedRoots, hp.roots,
+                hp.reachable, hp.unresolved, hp.findings);
+            for (std::size_t n = 0; n < cg.nodes.size(); ++n)
+                for (const auto &u : cg.unresolved[n])
+                    std::fprintf(stderr,
+                                 "hopp_analyze:   unresolved in %s: "
+                                 "%s\n",
+                                 cg.nodes[n].qual().c_str(),
+                                 u.c_str());
+        }
     }
 
     std::sort(tree.diags.begin(), tree.diags.end());
@@ -101,11 +145,76 @@ printDiags(const std::vector<Diag> &diags, const std::string &prefix)
                     d.message.c_str());
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Machine-readable findings: a JSON array, one object per diagnostic.
+ * `path` is the repo-relative location CI can annotate (`file` is
+ * root-relative as printed by the human output; hotpath-root diags
+ * already carry the config path).
+ */
+void
+printJson(const std::vector<std::pair<std::string, std::vector<Diag>>>
+              &by_root)
+{
+    std::printf("[");
+    bool first = true;
+    for (const auto &[root, diags] : by_root) {
+        for (const auto &d : diags) {
+            std::string path =
+                d.rule == "hotpath-root" || root == "."
+                    ? d.file
+                    : root + "/" + d.file;
+            std::printf("%s\n  {\"root\": \"%s\", \"file\": \"%s\", "
+                        "\"path\": \"%s\", \"line\": %d, "
+                        "\"rule\": \"%s\", \"message\": \"%s\"}",
+                        first ? "" : ",", jsonEscape(root).c_str(),
+                        jsonEscape(d.file).c_str(),
+                        jsonEscape(path).c_str(), d.line,
+                        d.rule.c_str(),
+                        jsonEscape(d.message).c_str());
+            first = false;
+        }
+    }
+    std::printf("%s]\n", first ? "" : "\n");
+}
+
 /**
  * Self-test over fixture trees: each immediate subdirectory of
- * `fixture_dir` is analyzed on its own (with its own layers.conf, when
- * present) and the diagnostics must match the `hopp-analyze-expect`
- * markers in its files, line by line and rule by rule.
+ * `fixture_dir` is analyzed on its own (with its own layers.conf /
+ * hotpaths.conf, when present) and the diagnostics must match the
+ * `hopp-analyze-expect` markers in its files, line by line and rule
+ * by rule.
  */
 int
 runSelfTest(const fs::path &fixture_dir, bool verbose)
@@ -132,7 +241,9 @@ runSelfTest(const fs::path &fixture_dir, bool verbose)
                 want.insert({f.rel, {line, rule}});
         expected += static_cast<int>(want.size());
 
-        auto diags = analyzeRoot(dir, "", verbose);
+        Options fixture_opt;
+        fixture_opt.verbose = verbose;
+        auto diags = analyzeRoot(dir, fixture_opt);
         emitted += static_cast<int>(diags.size());
         auto left = want;
         for (const auto &d : diags) {
@@ -164,8 +275,8 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: hopp_analyze [--layers FILE] [--verbose] "
-                 "ROOT...\n"
+                 "usage: hopp_analyze [--layers FILE] [--hotpaths "
+                 "FILE] [--json] [--verbose] ROOT...\n"
                  "       hopp_analyze --self-test FIXTURE_DIR\n");
     return 2;
 }
@@ -180,10 +291,14 @@ main(int argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--layers" && i + 1 < argc) {
             opt.layersFile = argv[++i];
+        } else if (arg == "--hotpaths" && i + 1 < argc) {
+            opt.hotpathsFile = argv[++i];
         } else if (arg == "--self-test") {
             opt.selfTest = true;
         } else if (arg == "--verbose") {
             opt.verbose = true;
+        } else if (arg == "--json") {
+            opt.json = true;
         } else if (arg.rfind("--", 0) == 0) {
             return usage();
         } else {
@@ -200,16 +315,21 @@ main(int argc, char **argv)
     }
 
     int total = 0;
+    std::vector<std::pair<std::string, std::vector<Diag>>> by_root;
     for (const auto &root : opt.roots) {
         if (!fs::exists(root)) {
             std::fprintf(stderr, "hopp_analyze: %s: no such path\n",
                          root.c_str());
             return 2;
         }
-        auto diags = analyzeRoot(root, opt.layersFile, opt.verbose);
-        printDiags(diags, opt.roots.size() > 1 ? root + ": " : "");
+        auto diags = analyzeRoot(root, opt);
+        if (!opt.json)
+            printDiags(diags, opt.roots.size() > 1 ? root + ": " : "");
         total += static_cast<int>(diags.size());
+        by_root.emplace_back(root, std::move(diags));
     }
+    if (opt.json)
+        printJson(by_root);
     if (total)
         std::fprintf(stderr, "hopp_analyze: %d violation%s\n", total,
                      total == 1 ? "" : "s");
