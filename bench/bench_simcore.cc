@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "obs/profiler.hh"
 #include "runner/machine.hh"
 #include "runner/sweep_pool.hh"
 #include "sim/event_queue.hh"
@@ -456,6 +457,33 @@ endToEndSteadyState(bool quick)
     return e;
 }
 
+/**
+ * 5. Self-profile: the end-to-end run again, this time with the host
+ *    self-profiler armed, reporting where the simulator's own wall
+ *    time goes (dispatch vs page walk vs fault path vs LLC vs ...).
+ *    The attributed fraction is the profiler's coverage acceptance
+ *    gate: the zones must explain >= 90% of Machine::run() wall time.
+ */
+obs::prof::Report
+selfProfileBench(bool quick)
+{
+    obs::prof::reset();
+    obs::prof::enable(true);
+
+    runner::MachineConfig cfg;
+    cfg.system = runner::SystemKind::Hopp;
+    cfg.localMemRatio = 0.5;
+    workloads::WorkloadScale scale;
+    scale.footprint = quick ? 0.2 : 1.0;
+    scale.iterations = quick ? 0.2 : 1.0;
+    runner::Machine m(cfg);
+    m.addWorkload(workloads::makeWorkload("microbench", scale));
+    m.run();
+
+    obs::prof::enable(false);
+    return obs::prof::collect();
+}
+
 } // namespace
 
 int
@@ -502,6 +530,12 @@ main(int argc, char **argv)
     std::printf("  end-to-end: %.0f faults/s, %.3fM ev/s, %.0f wall-ns "
                 "per sim-ms\n",
                 e.faultsPerSec, e.eventsPerSec / 1e6, e.wallNsPerSimMs);
+
+    obs::prof::Report p = selfProfileBench(quick);
+    std::printf("  self-profile: %.1f%% of %.3f ms attributed to "
+                "zones\n",
+                100.0 * p.attributedFraction(),
+                static_cast<double>(p.wallNs()) / 1e6);
 
     std::FILE *f = std::fopen(out.c_str(), "w");
     if (!f) {
@@ -561,6 +595,29 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"events_per_sec\": %.0f,\n", e.eventsPerSec);
     std::fprintf(f, "    \"wall_ns_per_sim_ms\": %.0f\n",
                  e.wallNsPerSimMs);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"self_profile\": {\n");
+    std::fprintf(f, "    \"wall_ns\": %llu,\n",
+                 (unsigned long long)p.wallNs());
+    std::fprintf(f, "    \"attributed_ns\": %llu,\n",
+                 (unsigned long long)p.attributedNs());
+    std::fprintf(f, "    \"attributed_fraction\": %.4f,\n",
+                 p.attributedFraction());
+    std::fprintf(f, "    \"zones\": [\n");
+    for (unsigned z = 0; z < obs::prof::zoneCount; ++z) {
+        const auto &s = p.zones[z];
+        std::fprintf(
+            f,
+            "      {\"zone\": \"%s\", \"total_ns\": %llu, "
+            "\"self_ns\": %llu, \"count\": %llu}%s\n",
+            obs::prof::zoneName(static_cast<obs::prof::Zone>(z)),
+            (unsigned long long)s.totalNs,
+            (unsigned long long)p.selfNs(
+                static_cast<obs::prof::Zone>(z)),
+            (unsigned long long)s.count,
+            z + 1 < obs::prof::zoneCount ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/blackbox.hh"
+#include "obs/profiler.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace hopp::core
@@ -137,10 +139,16 @@ HoppSystem::onMcAccess(PhysAddr pa, bool is_write, Tick now)
 void
 HoppSystem::drainRing()
 {
+    HOPP_PROF(HoppDrain);
     drainScheduled_ = false;
     // The drain runs inside one event callback, so eq_.now() is fixed
     // for its duration and the B/E pair below is trivially balanced.
     std::uint64_t drained = ring_.size();
+    if (drained != 0) {
+        // Black box: one entry per drain batch (a = batch size).
+        obs::blackbox().record(obs::BbKind::HoppDrain, eq_.now(), 0,
+                               drained, 0);
+    }
     if (trace_ && drained)
         trace_->begin("hopp", "trainer.drain", eq_.now(),
                       obs::track::hopp);

@@ -15,6 +15,7 @@
 
 #include "common/types.hh"
 #include "mem/set_assoc.hh"
+#include "obs/profiler.hh"
 #include "stats/stats.hh"
 
 namespace hopp::mem
@@ -51,6 +52,7 @@ class Llc
     bool
     access(PhysAddr pa)
     {
+        HOPP_PROF(Llc);
         std::uint64_t tag = taggedLine(pa);
         if (tags_.touch(tag)) {
             ++hits_;

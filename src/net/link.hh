@@ -15,6 +15,8 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "obs/blackbox.hh"
+#include "obs/profiler.hh"
 #include "obs/tracer.hh"
 #include "stats/stats.hh"
 
@@ -58,6 +60,7 @@ class Link
     Tick
     transfer(Bytes bytes, Tick now)
     {
+        HOPP_PROF(LinkTransfer);
         Tick start = busyUntil_ > now ? busyUntil_ : now;
         Duration ser =
             cfg_.perTransferOverhead + serializationDelay(bytes);
@@ -73,6 +76,12 @@ class Link
                              tid_);
             trace_->counter(cat_, backlogName_, now, busyUntil_ - now);
         }
+        // Black box: link completions are where remote latency comes
+        // from; the last few tell a post-mortem what the wire was
+        // doing. hopp-lint: allow(raw) payload serialization
+        obs::blackbox().record(obs::BbKind::LinkTransfer, now, tid_,
+                               bytes,
+                               (busyUntil_ + cfg_.baseLatency).raw());
         return busyUntil_ + cfg_.baseLatency;
     }
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 
 namespace hopp::obs
 {
@@ -41,6 +42,7 @@ MetricsSampler::sampleNow()
 void
 MetricsSampler::fire()
 {
+    HOPP_PROF(MetricsSample);
     sampleNow();
     // Reschedule only while the machine still has work: a sampler
     // that always rearms would keep eq_.run() from ever draining.

@@ -11,8 +11,9 @@
  *  - 'b'/'e' async spans pair up per (cat, name, id), none left open.
  *
  * While walking, it accumulates the summary `hopp_trace` prints:
- * per-phase event counts and per-name total span time ('X' plus
- * matched 'B'/'E' pairs).
+ * per-phase event counts, per-name total span time ('X' plus matched
+ * 'B'/'E' pairs), per-track completed-span counts, and per-counter
+ * value sums over the 'C' samples.
  */
 
 #pragma once
@@ -33,12 +34,26 @@ struct SpanTotal
     std::uint64_t count = 0;
 };
 
+/** Aggregate of one counter series. */
+struct CounterTotal
+{
+    double sum = 0.0;
+    std::uint64_t samples = 0;
+};
+
 /** Validation outcome plus the summary data. */
 struct TraceCheck
 {
     std::size_t events = 0;
     std::map<char, std::uint64_t> phaseCounts;
     std::map<std::string, SpanTotal> spans; //!< per-name totals
+
+    /** Completed spans per track: 'X' plus matched 'E'/'e' closes. */
+    std::map<std::uint32_t, std::uint64_t> trackSpans;
+
+    /** Per-counter sums over every 'C' sample's args.value. */
+    std::map<std::string, CounterTotal> counters;
+
     std::vector<std::string> errors;
 
     bool ok() const { return errors.empty(); }
@@ -111,6 +126,7 @@ checkEvent(const json::Value &ev, std::size_t index, double &last_ts,
         SpanTotal &s = out.spans[name->str()];
         s.totalUs += dur->number();
         ++s.count;
+        ++out.trackSpans[track];
         break;
       }
       case 'B':
@@ -132,6 +148,7 @@ checkEvent(const json::Value &ev, std::size_t index, double &last_ts,
         SpanTotal &s = out.spans[stack.back().name];
         s.totalUs += t - stack.back().tsUs;
         ++s.count;
+        ++out.trackSpans[track];
         stack.pop_back();
         break;
       }
@@ -161,12 +178,23 @@ checkEvent(const json::Value &ev, std::size_t index, double &last_ts,
             SpanTotal &s = out.spans[name->str()];
             s.totalUs += t - it->second;
             ++s.count;
+            ++out.trackSpans[track];
             asyncOpen.erase(it);
         }
         break;
       }
+      case 'C': {
+        const json::Value *args = ev.find("args");
+        const json::Value *value =
+            args && args->isObject() ? args->find("value") : nullptr;
+        if (value && value->isNumber()) {
+            CounterTotal &c = out.counters[name->str()];
+            c.sum += value->number();
+            ++c.samples;
+        }
+        break;
+      }
       case 'i':
-      case 'C':
         break;
       default:
         err(std::string("unknown phase '") + phase + "'");

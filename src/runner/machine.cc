@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/blackbox.hh"
+#include "obs/profiler.hh"
+#include "obs/trace_writer.hh"
 
 namespace hopp::runner
 {
@@ -225,14 +228,20 @@ Machine::step(Thread &t)
     unsigned budget = cfg_.quantum;
     workloads::Access a;
     while (budget-- > 0) {
-        if (!t.gen->next(a)) {
-            t.done = true;
-            t.completion = t.now;
-            maybeCheck();
-            return;
+        {
+            HOPP_PROF(WorkloadGen);
+            if (!t.gen->next(a)) {
+                t.done = true;
+                t.completion = t.now;
+                maybeCheck();
+                return;
+            }
         }
-        t.now += vms_->access(t.pid, a.va, a.write, t.now,
-                              cfg_.tlb ? &t.tlb : nullptr);
+        {
+            HOPP_PROF(VmsAccess);
+            t.now += vms_->access(t.pid, a.va, a.write, t.now,
+                                  cfg_.tlb ? &t.tlb : nullptr);
+        }
         ++t.accesses;
         // Yield when another event (prefetch completion, kswapd,
         // another thread) is due before our local time.
@@ -252,6 +261,14 @@ Machine::maybeCheck()
         return;
     }
     lastCheckAt_ = eq_.executed();
+    if (cfg_.corruptAfterEvents != 0 && !corrupted_ &&
+        eq_.executed() >= cfg_.corruptAfterEvents) {
+        // Forensics test hook (see MachineConfig::corruptAfterEvents):
+        // break LLC occupancy accounting so the validators below fail
+        // and the black-box dump path runs for real.
+        corrupted_ = true;
+        check::testing::leakLlcOccupancy(*llc_);
+    }
     checkInvariants().enforce();
 }
 
@@ -259,6 +276,11 @@ check::Report
 Machine::checkInvariants()
 {
     prepare();
+    HOPP_PROF(InvariantCheck);
+    // Last-known-good marker: a post-mortem reader sees how far past
+    // the final clean pass the ring's tail runs (a = events executed).
+    obs::blackbox().record(obs::BbKind::InvariantCheck, eq_.now(), 0,
+                           eq_.executed(), 0);
     check::Report r;
     check::validateEventQueue(eq_, eqWatch_, r);
     check::validateVms(*vms_, r);
@@ -271,13 +293,29 @@ Machine::checkInvariants()
 void
 Machine::prepare()
 {
-    if (!built_)
+    if (!built_) {
+        HOPP_PROF(MachineBuild);
         build();
+    }
+}
+
+bool
+Machine::dumpForensics(const std::string &path) const
+{
+    return obs::writeFile(path, obs::blackbox().toJsonl());
 }
 
 RunResult
 Machine::run()
 {
+    // Host-side wall-time attribution for the whole run (build, the
+    // event loop, and result collection); inner zones claim their
+    // slices as self time. No-op unless obs::prof::enable(true) ran.
+    HOPP_PROF(Run);
+    // One black-box flight per run: the ring must end as the tail of
+    // *this* run, not a predecessor on the same host thread (sweeps
+    // reuse worker threads).
+    obs::blackbox().clear();
     prepare();
     for (auto &t : threads_) {
         Thread *tp = t.get();

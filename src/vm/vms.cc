@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "check/check.hh"
+#include "obs/blackbox.hh"
+#include "obs/profiler.hh"
 
 namespace hopp::vm
 {
@@ -110,6 +112,7 @@ Vms::firePteClear(Pid pid, Vpn vpn, Ppn ppn, Tick now)
 bool
 Vms::evictOne(Cgroup &cg, Tick now, bool direct, Duration *cost)
 {
+    HOPP_PROF(Reclaim);
     unsigned rotations = 0;
     while (!cg.lruEmpty()) {
         std::uint64_t key = cg.lruVictim();
@@ -182,6 +185,11 @@ Vms::evictOne(Cgroup &cg, Tick now, bool direct, Duration *cost)
         } else {
             ++stats_.kswapdReclaims;
         }
+        // Black box: which page the reclaim scan chose, and whether
+        // the caller was a direct-reclaiming fault (b=1) or kswapd.
+        // Ring payload serialization. hopp-lint: allow(raw)
+        obs::blackbox().record(obs::BbKind::Evict, now, vpid.raw(),
+                               vvpn.raw(), direct ? 1 : 0);
         return true;
     }
     return false;
@@ -248,6 +256,7 @@ Vms::kswapdRun(Pid pid)
         return;
     }
     Cgroup &cg = *found;
+    HOPP_PROF(Reclaim);
     auto target = static_cast<std::uint64_t>(
         static_cast<double>(cg.limit()) * cfg_.lowWatermark);
     if (trace_)
@@ -303,7 +312,17 @@ Vms::accessSlow(Pid pid, VirtAddr va, bool is_write, Tick now, Tlb *tlb)
 {
     ++stats_.accesses;
     Vpn vpn = pageOf(va);
-    PageInfo &pi = table_.get(pid, vpn);
+    PageInfo *walked;
+    {
+        // Host-time slice of the two-level walk alone, separated from
+        // the fault handling below so the TLB-vs-walk trade stays
+        // measurable.
+        HOPP_PROF(RadixWalk);
+        walked = &table_.get(pid, vpn);
+    }
+    PageInfo &pi = *walked;
+    // Everything below the Resident arm is fault handling.
+    HOPP_PROF_IF(FaultPath, pi.state != PageState::Resident);
 
     // Radix leaves never move, so &pi stays valid across the frame
     // allocation / reclaim below and is safe to cache in the TLB once
@@ -323,6 +342,9 @@ Vms::accessSlow(Pid pid, VirtAddr va, bool is_write, Tick now, Tlb *tlb)
         pi.dirty = true;
         pi.hasSwapCopy = false;
         ++stats_.coldFaults;
+        // Ring payload serialization. hopp-lint: allow(raw)
+        obs::blackbox().record(obs::BbKind::FaultCold, now, pid.raw(),
+                               vpn.raw(), cost);
         if (trace_)
             trace_->complete("vm", "fault.cold", now, cost,
                              obs::track::ofPid(pid));
@@ -359,6 +381,9 @@ Vms::accessSlow(Pid pid, VirtAddr va, bool is_write, Tick now, Tlb *tlb)
         firePteSet(pid, vpn, pi, now + cost);
         ++stats_.swapCacheHits;
         --swapCachedPages_;
+        // Ring payload serialization. hopp-lint: allow(raw)
+        obs::blackbox().record(obs::BbKind::FaultSwapHit, now, pid.raw(),
+                               vpn.raw(), cost);
         if (trace_)
             trace_->complete("vm", "fault.swapcache_hit", now, cost,
                              obs::track::ofPid(pid));
@@ -399,6 +424,9 @@ Vms::accessSlow(Pid pid, VirtAddr va, bool is_write, Tick now, Tlb *tlb)
             llc_.invalidatePage(ppn);
             ++stats_.inflightWaits;
             --inflight_;
+            // Ring payload serialization. hopp-lint: allow(raw)
+            obs::blackbox().record(obs::BbKind::FaultWait, now,
+                                   pid.raw(), vpn.raw(), cost);
             if (trace_)
                 trace_->complete("vm", "fault.inflight_wait", now, cost,
                                  obs::track::ofPid(pid));
@@ -436,6 +464,9 @@ Vms::accessSlow(Pid pid, VirtAddr va, bool is_write, Tick now, Tlb *tlb)
         mc_.pageDma(ppn, now + cost);
         llc_.invalidatePage(ppn);
         ++stats_.remoteFaults;
+        // Ring payload serialization. hopp-lint: allow(raw)
+        obs::blackbox().record(obs::BbKind::FaultRemote, now, pid.raw(),
+                               vpn.raw(), cost);
         if (trace_) {
             // The fault span plus its §II-A decomposition: kernel
             // steps (incl. direct reclaim), the RDMA transfer (incl.
@@ -487,6 +518,9 @@ Vms::prefetchToSwapCache(Pid pid, Vpn vpn, Origin origin, Tick now)
     pi.completesAt = backend_.readAsync(
         issue,
         [this, pid, vpn](Tick t) { finishPrefetch(pid, vpn, t); });
+    // Ring payload serialization. hopp-lint: allow(raw)
+    obs::blackbox().record(obs::BbKind::PrefetchIssue, issue, pid.raw(),
+                           vpn.raw(), pi.completesAt.raw());
     if (trace_) {
         // Issue->fill span; ends at the already-known completion tick
         // (the sort puts the end event in its place).
@@ -525,6 +559,9 @@ Vms::prefetchInject(Pid pid, Vpn vpn, Origin origin, Tick now)
         firePteSet(pid, vpn, pi, now);
         ++stats_.adoptions;
         --swapCachedPages_;
+        // Ring payload serialization. hopp-lint: allow(raw)
+        obs::blackbox().record(obs::BbKind::PrefetchInject, now,
+                               pid.raw(), vpn.raw(), 0);
         if (trace_)
             trace_->instant("vm", "prefetch.adopt", now,
                             obs::track::ofPid(pid));
@@ -553,6 +590,9 @@ Vms::prefetchInject(Pid pid, Vpn vpn, Origin origin, Tick now)
     pi.completesAt = backend_.readAsync(
         issue,
         [this, pid, vpn](Tick t) { finishPrefetch(pid, vpn, t); });
+    // Ring payload serialization. hopp-lint: allow(raw)
+    obs::blackbox().record(obs::BbKind::PrefetchIssue, issue, pid.raw(),
+                           vpn.raw(), pi.completesAt.raw());
     if (trace_) {
         std::uint64_t id = trace_->nextAsyncId();
         trace_->asyncBegin("vm", "prefetch.inject", issue, id);
@@ -593,6 +633,11 @@ Vms::prefetchInjectBatch(Pid pid, Vpn vpn, unsigned count,
         });
     for (Vpn v : bundleScratch_)
         table_.get(pid, v).completesAt = completion;
+    // One ring entry covers the bundle (one transfer): a = first vpn,
+    // b = bundle size. hopp-lint: allow(raw)
+    obs::blackbox().record(obs::BbKind::PrefetchIssue, issue, pid.raw(),
+                           bundleScratch_.front().raw(),
+                           bundleScratch_.size());
     if (trace_) {
         // One span covers the whole bundle (one RDMA transfer).
         std::uint64_t id = trace_->nextAsyncId();
@@ -636,6 +681,10 @@ Vms::finishPrefetch(Pid pid, Vpn vpn, Tick completion)
         cgroup(pid).lruInsert(pageKey(pid, vpn), pi);
         ++swapCachedPages_;
     }
+    // Ring payload serialization; b=1 when the arrival injected a
+    // PTE, 0 when it parked in the swap cache. hopp-lint: allow(raw)
+    obs::blackbox().record(obs::BbKind::PrefetchFill, completion,
+                           pid.raw(), vpn.raw(), inject ? 1 : 0);
     for (auto *l : listeners_)
         l->onPrefetchCompleted(pid, vpn, origin, completion, inject);
 }

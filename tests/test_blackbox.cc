@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Black-box flight-ring tests: wrap semantics, JSONL rendering, and
+ * the end-to-end forensics path through Machine::dumpForensics().
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/blackbox.hh"
+#include "obs/json.hh"
+#include "runner/machine.hh"
+#include "workloads/apps.hh"
+
+using namespace hopp;
+using namespace hopp::obs;
+
+namespace
+{
+
+/** Split @p text into its non-empty lines. */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        if (end > start)
+            lines.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return lines;
+}
+
+TEST(BlackBox, KeepsLastCapacityEventsAcrossWrap)
+{
+    BlackBox bb;
+    const std::size_t n = BlackBox::capacity + 76;
+    for (std::size_t i = 0; i < n; ++i)
+        bb.record(BbKind::FaultRemote, Tick{i}, 1, i, 0);
+
+    EXPECT_EQ(bb.size(), BlackBox::capacity);
+    EXPECT_EQ(bb.totalRecorded(), n);
+    // Oldest surviving entry is record #76; newest is #n-1.
+    EXPECT_EQ(bb.event(0).seq, 76u);
+    EXPECT_EQ(bb.event(0).a, 76u);
+    EXPECT_EQ(bb.event(BlackBox::capacity - 1).seq, n - 1);
+}
+
+TEST(BlackBox, ClearForgetsEverything)
+{
+    BlackBox bb;
+    bb.record(BbKind::Evict, Tick{5}, 2, 3, 4);
+    ASSERT_EQ(bb.size(), 1u);
+    bb.clear();
+    EXPECT_EQ(bb.size(), 0u);
+    EXPECT_EQ(bb.totalRecorded(), 0u);
+    EXPECT_TRUE(bb.toJsonl().empty());
+}
+
+TEST(BlackBox, JsonlLinesParseAndMatchTheRing)
+{
+    BlackBox bb;
+    bb.record(BbKind::FaultCold, Tick{1000}, 1, 42, 0);
+    bb.record(BbKind::PrefetchIssue, Tick{2500}, 1, 43, 9000);
+    bb.record(BbKind::InvariantViolation, Tick{2600}, 0, 1, 0);
+
+    std::vector<std::string> lines = splitLines(bb.toJsonl());
+    ASSERT_EQ(lines.size(), 3u);
+
+    const char *names[] = {"fault.cold", "prefetch.issue",
+                           "check.violation"};
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        json::Value v;
+        std::string err;
+        ASSERT_TRUE(json::parse(lines[i], v, &err))
+            << lines[i] << ": " << err;
+        EXPECT_EQ(v.find("name")->str(), names[i]);
+        EXPECT_EQ(v.find("ph")->str(), "i");
+        EXPECT_EQ(v.find("cat")->str(), "bb");
+        const json::Value *args = v.find("args");
+        ASSERT_NE(args, nullptr);
+        EXPECT_EQ(args->find("seq")->number(),
+                  static_cast<double>(i));
+        EXPECT_EQ(args->find("a")->number(),
+                  static_cast<double>(bb.event(i).a));
+    }
+}
+
+TEST(BlackBox, MachineRunLeavesAUsableForensicsDump)
+{
+    runner::MachineConfig cfg;
+    cfg.system = runner::SystemKind::Fastswap;
+    workloads::WorkloadScale scale;
+    scale.footprint = 0.2;
+    scale.iterations = 0.3;
+
+    runner::Machine m(cfg);
+    m.addWorkload(workloads::makeWorkload("microbench", scale, 43));
+    runner::RunResult res = m.run();
+    ASSERT_GT(res.vms.faults(), 0u);
+
+    // The run recorded faults into this thread's ring...
+    BlackBox &bb = blackbox();
+    ASSERT_GT(bb.size(), 0u);
+
+    // ...and dumpForensics writes exactly that ring as JSONL.
+    const std::string path = "bb_forensics_unit.jsonl";
+    ASSERT_TRUE(m.dumpForensics(path));
+
+    std::string text;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+    }
+    std::remove(path.c_str());
+
+    std::vector<std::string> lines = splitLines(text);
+    ASSERT_EQ(lines.size(), bb.size());
+    // The dump's tail is the ring's tail, event for event.
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        json::Value v;
+        std::string err;
+        ASSERT_TRUE(json::parse(lines[i], v, &err)) << err;
+        EXPECT_EQ(v.find("name")->str(), bbKindName(bb.event(i).kind));
+        EXPECT_EQ(v.find("args")->find("seq")->number(),
+                  static_cast<double>(bb.event(i).seq));
+    }
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Host self-profiler unit tests: disabled-is-off, nesting arithmetic,
+ * reset semantics, machine-run attribution, and the JSON rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hh"
+#include "obs/profiler.hh"
+#include "runner/machine.hh"
+#include "workloads/apps.hh"
+
+using namespace hopp;
+using namespace hopp::obs;
+
+namespace
+{
+
+/** Every test starts from a dead profiler with zeroed tables. */
+class ProfilerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        prof::enable(false);
+        prof::reset();
+    }
+
+    void TearDown() override { prof::enable(false); }
+};
+
+TEST_F(ProfilerTest, DisabledRecordsNothing)
+{
+    {
+        HOPP_PROF(Run);
+        HOPP_PROF(VmsAccess);
+    }
+    prof::Report r = prof::collect();
+    EXPECT_EQ(r.wallNs(), 0u);
+    for (unsigned z = 0; z < prof::zoneCount; ++z)
+        EXPECT_EQ(r.zones[z].count, 0u) << prof::zoneName(
+            static_cast<prof::Zone>(z));
+}
+
+TEST_F(ProfilerTest, NestingAttributesChildTimeToParent)
+{
+    prof::enable(true);
+    {
+        HOPP_PROF(Run);
+        {
+            HOPP_PROF(VmsAccess);
+            {
+                HOPP_PROF(RadixWalk);
+            }
+        }
+        {
+            HOPP_PROF(Llc);
+        }
+    }
+    prof::Report r = prof::collect();
+
+    auto slot = [&](prof::Zone z) -> const prof::ZoneSlot & {
+        return r.zones[static_cast<unsigned>(z)];
+    };
+    EXPECT_EQ(slot(prof::Zone::Run).count, 1u);
+    EXPECT_EQ(slot(prof::Zone::VmsAccess).count, 1u);
+    EXPECT_EQ(slot(prof::Zone::RadixWalk).count, 1u);
+    EXPECT_EQ(slot(prof::Zone::Llc).count, 1u);
+
+    // Run's inclusive time covers both children; its child time is
+    // what VmsAccess and Llc accumulated, so self <= total and the
+    // walk's time is attributed to VmsAccess, not Run.
+    EXPECT_GE(slot(prof::Zone::Run).totalNs,
+              slot(prof::Zone::VmsAccess).totalNs +
+                  slot(prof::Zone::Llc).totalNs);
+    EXPECT_GE(slot(prof::Zone::VmsAccess).totalNs,
+              slot(prof::Zone::RadixWalk).totalNs);
+    EXPECT_EQ(slot(prof::Zone::VmsAccess).childNs,
+              slot(prof::Zone::RadixWalk).totalNs);
+    EXPECT_LE(r.selfNs(prof::Zone::Run), slot(prof::Zone::Run).totalNs);
+    EXPECT_LE(r.attributedNs(), r.wallNs());
+}
+
+TEST_F(ProfilerTest, ReentrantZoneCountsOnceForTime)
+{
+    prof::enable(true);
+    {
+        HOPP_PROF(Reclaim);
+        {
+            HOPP_PROF(Reclaim); // nested re-entry: counted, not timed
+        }
+    }
+    prof::Report r = prof::collect();
+    const prof::ZoneSlot &s =
+        r.zones[static_cast<unsigned>(prof::Zone::Reclaim)];
+    EXPECT_EQ(s.count, 2u);
+    // Only the outer activation accumulated, so self == total (the
+    // nested entry must not have pushed its elapsed time into childNs).
+    EXPECT_EQ(r.selfNs(prof::Zone::Reclaim), s.totalNs);
+}
+
+TEST_F(ProfilerTest, ConditionalArmingFollowsThePredicate)
+{
+    prof::enable(true);
+    {
+        HOPP_PROF_IF(FaultPath, false);
+    }
+    {
+        HOPP_PROF_IF(FaultPath, true);
+    }
+    prof::Report r = prof::collect();
+    EXPECT_EQ(r.zones[static_cast<unsigned>(prof::Zone::FaultPath)].count,
+              1u);
+}
+
+TEST_F(ProfilerTest, ResetZeroesEverything)
+{
+    prof::enable(true);
+    {
+        HOPP_PROF(Run);
+    }
+    EXPECT_GT(prof::collect().zones[0].count, 0u);
+    prof::reset();
+    prof::Report r = prof::collect();
+    for (unsigned z = 0; z < prof::zoneCount; ++z) {
+        EXPECT_EQ(r.zones[z].totalNs, 0u);
+        EXPECT_EQ(r.zones[z].count, 0u);
+    }
+}
+
+TEST_F(ProfilerTest, MachineRunIsAttributed)
+{
+    prof::enable(true);
+    workloads::WorkloadScale scale;
+    scale.footprint = 0.2;
+    scale.iterations = 0.3;
+    runner::RunResult res = runner::runOne(
+        "microbench", runner::SystemKind::Fastswap, 0.5, scale);
+    ASSERT_GT(res.vms.faults(), 0u);
+
+    prof::Report r = prof::collect();
+    EXPECT_GT(r.wallNs(), 0u);
+    auto count = [&](prof::Zone z) {
+        return r.zones[static_cast<unsigned>(z)].count;
+    };
+    EXPECT_GT(count(prof::Zone::EventDispatch), 0u);
+    EXPECT_GT(count(prof::Zone::WorkloadGen), 0u);
+    EXPECT_GT(count(prof::Zone::VmsAccess), 0u);
+    EXPECT_GT(count(prof::Zone::FaultPath), 0u);
+    EXPECT_GT(count(prof::Zone::Reclaim), 0u);
+
+    double f = r.attributedFraction();
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0);
+}
+
+TEST_F(ProfilerTest, JsonReportIsWellFormed)
+{
+    prof::enable(true);
+    {
+        HOPP_PROF(Run);
+        {
+            HOPP_PROF(Llc);
+        }
+    }
+    std::string doc = prof::toJson(prof::collect());
+
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(doc, v, &err)) << err;
+    const json::Value *schema = v.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->str(), "hopp-profile-v1");
+    const json::Value *zones = v.find("zones");
+    ASSERT_NE(zones, nullptr);
+    ASSERT_TRUE(zones->isArray());
+    EXPECT_EQ(zones->items().size(), prof::zoneCount);
+    const json::Value *frac = v.find("attributed_fraction");
+    ASSERT_NE(frac, nullptr);
+    EXPECT_GE(frac->number(), 0.0);
+    EXPECT_LE(frac->number(), 1.0);
+}
+
+} // namespace

@@ -12,7 +12,10 @@
  *                   unrepeatable.
  *   wall-clock      system_clock / gettimeofday / time() / clock() —
  *                   wall-clock time inside the simulation; all time
- *                   must be sim::EventQueue ticks.
+ *                   must be sim::EventQueue ticks. obs/profiler.* is
+ *                   the one sanctioned reader (it times the simulator
+ *                   itself and is proven side-effect free by the
+ *                   profiler on/off byte-identity test).
  *   unordered-iter  range-for or begin() iteration over a variable
  *                   declared as std::unordered_map/unordered_set in the
  *                   same file — iteration order is unspecified, so any
@@ -506,6 +509,12 @@ scanFile(const fs::path &path, FileScan &out)
     // basename prefix ("runner/sweep") covers sweep_pool.* and any
     // future sweep_*.cc split out beside it.
     bool in_sweep = generic.find("runner/sweep") != std::string::npos;
+    // The host self-profiler is the one sanctioned wall-clock reader:
+    // it measures the simulator, never the simulation, and ships with
+    // a byte-identity test proving sim output is unaffected. Same
+    // basename-prefix trick as runner/sweep above.
+    bool in_profiler =
+        generic.find("obs/profiler.") != std::string::npos;
     bool is_types_hh =
         generic.size() >= std::strlen("common/types.hh") &&
         generic.compare(generic.size() - std::strlen("common/types.hh"),
@@ -619,24 +628,28 @@ scanFile(const fs::path &path, FileScan &out)
                  "become unrepeatable");
         }
 
-        for (const char *tok :
-             {"system_clock", "steady_clock", "high_resolution_clock"}) {
-            if (hasToken(line, tok, false)) {
-                emit(lineno, "wall-clock",
-                     std::string(tok) +
-                         " reads wall-clock time; simulated time must "
-                         "come from sim::EventQueue ticks");
-                break;
+        if (!in_profiler) {
+            for (const char *tok : {"system_clock", "steady_clock",
+                                    "high_resolution_clock"}) {
+                if (hasToken(line, tok, false)) {
+                    emit(lineno, "wall-clock",
+                         std::string(tok) +
+                             " reads wall-clock time; simulated time "
+                             "must come from sim::EventQueue ticks "
+                             "(host timing belongs in obs/profiler.*)");
+                    break;
+                }
             }
-        }
-        for (const char *tok :
-             {"time", "clock", "gettimeofday", "clock_gettime"}) {
-            if (hasToken(line, tok, /*call_only=*/true)) {
-                emit(lineno, "wall-clock",
-                     std::string(tok) +
-                         "() reads wall-clock time; simulated time must "
-                         "come from sim::EventQueue ticks");
-                break;
+            for (const char *tok :
+                 {"time", "clock", "gettimeofday", "clock_gettime"}) {
+                if (hasToken(line, tok, /*call_only=*/true)) {
+                    emit(lineno, "wall-clock",
+                         std::string(tok) +
+                             "() reads wall-clock time; simulated time "
+                             "must come from sim::EventQueue ticks "
+                             "(host timing belongs in obs/profiler.*)");
+                    break;
+                }
             }
         }
 
@@ -657,7 +670,7 @@ scanFile(const fs::path &path, FileScan &out)
                  "centralized");
         }
 
-        if (in_obs && hasToken(line, "chrono", false)) {
+        if (in_obs && !in_profiler && hasToken(line, "chrono", false)) {
             emit(lineno, "obs-chrono",
                  "std::chrono in the observability layer; trace "
                  "timestamps must be simulator ticks so traces stay "

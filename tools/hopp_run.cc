@@ -8,7 +8,8 @@
  *            [--eviction-advisor] [--seed N] [--dump-hopp] [--list]
  *            [--trace-out FILE] [--trace-jsonl FILE]
  *            [--metrics-out FILE] [--metrics-period NS]
- *            [--stats-json FILE]
+ *            [--stats-json FILE] [--profile-out FILE]
+ *            [--blackbox-out FILE] [--inject-corruption N]
  *
  * Examples:
  *   hopp-run --workload npb-mg --system hopp --ratio 0.5 --dump-hopp
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "hopp/hopp_system.hh"
+#include "obs/profiler.hh"
 #include "obs/trace_writer.hh"
 #include "runner/machine.hh"
 #include "runner/stats_report.hh"
@@ -71,6 +73,12 @@ usage(const char *argv0)
         "  --metrics-out FILE  write periodic gauge samples as CSV\n"
         "  --metrics-period NS sampling period in simulated ns"
         " (default 100000)\n"
+        "  --profile-out FILE  enable the host self-profiler and write"
+        " its JSON report (sim output is unaffected)\n"
+        "  --blackbox-out FILE dump the black-box event ring as JSONL"
+        " after the run\n"
+        "  --inject-corruption N  test hook: corrupt LLC accounting"
+        " after N events so --check fails and dumps forensics\n"
         "  --list              list workloads and exit\n",
         argv0);
 }
@@ -159,6 +167,7 @@ main(int argc, char **argv)
     bool dump_hopp = false;
     bool dump_stats = false;
     std::string trace_out, trace_jsonl, metrics_out, stats_json;
+    std::string profile_out, blackbox_out;
     Duration metrics_period = 100'000; // 100 us of simulated time
 
     auto need = [&](int &i) -> const char * {
@@ -216,6 +225,13 @@ main(int argc, char **argv)
             trace_jsonl = need(i);
         } else if (arg == "--metrics-out") {
             metrics_out = need(i);
+        } else if (arg == "--profile-out") {
+            profile_out = need(i);
+        } else if (arg == "--blackbox-out") {
+            blackbox_out = need(i);
+        } else if (arg == "--inject-corruption") {
+            cfg.corruptAfterEvents =
+                static_cast<std::uint64_t>(std::atoll(need(i)));
         } else if (arg == "--metrics-period") {
             metrics_period =
                 static_cast<Duration>(std::atoll(need(i)));
@@ -239,6 +255,11 @@ main(int argc, char **argv)
         cfg.trace = true;
     if (!metrics_out.empty())
         cfg.metricsPeriod = metrics_period;
+    // Host-side only: profiling changes no simulated behaviour, so
+    // enabling it must leave every sim artifact byte-identical (the
+    // profiler_on_off ctest holds us to that).
+    if (!profile_out.empty())
+        obs::prof::enable(true);
 
     Machine machine(cfg);
     for (std::size_t i = 0; i < workload_names.size(); ++i) {
@@ -304,5 +325,11 @@ main(int argc, char **argv)
         io_ok &= obs::writeFile(metrics_out,
                                 machine.metricsSampler()->toCsv());
     }
+    if (!profile_out.empty()) {
+        io_ok &= obs::writeFile(profile_out,
+                                obs::prof::toJson(obs::prof::collect()));
+    }
+    if (!blackbox_out.empty())
+        io_ok &= machine.dumpForensics(blackbox_out);
     return io_ok ? 0 : 1;
 }

@@ -146,6 +146,21 @@ printSummary(const TraceCheck &c, unsigned top)
                     static_cast<unsigned long long>(
                         spans[i].second.count));
     }
+
+    if (!c.trackSpans.empty())
+        std::printf("completed spans per track:\n");
+    for (const auto &[track, count] : c.trackSpans) {
+        std::printf("  track %u: %llu span(s)\n", track,
+                    static_cast<unsigned long long>(count));
+    }
+
+    if (!c.counters.empty())
+        std::printf("counter totals:\n");
+    for (const auto &[name, total] : c.counters) {
+        std::printf("  %-28s sum %.3f over %llu sample(s)\n",
+                    name.c_str(), total.sum,
+                    static_cast<unsigned long long>(total.samples));
+    }
 }
 
 } // namespace
