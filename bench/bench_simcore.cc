@@ -35,6 +35,11 @@
  *    workload, 50% local memory) reporting faults/sec, events/sec and
  *    wall-ns per simulated millisecond.
  *
+ * 5. Batched access execution: the same end-to-end run with the
+ *    batched pump and with --no-batch, best of three each, asserting
+ *    the two agree on every simulated outcome and recording the
+ *    host-side speedup.
+ *
  * Wall-clock use is deliberate and confined to bench/ (the determinism
  * lint only polices src/ and tools/): throughput numbers are exactly
  * the place where real time belongs.
@@ -426,18 +431,23 @@ struct EndToEnd
 {
     double faultsPerSec;
     double eventsPerSec;
+    double accessesPerSec;
     double wallNsPerSimMs;
     std::uint64_t faults;
     std::uint64_t events;
+    std::uint64_t accesses;
+    Tick makespan;
 };
 
+/** One full HoPP machine run; @p batch selects the access pump. */
 EndToEnd
-endToEndSteadyState(bool quick)
+endToEndOnce(bool quick, bool batch)
 {
     runner::MachineConfig cfg;
     cfg.system = runner::SystemKind::Hopp;
     cfg.localMemRatio = 0.5; // half the footprint is remote: constant
                              // fault/prefetch pressure
+    cfg.batch = batch;
     workloads::WorkloadScale scale;
     scale.footprint = quick ? 0.2 : 1.0;
     scale.iterations = quick ? 0.2 : 1.0;
@@ -451,14 +461,62 @@ endToEndSteadyState(bool quick)
     EndToEnd e;
     e.faults = m.vms().stats().faults();
     e.events = m.eventQueue().executed();
+    e.accesses = m.vms().stats().accesses;
+    e.makespan = r.makespan;
     e.faultsPerSec = static_cast<double>(e.faults) / wall;
     e.eventsPerSec = static_cast<double>(e.events) / wall;
+    e.accessesPerSec = static_cast<double>(e.accesses) / wall;
     e.wallNsPerSimMs = wall * 1e9 / sim_ms;
     return e;
 }
 
+EndToEnd
+endToEndSteadyState(bool quick)
+{
+    return endToEndOnce(quick, /*batch=*/true);
+}
+
+struct BatchedAccess
+{
+    EndToEnd batched; //!< best of three, batch pump (the default)
+    EndToEnd scalar;  //!< best of three, --no-batch scalar pump
+    double speedupVsScalar;
+    bool identicalResults;
+};
+
 /**
- * 5. Self-profile: the end-to-end run again, this time with the host
+ * 5. Batched access execution (ROADMAP item 3): the end-to-end run
+ *    with the batched pump against the same run with --no-batch,
+ *    best of three each. The two must agree on every simulated
+ *    outcome (identical_results) — the speedup is pure host-side.
+ *    The >= 10x acceptance comparison is against the pre-batching
+ *    committed artifact's end_to_end.faults_per_sec (hopp-report
+ *    diffs the two JSONs).
+ */
+BatchedAccess
+batchedAccessBench(bool quick)
+{
+    constexpr int trials = 3;
+    BatchedAccess b{};
+    for (int i = 0; i < trials; ++i) {
+        EndToEnd on = endToEndOnce(quick, true);
+        if (i == 0 || on.faultsPerSec > b.batched.faultsPerSec)
+            b.batched = on;
+        EndToEnd off = endToEndOnce(quick, false);
+        if (i == 0 || off.faultsPerSec > b.scalar.faultsPerSec)
+            b.scalar = off;
+    }
+    b.speedupVsScalar =
+        b.batched.faultsPerSec / b.scalar.faultsPerSec;
+    b.identicalResults = b.batched.faults == b.scalar.faults &&
+                         b.batched.accesses == b.scalar.accesses &&
+                         b.batched.events == b.scalar.events &&
+                         b.batched.makespan == b.scalar.makespan;
+    return b;
+}
+
+/**
+ * 6. Self-profile: the end-to-end run again, this time with the host
  *    self-profiler armed, reporting where the simulator's own wall
  *    time goes (dispatch vs page walk vs fault path vs LLC vs ...).
  *    The attributed fraction is the profiler's coverage acceptance
@@ -531,6 +589,14 @@ main(int argc, char **argv)
                 "per sim-ms\n",
                 e.faultsPerSec, e.eventsPerSec / 1e6, e.wallNsPerSimMs);
 
+    BatchedAccess ba = batchedAccessBench(quick);
+    std::printf("  batched access: %.0f faults/s (%.2fM acc/s), scalar "
+                "%.0f faults/s, speedup %.2fx%s\n",
+                ba.batched.faultsPerSec,
+                ba.batched.accessesPerSec / 1e6,
+                ba.scalar.faultsPerSec, ba.speedupVsScalar,
+                ba.identicalResults ? "" : " [RESULTS DIVERGE!]");
+
     obs::prof::Report p = selfProfileBench(quick);
     std::printf("  self-profile: %.1f%% of %.3f ms attributed to "
                 "zones\n",
@@ -595,6 +661,24 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"events_per_sec\": %.0f,\n", e.eventsPerSec);
     std::fprintf(f, "    \"wall_ns_per_sim_ms\": %.0f\n",
                  e.wallNsPerSimMs);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"batched_access\": {\n");
+    std::fprintf(f, "    \"workload\": \"microbench\",\n");
+    std::fprintf(f, "    \"local_mem_ratio\": 0.5,\n");
+    std::fprintf(f, "    \"accesses\": %llu,\n",
+                 (unsigned long long)ba.batched.accesses);
+    std::fprintf(f, "    \"faults\": %llu,\n",
+                 (unsigned long long)ba.batched.faults);
+    std::fprintf(f, "    \"faults_per_sec\": %.0f,\n",
+                 ba.batched.faultsPerSec);
+    std::fprintf(f, "    \"accesses_per_sec\": %.0f,\n",
+                 ba.batched.accessesPerSec);
+    std::fprintf(f, "    \"scalar_faults_per_sec\": %.0f,\n",
+                 ba.scalar.faultsPerSec);
+    std::fprintf(f, "    \"speedup_vs_scalar\": %.3f,\n",
+                 ba.speedupVsScalar);
+    std::fprintf(f, "    \"identical_results\": %s\n",
+                 ba.identicalResults ? "true" : "false");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"self_profile\": {\n");
     std::fprintf(f, "    \"wall_ns\": %llu,\n",

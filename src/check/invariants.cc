@@ -96,17 +96,17 @@ class Access
         std::vector<std::uint64_t> tags;
         for (std::size_t s = 0; s < c.sets_; ++s) {
             for (std::size_t w = 0; w < c.ways_; ++w) {
-                const auto &line = c.lines_[s * c.ways_ + w];
-                if (!line.valid)
+                if (!((c.valid_[s] >> w) & 1))
                     continue;
+                std::uint64_t tag = c.tags_[s * c.ways_ + w];
                 ++valid;
-                tags.push_back(line.tag);
-                if ((line.tag & (c.sets_ - 1)) != s) {
+                tags.push_back(tag);
+                if ((tag & (c.sets_ - 1)) != s) {
                     r.fail(what, formatMessage(
                                      "tag %llx stored in set %zu but "
                                      "indexes to set %llu",
-                                     (unsigned long long)line.tag, s,
-                                     (unsigned long long)(line.tag &
+                                     (unsigned long long)tag, s,
+                                     (unsigned long long)(tag &
                                                           (c.sets_ - 1))));
                 }
             }
@@ -135,10 +135,11 @@ class Access
     static void
     tamperLlc(mem::Llc &llc)
     {
-        for (auto &line : llc.tags_.lines_) {
-            if (line.valid) {
+        auto &tags = llc.tags_;
+        for (std::size_t s = 0; s < tags.sets_; ++s) {
+            if (std::uint64_t m = tags.valid_[s]) {
                 // Drop the line without fixing live_: a leak.
-                line.valid = false;
+                tags.valid_[s] = m & (m - 1);
                 return;
             }
         }

@@ -76,7 +76,12 @@ class Hpd
         }
         ++stats_.reads;
         Ppn ppn = pageOf(pa);
-        if (Entry *e = table_.touch(ppn)) {
+        // One combined way scan for probe + fill (identical hit/victim
+        // behaviour to touch() + insert(), see SetAssocCache); the HPD
+        // sits behind every LLC miss, so the scan count shows.
+        auto r = table_.probeInsert(ppn, Entry{1, false});
+        if (r.hit) {
+            Entry *e = r.value;
             if (e->sent) {
                 ++stats_.suppressed;
                 return std::nullopt;
@@ -88,12 +93,11 @@ class Hpd
             }
             return std::nullopt;
         }
-        if (table_.insert(ppn, Entry{1, false}).has_value())
+        if (r.evicted)
             ++stats_.evictions;
         if (cfg_.threshold <= 1) {
             // Degenerate configuration: every first touch is hot.
-            Entry *e = table_.peek(ppn);
-            e->sent = true;
+            r.value->sent = true;
             ++stats_.hotPages;
             return ppn;
         }

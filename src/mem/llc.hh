@@ -54,12 +54,13 @@ class Llc
     {
         HOPP_PROF(Llc);
         std::uint64_t tag = taggedLine(pa);
-        if (tags_.touch(tag)) {
+        // One combined way scan for probe + fill (identical hit/victim
+        // behaviour to touch() + insert(), see SetAssocCache).
+        if (tags_.probeInsert(tag, Empty{}).hit) {
             ++hits_;
             return true;
         }
         ++misses_;
-        tags_.insert(tag, Empty{});
         return false;
     }
 

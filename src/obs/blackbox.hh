@@ -33,6 +33,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstdio>
@@ -151,18 +152,40 @@ class BlackBox
     void clear() { seq_ = 0; }
 
     /**
-     * Render the ring oldest-to-newest as JSONL of Chrome-trace
-     * instant events (one object per line, fixed key order) —
-     * readable by `hopp_trace --summary` and `obs/json.hh`.
+     * Render the ring as JSONL of Chrome-trace instant events (one
+     * object per line, fixed key order) — readable by `hopp_trace
+     * --summary` and `obs/json.hh`.
+     *
+     * Lines are emitted in (tick, seq) order, not append order: some
+     * records legitimately carry scheduled ticks ahead of the context
+     * that recorded them (a serialized prefetch batch stamps each
+     * issue tick, a fill stamps its completion), and the batched pump
+     * lets threads record fault entries ahead of the event queue's
+     * clock, so append order is causal but not time-ordered. Sorting
+     * at dump time keeps the recorded truth while satisfying the
+     * trace contract (`hopp_trace` rejects backwards timestamps);
+     * `seq` breaks ties so equal-tick lines keep record order and the
+     * dump stays deterministic.
      */
     std::string
     toJsonl() const
     {
+        std::array<const BlackBoxEvent *, capacity> order;
+        const std::size_t n = size();
+        for (std::size_t i = 0; i < n; ++i)
+            order[i] = &event(i);
+        std::sort(order.begin(), order.begin() + n,
+                  [](const BlackBoxEvent *x, const BlackBoxEvent *y) {
+                      if (x->ts != y->ts)
+                          return x->ts < y->ts;
+                      return x->seq < y->seq;
+                  });
+
         std::string out;
-        out.reserve(size() * 128);
+        out.reserve(n * 128);
         char buf[192];
-        for (std::size_t i = 0; i < size(); ++i) {
-            const BlackBoxEvent &e = event(i);
+        for (std::size_t i = 0; i < n; ++i) {
+            const BlackBoxEvent &e = *order[i];
             // Unit-change boundary: ticks leave the tagged domain
             // for the trace file. hopp-lint: allow(raw, raw-int-addr)
             const unsigned long long tick = e.ts.raw();

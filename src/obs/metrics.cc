@@ -44,9 +44,11 @@ MetricsSampler::fire()
 {
     HOPP_PROF(MetricsSample);
     sampleNow();
-    // Reschedule only while the machine still has work: a sampler
-    // that always rearms would keep eq_.run() from ever draining.
-    if (!eq_.empty())
+    // Reschedule only while the machine still has work — pending
+    // events, or (threads are pumped outside the queue) live
+    // application threads: a sampler that always rearms would keep the
+    // pump from ever draining.
+    if (!eq_.empty() || (live_ && live_()))
         eq_.scheduleIn(period_, [this] { fire(); });
 }
 

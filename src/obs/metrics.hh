@@ -6,9 +6,11 @@
  * prefetches, ...) every `period` ns of simulated time into
  * in-memory series, exported as CSV.
  *
- * The sampler only reschedules itself while other events are pending,
- * so it never keeps an otherwise-drained event queue alive; the
- * machine takes one final snapshot after the run for the end state.
+ * The sampler only reschedules itself while the machine still has work
+ * — other events pending, or the liveness callback reporting running
+ * application threads (threads are pumped by the runner, not queued as
+ * events) — so it never keeps an otherwise-drained event queue alive;
+ * the machine takes one final snapshot after the run for the end state.
  */
 
 #pragma once
@@ -49,6 +51,15 @@ class MetricsSampler
      */
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
+    /**
+     * Tell the sampler how to ask whether the machine still has work
+     * beyond the event queue. Application threads are pumped by the
+     * runner's two-level scheduler rather than queued as events, so an
+     * empty queue alone no longer means the run is over; without a
+     * callback the sampler falls back to the queue-only test.
+     */
+    void setLiveness(std::function<bool()> live) { live_ = std::move(live); }
+
     /** Schedule the first sample one period from now. */
     void start();
 
@@ -76,6 +87,7 @@ class MetricsSampler
 
     sim::EventQueue &eq_;
     Duration period_;
+    std::function<bool()> live_;
     Tracer *tracer_ = nullptr;
     std::vector<Gauge> gauges_;
     std::vector<Tick> times_;

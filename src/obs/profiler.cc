@@ -19,6 +19,8 @@ zoneName(Zone z)
     switch (z) {
     case Zone::Run:
         return "run";
+    case Zone::AccessPump:
+        return "access_pump";
     case Zone::EventDispatch:
         return "event_dispatch";
     case Zone::WorkloadGen:

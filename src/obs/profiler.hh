@@ -62,9 +62,10 @@ namespace hopp::obs::prof
  */
 enum class Zone : std::uint8_t {
     Run,            //!< Machine::run() end to end (build/sim/collect)
+    AccessPump,     //!< Machine::pump() two-level scheduler loop
     EventDispatch,  //!< EventQueue::runOne body
-    WorkloadGen,    //!< generator next() in Machine::step
-    VmsAccess,      //!< Vms::access from the step loop (TLB + fast path)
+    WorkloadGen,    //!< generator next()/nextBatch() block refills
+    VmsAccess,      //!< Vms::access/accessBatch (TLB + fast path)
     RadixWalk,      //!< page-table walk inside Vms::accessSlow
     FaultPath,      //!< non-resident handling in Vms::accessSlow
     Llc,            //!< Llc::access tag probe + fill

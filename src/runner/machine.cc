@@ -104,6 +104,10 @@ Machine::build()
             auto t = std::make_unique<Thread>();
             t->pid = pid;
             t->gen = make();
+            // One allocation per thread, here: the steady-state fill/
+            // drain loop reuses this block for the machine's lifetime.
+            hopp_assert(cfg_.quantum > 0, "quantum must be nonzero");
+            t->block.resize(cfg_.quantum);
             if (cfg_.tlb)
                 vms_->addPteHook(&t->tlb);
             threads_.push_back(std::move(t));
@@ -180,6 +184,15 @@ Machine::build()
     if (cfg_.metricsPeriod > 0) {
         metrics_ = std::make_unique<obs::MetricsSampler>(
             eq_, cfg_.metricsPeriod);
+        // Threads are pumped outside the event queue, so "queue empty"
+        // alone no longer means the run is over.
+        metrics_->setLiveness([this] {
+            for (const auto &t : threads_) {
+                if (!t->done)
+                    return true;
+            }
+            return false;
+        });
         metrics_->addGauge("dram.used_frames", [d = dram_.get()] {
             return static_cast<double>(d->usedFrames());
         });
@@ -223,34 +236,117 @@ Machine::build()
 }
 
 void
-Machine::step(Thread &t)
+Machine::pump()
 {
-    unsigned budget = cfg_.quantum;
-    workloads::Access a;
-    while (budget-- > 0) {
-        {
-            HOPP_PROF(WorkloadGen);
-            if (!t.gen->next(a)) {
-                t.done = true;
-                t.completion = t.now;
-                maybeCheck();
-                return;
+    // One zone activation for the whole pump: its self time is the
+    // scheduler loop itself (argmin scan, cursor bookkeeping, the
+    // children's clock reads) at zero per-iteration cost, so the
+    // profiler's attributed fraction covers the loop without slowing
+    // it down.
+    HOPP_PROF(AccessPump);
+    const std::size_t n = threads_.size();
+    for (;;) {
+        // Min-time runnable thread, and the runner-up time: the yield
+        // horizon for the drain segment.
+        std::size_t best = n;
+        Tick tmin = maxTick;
+        Tick limit = maxTick;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Thread &t = *threads_[i];
+            if (t.done)
+                continue;
+            if (best == n || t.now < tmin) {
+                limit = tmin;
+                tmin = t.now;
+                best = i;
+            } else if (t.now < limit) {
+                limit = t.now;
             }
         }
-        {
-            HOPP_PROF(VmsAccess);
-            t.now += vms_->access(t.pid, a.va, a.write, t.now,
-                                  cfg_.tlb ? &t.tlb : nullptr);
+        if (best == n) {
+            // Applications all finished: drain the remaining events
+            // (in-flight completions, reclaim passes, final samples).
+            if (!eq_.runOne())
+                return;
+            maybeCheck();
+            continue;
         }
-        ++t.accesses;
-        // Yield when another event (prefetch completion, kswapd,
-        // another thread) is due before our local time.
-        if (t.now >= eq_.nextTime())
-            break;
+        if (eq_.nextTime() <= tmin) {
+            // An event (RDMA completion, kswapd wakeup, trainer drain,
+            // metrics sample) is due no later than every thread: it
+            // fires first, exactly as when thread timeslices were
+            // themselves events competing on (time, schedule order).
+            // Invariant checks hang off event dispatch alone: the
+            // check cadence is event-count-gated, and only runOne()
+            // advances that count.
+            eq_.runOne();
+            maybeCheck();
+            continue;
+        }
+        // One drain segment of the chosen thread, fused into the pump:
+        // in the common two-thread ping-pong a segment is a single
+        // access, so even a per-segment function call shows up in the
+        // wall time.
+        Thread &t = *threads_[best];
+        vm::Tlb *tlb = cfg_.tlb ? &t.tlb : nullptr;
+        if (cfg_.batch) {
+            if (t.blockPos == t.blockLen) {
+                {
+                    HOPP_PROF(WorkloadGen);
+                    t.blockLen =
+                        t.gen->nextBatch(t.block.data(), t.block.size());
+                }
+                t.blockPos = 0;
+                if (t.blockLen == 0) {
+                    // Empty refill is end-of-stream (nextBatch
+                    // contract).
+                    t.done = true;
+                    t.completion = t.now;
+                }
+                continue;
+            }
+            std::size_t consumed = 0;
+            t.now = vms_->accessBatch(t.pid, t.block.data() + t.blockPos,
+                                      t.blockLen - t.blockPos, t.now,
+                                      limit, &consumed, tlb);
+            t.blockPos += consumed;
+            t.accesses += consumed;
+            if (t.blockPos == t.blockLen && t.blockLen < t.block.size()) {
+                // The refill came back short, so this drained the last
+                // buffered access: the stream is over. (A full final
+                // block is caught by the empty refill above — same
+                // completion time either way, since discovery performs
+                // no access.)
+                t.done = true;
+                t.completion = t.now;
+            }
+        } else {
+            // Scalar reference pump: per-access next() + access() with
+            // the very same yield checks accessBatch applies, so batch
+            // on and off are byte-identical by construction (the
+            // --no-batch cross-check test).
+            unsigned budget = cfg_.quantum;
+            workloads::Access a;
+            while (budget-- > 0) {
+                {
+                    HOPP_PROF(WorkloadGen);
+                    if (!t.gen->next(a)) {
+                        t.done = true;
+                        t.completion = t.now;
+                        break;
+                    }
+                }
+                {
+                    HOPP_PROF(VmsAccess);
+                    t.now +=
+                        vms_->access(t.pid, a.va, a.write, t.now, tlb);
+                }
+                ++t.accesses;
+                if (t.now >= limit || t.now >= eq_.nextTime())
+                    break;
+            }
+        }
     }
-    maybeCheck();
-    eq_.schedule(std::max(t.now, eq_.now()),
-                 [this, &t] { step(t); });
 }
 
 void
@@ -317,12 +413,8 @@ Machine::run()
     // reuse worker threads).
     obs::blackbox().clear();
     prepare();
-    for (auto &t : threads_) {
-        Thread *tp = t.get();
-        eq_.schedule(Tick{}, [this, tp] { step(*tp); });
-    }
     tracer_.begin("machine", "run", eq_.now(), obs::track::machine);
-    eq_.run();
+    pump();
     tracer_.end("machine", "run", eq_.now(), obs::track::machine);
     if (metrics_) {
         // The sampler stops rescheduling as the queue drains; take one

@@ -71,8 +71,23 @@ struct MachineConfig
     /** Extra uncharged DRAM frames beyond the cgroup limits. */
     std::uint64_t dramSlackFrames = 512;
 
-    /** Accesses one thread executes before yielding to the queue. */
+    /**
+     * Accesses one thread buffers per block: the step loop refills the
+     * per-thread block with one AccessGenerator::nextBatch call per
+     * `quantum` accesses. Purely a host-side amortization knob — the
+     * yield checks stay per-access regardless (see DESIGN.md §14).
+     */
     unsigned quantum = 512;
+
+    /**
+     * Batched access pump: fill a per-thread block with one
+     * AccessGenerator::nextBatch call and drain it through
+     * Vms::accessBatch. Host-side execution strategy only — batch on
+     * and off produce byte-identical simulation results (the
+     * --no-batch cross-check test relies on that); turn it off to
+     * bisect a suspected batching bug at scalar speed.
+     */
+    bool batch = true;
 
     /**
      * Per-thread software TLB caching VPN -> PageInfo* for resident
@@ -235,10 +250,40 @@ class Machine
         /// here (threads are unique_ptr-stable) so its address can sit
         /// in the VMS hook list for the machine's lifetime.
         vm::Tlb tlb;
+        /// Access block the batched pump fills and drains; sized to
+        /// cfg_.quantum once in build() so the steady-state loop never
+        /// allocates.
+        std::vector<workloads::Access> block;
+        /// Drain cursor into block: [blockPos, blockLen) is buffered
+        /// but not yet executed. A refill that comes back short marks
+        /// end-of-stream (the nextBatch contract).
+        std::size_t blockPos = 0;
+        std::size_t blockLen = 0;
     };
 
     void build();
-    void step(Thread &t);
+
+    /**
+     * The run loop: a two-level scheduler. Application threads are NOT
+     * events — the pump picks the thread with the smallest local time
+     * and drains its access block until the runner-up horizon (the
+     * next other thread or pending event) is reached, dispatching
+     * queued events only when one is due no later than every thread.
+     * Interleaving is therefore still globally time-ordered at access
+     * granularity (identical yield points to the historical design
+     * where each thread timeslice was an event), but the per-access
+     * schedule/dispatch round trip through the event heap — one event
+     * per access in the thread ping-pong steady state — is gone.
+     *
+     * The drain segment is fused into the loop body rather than split
+     * into a step() helper: two equally-paced threads yield to each
+     * other after every access, so per-segment machinery is per-access
+     * machinery. Threads are addressed by index, never by a reference
+     * held across segments, so container growth between runs can never
+     * leave a dangling Thread reference (Thread objects themselves are
+     * unique_ptr-stable for the TLB hook registration).
+     */
+    void pump();
     void maybeCheck();
 
     MachineConfig cfg_;

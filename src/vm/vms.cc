@@ -13,6 +13,9 @@ Vms::Vms(sim::EventQueue &eq, mem::Dram &dram, mem::MemCtrl &mc,
          mem::Llc &llc, remote::SwapBackend &backend, const VmsConfig &cfg)
     : eq_(eq), dram_(dram), mc_(mc), llc_(llc), backend_(backend), cfg_(cfg)
 {
+    hopp_assert(cfg_.kswapdBatch > 0,
+                "kswapdBatch must be nonzero: an empty reclaim pass "
+                "can never reach the low watermark");
     bundleScratch_.reserve(64);
 }
 
@@ -262,7 +265,7 @@ Vms::kswapdRun(Pid pid)
     if (trace_)
         trace_->begin("vm", "reclaim.kswapd", eq_.now(),
                       obs::track::kswapd);
-    unsigned batch = 32;
+    unsigned batch = cfg_.kswapdBatch;
     while (cg.charged() > target && batch-- > 0) {
         if (!evictOne(cg, eq_.now(), false, nullptr))
             break;
@@ -310,7 +313,7 @@ Vms::mapPage(Pid pid, Vpn vpn, PageInfo &pi, Ppn ppn, bool charged,
 Duration
 Vms::accessSlow(Pid pid, VirtAddr va, bool is_write, Tick now, Tlb *tlb)
 {
-    ++stats_.accesses;
+    // stats_.accesses was already booked by noteAccess() in access().
     Vpn vpn = pageOf(va);
     PageInfo *walked;
     {

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "common/types.hh"
 #include "mem/llc.hh"
 #include "mem/memctrl.hh"
+#include "obs/profiler.hh"
 #include "obs/tracer.hh"
 #include "remote/swap_backend.hh"
 #include "sim/event_queue.hh"
@@ -54,6 +56,14 @@ struct VmsConfig
 
     /** Dispatch delay of a background reclaim pass. */
     Duration kswapdDelay = 10'000; // 10 us
+
+    /**
+     * Evictions one background reclaim pass attempts before it
+     * reschedules (the kernel's per-iteration shrink burst). Must be
+     * nonzero: a pass that evicts nothing could never converge to the
+     * low watermark.
+     */
+    unsigned kswapdBatch = 32;
 
     /** Max LRU rotations (second chances) per eviction scan. */
     unsigned secondChanceCap = 64;
@@ -127,15 +137,53 @@ class Vms
     access(Pid pid, VirtAddr va, bool is_write, Tick now,
            Tlb *tlb = nullptr)
     {
+        noteAccess();
         if (tlb) {
             if (PageInfo *pi = tlb->lookup(pid, pageOf(va))) {
                 // Cached translations are invalidated on every PTE
                 // clear, so a hit is by construction Resident.
-                ++stats_.accesses;
                 return residentAccess(pid, *pi, va, is_write, now);
             }
         }
         return accessSlow(pid, va, is_write, now, tlb);
+    }
+
+    /**
+     * Drain a block of accesses: the batched pump's inner loop
+     * (ROADMAP item 3). Semantically a sequence of access() calls
+     * threading the issuing thread's local time through, with the
+     * pre-batching per-access yield check kept intact: the drain stops
+     * as soon as the thread's time reaches @p stopAt (the next other
+     * thread's local time) or the earliest pending event, whichever
+     * comes first — both are single inline compares, so the whole
+     * resident chain (TLB probe, accessed-bit update, LLC tag probe)
+     * still runs back to back with no event-queue round trip. Because
+     * the yield points are identical to the scalar pump's, batch on
+     * and off stay byte-identical (the --no-batch cross-check test).
+     *
+     * @tparam AccessT any record with `.va` and `.write` members
+     *         (workloads::Access; a template so the vm layer needs no
+     *         include of the workloads layer above it).
+     * @param stopAt yield horizon; maxTick to drain unconditionally.
+     * @param consumed out: number of accesses performed (>= 1 when
+     *        n > 0; the yield check runs after each access).
+     * @return the thread's local time after the last access performed.
+     */
+    template <typename AccessT>
+    Tick
+    accessBatch(Pid pid, const AccessT *block, std::size_t n, Tick now,
+                Tick stopAt, std::size_t *consumed, Tlb *tlb = nullptr)
+    {
+        HOPP_PROF(VmsAccess);
+        std::size_t i = 0;
+        while (i < n) {
+            now += access(pid, block[i].va, block[i].write, now, tlb);
+            ++i;
+            if (now >= stopAt || now >= eq_.nextTime())
+                break;
+        }
+        *consumed = i;
+        return now;
     }
 
     /**
@@ -255,6 +303,15 @@ class Vms
 
   private:
     friend class hopp::check::Access;
+
+    /**
+     * Count one application access. The single stats_.accesses site:
+     * every entry point (access, accessBatch) books the access here
+     * before dispatching, so the counter-conservation invariant
+     * (accesses == llcHits + llcMisses) cannot drift between the TLB,
+     * slow, and batched paths.
+     */
+    void noteAccess() { ++stats_.accesses; }
 
     /**
      * LLC + DRAM data-path cost for a resident access. Inline: this is

@@ -10,6 +10,8 @@
 
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -39,6 +41,24 @@ class AccessGenerator
     /** Produce the next access. @return false at end-of-stream. */
     virtual bool next(Access &out) = 0;
 
+    /**
+     * Fill @p out with up to @p n accesses and return how many were
+     * produced. A short count means end-of-stream: every later call
+     * returns 0. The sequence is exactly what repeated next() calls
+     * would produce (the batched pump relies on that; the randomized
+     * oracle test test_generator_batch.cc enforces it). The default
+     * loops the virtual next(); concrete generators override with a
+     * devirtualized tight loop.
+     */
+    virtual std::size_t
+    nextBatch(Access *out, std::size_t n)
+    {
+        std::size_t i = 0;
+        while (i < n && next(out[i]))
+            ++i;
+        return i;
+    }
+
     /** Restart from the beginning (same sequence). */
     virtual void reset() = 0;
 };
@@ -67,6 +87,21 @@ class PhasedGen : public AccessGenerator
             ++idx_;
         }
         return false;
+    }
+
+    std::size_t
+    nextBatch(Access *out, std::size_t n) override
+    {
+        std::size_t filled = 0;
+        while (filled < n && idx_ < phases_.size()) {
+            filled += phases_[idx_]->nextBatch(out + filled, n - filled);
+            // A short sub-fill means the phase ended; a full block may
+            // leave an exactly-drained phase current, which the next
+            // call advances past (same as next()'s lazy hand-over).
+            if (filled < n)
+                ++idx_;
+        }
+        return filled;
     }
 
     void
@@ -116,6 +151,39 @@ class InterleaveGen : public AccessGenerator
         return false;
     }
 
+    std::size_t
+    nextBatch(Access *out, std::size_t n) override
+    {
+        std::size_t filled = 0;
+        std::size_t tried = 0;
+        while (filled < n && tried < subs_.size()) {
+            if (done_[cur_]) {
+                advance();
+                ++tried;
+                continue;
+            }
+            // Never ask for more than the rest of the current burst:
+            // taken_ then stays below burst_, exactly as with next().
+            std::size_t want = std::min<std::size_t>(
+                n - filled, burst_ - taken_);
+            std::size_t got = subs_[cur_]->nextBatch(out + filled, want);
+            filled += got;
+            if (got > 0)
+                tried = 0; // progress restarts the all-done probe
+            if (got < want) {
+                // Sub-stream ran dry mid-burst.
+                done_[cur_] = true;
+                advance();
+                ++tried;
+            } else {
+                taken_ += static_cast<unsigned>(got);
+                if (taken_ >= burst_)
+                    advance();
+            }
+        }
+        return filled;
+    }
+
     void
     reset() override
     {
@@ -157,6 +225,19 @@ class LimitGen : public AccessGenerator
             return false;
         ++count_;
         return true;
+    }
+
+    std::size_t
+    nextBatch(Access *out, std::size_t n) override
+    {
+        std::uint64_t room = limit_ - count_;
+        if (room == 0)
+            return 0; // like next(): the inner generator is not probed
+        std::size_t want =
+            n < room ? n : static_cast<std::size_t>(room);
+        std::size_t got = inner_->nextBatch(out, want);
+        count_ += got;
+        return got;
     }
 
     void

@@ -7,6 +7,27 @@
 namespace hopp::workloads
 {
 
+namespace
+{
+
+/**
+ * Shared body of every concrete nextBatch override: the qualified
+ * `g.G::next(...)` call devirtualizes, so each override compiles to
+ * one tight loop over the generator's own advance logic instead of a
+ * virtual dispatch per access.
+ */
+template <typename G>
+std::size_t
+drainInto(G &g, Access *out, std::size_t n)
+{
+    std::size_t i = 0;
+    while (i < n && g.G::next(out[i]))
+        ++i;
+    return i;
+}
+
+} // namespace
+
 // ---------------------------------------------------------------------
 // SequentialScan
 // ---------------------------------------------------------------------
@@ -37,6 +58,12 @@ SequentialScan::next(Access &out)
         }
     }
     return true;
+}
+
+std::size_t
+SequentialScan::nextBatch(Access *out, std::size_t n)
+{
+    return drainInto(*this, out, n);
 }
 
 void
@@ -77,6 +104,12 @@ LadderGen::next(Access &out)
         }
     }
     return true;
+}
+
+std::size_t
+LadderGen::nextBatch(Access *out, std::size_t n)
+{
+    return drainInto(*this, out, n);
 }
 
 void
@@ -120,6 +153,12 @@ RippleGen::next(Access &out)
         }
     }
     return true;
+}
+
+std::size_t
+RippleGen::nextBatch(Access *out, std::size_t n)
+{
+    return drainInto(*this, out, n);
 }
 
 void
@@ -179,6 +218,12 @@ GatherGen::next(Access &out)
     return true;
 }
 
+std::size_t
+GatherGen::nextBatch(Access *out, std::size_t n)
+{
+    return drainInto(*this, out, n);
+}
+
 void
 GatherGen::reset()
 {
@@ -214,6 +259,12 @@ HotColdGen::next(Access &out)
         ++count_;
     }
     return true;
+}
+
+std::size_t
+HotColdGen::nextBatch(Access *out, std::size_t n)
+{
+    return drainInto(*this, out, n);
 }
 
 void
@@ -282,6 +333,12 @@ ShortRunsGen::next(Access &out)
     return true;
 }
 
+std::size_t
+ShortRunsGen::nextBatch(Access *out, std::size_t n)
+{
+    return drainInto(*this, out, n);
+}
+
 void
 ShortRunsGen::reset()
 {
@@ -330,6 +387,12 @@ PermutationGen::next(Access &out)
     return true;
 }
 
+std::size_t
+PermutationGen::nextBatch(Access *out, std::size_t n)
+{
+    return drainInto(*this, out, n);
+}
+
 void
 PermutationGen::reset()
 {
@@ -341,6 +404,12 @@ PermutationGen::reset()
 // ---------------------------------------------------------------------
 // QuicksortGen
 // ---------------------------------------------------------------------
+
+std::size_t
+QuicksortGen::nextBatch(Access *out, std::size_t n)
+{
+    return drainInto(*this, out, n);
+}
 
 void
 QuicksortGen::reset()

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -42,6 +43,7 @@ class SequentialScan : public AccessGenerator
     explicit SequentialScan(const Params &p);
 
     bool next(Access &out) override;
+    std::size_t nextBatch(Access *out, std::size_t n) override;
     void reset() override;
 
   private:
@@ -81,6 +83,7 @@ class LadderGen : public AccessGenerator
     explicit LadderGen(const Params &p) : p_(p) {}
 
     bool next(Access &out) override;
+    std::size_t nextBatch(Access *out, std::size_t n) override;
     void reset() override;
 
   private:
@@ -116,6 +119,7 @@ class RippleGen : public AccessGenerator
     explicit RippleGen(const Params &p) : p_(p), rng_(p.seed) {}
 
     bool next(Access &out) override;
+    std::size_t nextBatch(Access *out, std::size_t n) override;
     void reset() override;
 
   private:
@@ -160,6 +164,7 @@ class GatherGen : public AccessGenerator
     explicit GatherGen(const Params &p);
 
     bool next(Access &out) override;
+    std::size_t nextBatch(Access *out, std::size_t n) override;
     void reset() override;
 
   private:
@@ -195,6 +200,7 @@ class HotColdGen : public AccessGenerator
     explicit HotColdGen(const Params &p);
 
     bool next(Access &out) override;
+    std::size_t nextBatch(Access *out, std::size_t n) override;
     void reset() override;
 
   private:
@@ -241,6 +247,7 @@ class ShortRunsGen : public AccessGenerator
     explicit ShortRunsGen(const Params &p) : p_(p), rng_(p.seed) {}
 
     bool next(Access &out) override;
+    std::size_t nextBatch(Access *out, std::size_t n) override;
     void reset() override;
 
   private:
@@ -280,6 +287,7 @@ class PermutationGen : public AccessGenerator
     explicit PermutationGen(const Params &p);
 
     bool next(Access &out) override;
+    std::size_t nextBatch(Access *out, std::size_t n) override;
     void reset() override;
 
   private:
@@ -312,6 +320,7 @@ class QuicksortGen : public AccessGenerator
     }
 
     bool next(Access &out) override;
+    std::size_t nextBatch(Access *out, std::size_t n) override;
     void reset() override;
 
   private:

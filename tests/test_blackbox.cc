@@ -5,6 +5,7 @@
  */
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -128,15 +129,35 @@ TEST(BlackBox, MachineRunLeavesAUsableForensicsDump)
 
     std::vector<std::string> lines = splitLines(text);
     ASSERT_EQ(lines.size(), bb.size());
-    // The dump's tail is the ring's tail, event for event.
+    // The dump is the ring, permuted into (tick, seq) order: every
+    // ring entry appears exactly once under its recorded name, and
+    // the timestamps never go backwards (the hopp_trace contract —
+    // append order is causal, not time-ordered, because some records
+    // carry scheduled future ticks).
+    std::map<std::uint64_t, const char *> expected;
+    for (std::size_t i = 0; i < bb.size(); ++i)
+        expected[bb.event(i).seq] = bbKindName(bb.event(i).kind);
+    double lastTick = -1.0;
+    std::uint64_t lastSeq = 0;
     for (std::size_t i = 0; i < lines.size(); ++i) {
         json::Value v;
         std::string err;
         ASSERT_TRUE(json::parse(lines[i], v, &err)) << err;
-        EXPECT_EQ(v.find("name")->str(), bbKindName(bb.event(i).kind));
-        EXPECT_EQ(v.find("args")->find("seq")->number(),
-                  static_cast<double>(bb.event(i).seq));
+        const std::uint64_t seq = static_cast<std::uint64_t>(
+            v.find("args")->find("seq")->number());
+        auto it = expected.find(seq);
+        ASSERT_NE(it, expected.end()) << "seq " << seq;
+        EXPECT_EQ(v.find("name")->str(), it->second);
+        expected.erase(it);
+        const double tick = v.find("args")->find("tick")->number();
+        EXPECT_GE(tick, lastTick) << "line " << i;
+        if (tick == lastTick) {
+            EXPECT_GT(seq, lastSeq) << "line " << i;
+        }
+        lastTick = tick;
+        lastSeq = seq;
     }
+    EXPECT_TRUE(expected.empty());
 }
 
 } // namespace

@@ -151,3 +151,79 @@ TEST(Machine, DeterministicAcrossRuns)
     EXPECT_EQ(a.vms.faults(), b.vms.faults());
     EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
 }
+
+TEST(Machine, CounterConservationAcrossTlbAndBatchModes)
+{
+    // Every access resolves to exactly one LLC hit or miss, and the
+    // fault classes can never outnumber the accesses — with the TLB
+    // and the batched pump in any combination. All four combinations
+    // must also agree on every counter (the host-side fast paths are
+    // accelerators, not models).
+    std::vector<vm::VmsStats> runs;
+    std::vector<Tick> makespans;
+    for (bool tlb : {true, false}) {
+        for (bool batch : {true, false}) {
+            MachineConfig base;
+            base.tlb = tlb;
+            base.batch = batch;
+            auto r =
+                runOne("kmeans-omp", SystemKind::Hopp, 0.5, tiny(), base);
+            const vm::VmsStats &v = r.vms;
+            EXPECT_EQ(v.accesses, v.llcHits + v.llcMisses)
+                << "tlb=" << tlb << " batch=" << batch;
+            EXPECT_LE(v.faults(), v.accesses)
+                << "tlb=" << tlb << " batch=" << batch;
+            EXPECT_GT(v.accesses, 0u);
+            runs.push_back(v);
+            makespans.push_back(r.makespan);
+        }
+    }
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+        EXPECT_EQ(runs[0].accesses, runs[i].accesses) << "combo " << i;
+        EXPECT_EQ(runs[0].llcHits, runs[i].llcHits) << "combo " << i;
+        EXPECT_EQ(runs[0].llcMisses, runs[i].llcMisses) << "combo " << i;
+        EXPECT_EQ(runs[0].coldFaults, runs[i].coldFaults)
+            << "combo " << i;
+        EXPECT_EQ(runs[0].remoteFaults, runs[i].remoteFaults)
+            << "combo " << i;
+        EXPECT_EQ(runs[0].swapCacheHits, runs[i].swapCacheHits)
+            << "combo " << i;
+        EXPECT_EQ(runs[0].inflightWaits, runs[i].inflightWaits)
+            << "combo " << i;
+        EXPECT_EQ(runs[0].injectedHits, runs[i].injectedHits)
+            << "combo " << i;
+        EXPECT_EQ(runs[0].evictions, runs[i].evictions) << "combo " << i;
+        EXPECT_EQ(runs[0].writebacks, runs[i].writebacks)
+            << "combo " << i;
+        EXPECT_EQ(makespans[0], makespans[i]) << "combo " << i;
+    }
+}
+
+TEST(Machine, ManyWorkloadsRescheduleSafely)
+{
+    // Regression for the step() self-reschedule: with many workloads
+    // the threads_ container grows well past its initial capacity
+    // while step closures for early threads are already in flight;
+    // index capture must survive that (a Thread& capture relied on
+    // pointer stability of the container's elements).
+    WorkloadScale s;
+    s.footprint = 0.05;
+    s.iterations = 0.1;
+    MachineConfig cfg;
+    cfg.system = SystemKind::Fastswap;
+    cfg.localMemRatio = 0.5;
+    Machine m(cfg);
+    constexpr int apps = 12; // every configured workload name, plus
+                             // repeats: the densest supported machine
+    const char *names[] = {"microbench", "linkedlist", "kmeans-omp",
+                           "quicksort",  "hpl",        "npb-cg"};
+    for (int i = 0; i < apps; ++i)
+        m.addWorkload(workloads::makeWorkload(names[i % 6], s));
+    auto r = m.run();
+    ASSERT_EQ(r.apps.size(), static_cast<std::size_t>(apps));
+    for (const auto &a : r.apps) {
+        EXPECT_GT(a.accesses, 0u) << a.name;
+        EXPECT_GT(a.completion, Tick{}) << a.name;
+    }
+    EXPECT_EQ(r.vms.accesses, r.vms.llcHits + r.vms.llcMisses);
+}

@@ -89,6 +89,13 @@ class VmsTest : public ::testing::Test
     {
         VmsConfig cfg;
         cfg.kswapdEnabled = kswapd;
+        rebuild(cfg, limit, dram_frames);
+    }
+
+    void
+    rebuild(const VmsConfig &cfg, std::uint64_t limit,
+            std::uint64_t dram_frames)
+    {
         eq = std::make_unique<sim::EventQueue>();
         dram = std::make_unique<mem::Dram>(dram_frames);
         mc = std::make_unique<mem::MemCtrl>(*dram);
@@ -377,6 +384,98 @@ TEST_F(VmsTest, KswapdReclaimsInBackgroundWithoutAppCost)
     EXPECT_EQ(vms->stats().directReclaims, 0u);
     auto low = static_cast<std::uint64_t>(64 * vms->config().lowWatermark);
     EXPECT_LE(vms->cgroup(pid).charged(), low + 1);
+}
+
+TEST_F(VmsTest, TinyKswapdBatchStillConvergesToLowWatermark)
+{
+    // One eviction per pass: convergence must come from rescheduling,
+    // not from a single large burst.
+    VmsConfig cfg;
+    cfg.kswapdEnabled = true;
+    cfg.kswapdBatch = 1;
+    rebuild(cfg, 64, 256);
+    Tick t{};
+    for (std::uint64_t v = 0; v < 64; ++v)
+        t += touch(Vpn{v}, t);
+    eq->runUntil(t + 10'000'000);
+    EXPECT_GT(vms->stats().kswapdReclaims, 0u);
+    EXPECT_EQ(vms->stats().directReclaims, 0u);
+    auto low =
+        static_cast<std::uint64_t>(64 * vms->config().lowWatermark);
+    EXPECT_LE(vms->cgroup(pid).charged(), low + 1);
+}
+
+TEST_F(VmsTest, AccessBatchMatchesScalarLoop)
+{
+    // Any record with .va/.write drains through accessBatch; the
+    // result must be exactly the scalar loop: same final time, same
+    // counters, conservation intact.
+    struct Rec
+    {
+        VirtAddr va;
+        bool write;
+    };
+    std::vector<Rec> block;
+    for (std::uint64_t v = 0; v < 24; ++v) {
+        block.push_back({pageBase(Vpn{v % 6}) + (v % 3) * lineBytes,
+                         (v & 1) != 0});
+    }
+
+    std::size_t consumed = 0;
+    Tick batched_end = vms->accessBatch(pid, block.data(), block.size(),
+                                        Tick{}, maxTick, &consumed);
+    EXPECT_EQ(consumed, block.size())
+        << "maxTick horizon + empty queue must drain the whole block";
+    VmsStats batched = vms->stats();
+
+    rebuild(8, 64, /*kswapd=*/false);
+    Tick t{};
+    for (const Rec &r : block)
+        t += vms->access(pid, r.va, r.write, t);
+    const VmsStats &scalar = vms->stats();
+
+    EXPECT_EQ(batched_end, t);
+    EXPECT_EQ(batched.accesses, scalar.accesses);
+    EXPECT_EQ(batched.llcHits, scalar.llcHits);
+    EXPECT_EQ(batched.llcMisses, scalar.llcMisses);
+    EXPECT_EQ(batched.coldFaults, scalar.coldFaults);
+    EXPECT_EQ(batched.remoteFaults, scalar.remoteFaults);
+    EXPECT_EQ(batched.swapCacheHits, scalar.swapCacheHits);
+    EXPECT_EQ(batched.inflightWaits, scalar.inflightWaits);
+    EXPECT_EQ(batched.accesses, block.size());
+    EXPECT_EQ(batched.accesses, batched.llcHits + batched.llcMisses);
+}
+
+TEST_F(VmsTest, AccessBatchYieldsAtStopHorizon)
+{
+    // The per-access yield check: a horizon in the past stops the
+    // drain after exactly one access (the check runs after, never
+    // before, an access — a thread always makes progress), and the
+    // drain resumes where it stopped. Four pages stay clear of the
+    // kswapd watermark, so the queue stays empty throughout.
+    struct Rec
+    {
+        VirtAddr va;
+        bool write;
+    };
+    std::vector<Rec> block;
+    for (std::uint64_t v = 0; v < 4; ++v)
+        block.push_back({pageBase(Vpn{v}), false});
+
+    std::size_t consumed = 0;
+    Tick end = vms->accessBatch(pid, block.data(), block.size(), Tick{},
+                                Tick{1}, &consumed);
+    EXPECT_EQ(consumed, 1u);
+    EXPECT_GE(end, Tick{1});
+    EXPECT_EQ(vms->stats().accesses, 1u);
+
+    std::size_t rest = 0;
+    end = vms->accessBatch(pid, block.data() + consumed,
+                           block.size() - consumed, end, maxTick, &rest);
+    EXPECT_EQ(consumed + rest, block.size());
+    EXPECT_EQ(vms->stats().accesses, block.size());
+    EXPECT_EQ(vms->stats().accesses,
+              vms->stats().llcHits + vms->stats().llcMisses);
 }
 
 TEST_F(VmsTest, WriteMarksPageDirtyAgain)

@@ -59,6 +59,8 @@ usage(const char *argv0)
         "  --eviction-advisor  enable trace-informed reclaim advice\n"
         "  --no-tlb            disable the host-side software TLB (the"
         " output must not change)\n"
+        "  --no-batch          drive accesses one at a time instead of"
+        " in blocks (the output must not change)\n"
         "  --check N           run the invariant validators every N"
         " events (0 = off)\n"
         "  --seed N            workload seed (default 42)\n"
@@ -208,6 +210,8 @@ main(int argc, char **argv)
             cfg.hopp.evictionAdvisor = true;
         } else if (arg == "--no-tlb") {
             cfg.tlb = false;
+        } else if (arg == "--no-batch") {
+            cfg.batch = false;
         } else if (arg == "--check") {
             cfg.checkInterval =
                 static_cast<std::uint64_t>(std::atoll(need(i)));
