@@ -40,6 +40,13 @@
  *    the two agree on every simulated outcome and recording the
  *    host-side speedup.
  *
+ * 6. Trace replay: the end-to-end run again with --record-trace on,
+ *    then the recorded trace replayed through runner::ReplayEngine,
+ *    best of three. Reports replay throughput (records/sec), the
+ *    replay speedup over re-simulating live, the on-disk compression
+ *    vs the raw 16 B/record HMTT format, and whether the replayed
+ *    MC-side stats matched the live run byte for byte.
+ *
  * Wall-clock use is deliberate and confined to bench/ (the determinism
  * lint only polices src/ and tools/): throughput numbers are exactly
  * the place where real time belongs.
@@ -61,6 +68,7 @@
 #include "common/random.hh"
 #include "obs/profiler.hh"
 #include "runner/machine.hh"
+#include "runner/replay_engine.hh"
 #include "runner/sweep_pool.hh"
 #include "sim/event_queue.hh"
 #include "vm/page_table.hh"
@@ -515,8 +523,112 @@ batchedAccessBench(bool quick)
     return b;
 }
 
+struct TraceReplay
+{
+    std::uint64_t records;
+    std::uint64_t traceBytes;
+    std::uint64_t cells; //!< policy cells evaluated per replay pass
+    double bytesPerRecord;
+    double compressionRatio; //!< vs the raw 16 B/record HMTT format
+    double liveWallSec;
+    double liveRecordsPerSec;
+    double replayRecordsPerSec; //!< cells x records / wall, best of 3
+    double replaySpeedup;       //!< replay vs live, records/sec
+    bool identicalResults;      //!< MC-side stats byte-identical
+};
+
 /**
- * 6. Self-profile: the end-to-end run again, this time with the host
+ * 6. Trace replay (ROADMAP item 4 / DESIGN.md §15): record the
+ *    end-to-end run's MC-side input stream, then sweep a policy grid
+ *    over it in one ReplayEngine fan-out pass. "Live" throughput
+ *    charges the recording run's whole wall time to its record count —
+ *    that is exactly what a policy sweep pays per configuration
+ *    without replay — and replay throughput is cells x records over
+ *    the pass's wall time, since one pass evaluates every cell. Cell 0
+ *    is the recorded configuration; its stats document must stay
+ *    byte-identical to the live run's (the fidelity contract).
+ */
+TraceReplay
+traceReplayBench(bool quick)
+{
+    const std::string path = "bench_trace_replay.trc";
+    runner::MachineConfig cfg;
+    cfg.system = runner::SystemKind::Hopp;
+    cfg.localMemRatio = 0.5;
+    cfg.recordTracePath = path;
+    workloads::WorkloadScale scale;
+    scale.footprint = quick ? 0.2 : 1.0;
+    scale.iterations = quick ? 0.2 : 1.0;
+    runner::Machine m(cfg);
+    m.addWorkload(workloads::makeWorkload("microbench", scale));
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto t1 = std::chrono::steady_clock::now();
+
+    TraceReplay tr{};
+    tr.liveWallSec = wallSeconds(t0, t1);
+    tr.records = m.traceWriter()->records();
+    tr.traceBytes = m.traceWriter()->bytesWritten();
+    tr.bytesPerRecord = static_cast<double>(tr.traceBytes) /
+                        static_cast<double>(tr.records);
+    tr.compressionRatio =
+        static_cast<double>(16 * tr.records) /
+        static_cast<double>(tr.traceBytes);
+    tr.liveRecordsPerSec =
+        static_cast<double>(tr.records) / tr.liveWallSec;
+    std::string live =
+        core::mcSideStatsJson(m.hoppSystem()->pipeline());
+
+    // The policy grid: cell 0 is the recorded configuration (so the
+    // fidelity contract stays checkable), the rest cross every
+    // non-empty three-tier subset with the Markov tier and huge-batch
+    // issue on/off — the sweep a paper-style software ablation
+    // actually runs (tiers and batching are software knobs, so every
+    // cell shares the recorded hardware frontend).
+    std::vector<runner::ReplayConfig> cells;
+    cells.emplace_back();
+    for (unsigned mask = 1; mask <= core::tiers::all; ++mask) {
+        for (unsigned mkv : {0u, core::tiers::markov}) {
+            for (bool batch : {false, true}) {
+                if (mask == core::HoppConfig{}.tierMask && mkv == 0 &&
+                    batch == core::HoppConfig{}.batch.enabled) {
+                    continue; // cell 0 already covers it
+                }
+                runner::ReplayConfig c;
+                c.hopp.tierMask = mask | mkv;
+                c.hopp.batch.enabled = batch;
+                cells.push_back(c);
+            }
+        }
+    }
+    tr.cells = cells.size();
+
+    constexpr int trials = 3;
+    tr.identicalResults = true;
+    for (int i = 0; i < trials; ++i) {
+        trace::TraceReader reader;
+        if (reader.open(path) != trace::TraceIoStatus::Ok) {
+            tr.identicalResults = false;
+            break;
+        }
+        runner::ReplayEngine engine(cells);
+        auto r0 = std::chrono::steady_clock::now();
+        trace::TraceIoStatus st = engine.run(reader);
+        auto r1 = std::chrono::steady_clock::now();
+        double rate = static_cast<double>(tr.cells * tr.records) /
+                      wallSeconds(r0, r1);
+        if (rate > tr.replayRecordsPerSec)
+            tr.replayRecordsPerSec = rate;
+        tr.identicalResults &= st == trace::TraceIoStatus::Ok &&
+                               engine.mcStatsJson(0) == live;
+    }
+    tr.replaySpeedup = tr.replayRecordsPerSec / tr.liveRecordsPerSec;
+    std::remove(path.c_str());
+    return tr;
+}
+
+/**
+ * 7. Self-profile: the end-to-end run again, this time with the host
  *    self-profiler armed, reporting where the simulator's own wall
  *    time goes (dispatch vs page walk vs fault path vs LLC vs ...).
  *    The attributed fraction is the profiler's coverage acceptance
@@ -596,6 +708,16 @@ main(int argc, char **argv)
                 ba.batched.accessesPerSec / 1e6,
                 ba.scalar.faultsPerSec, ba.speedupVsScalar,
                 ba.identicalResults ? "" : " [RESULTS DIVERGE!]");
+
+    TraceReplay tr = traceReplayBench(quick);
+    std::printf("  trace replay: %llu-cell sweep %.2fM rec/s (live "
+                "%.2fM rec/s, speedup %.1fx), %.2f B/rec (%.2fx vs "
+                "raw)%s\n",
+                (unsigned long long)tr.cells,
+                tr.replayRecordsPerSec / 1e6,
+                tr.liveRecordsPerSec / 1e6, tr.replaySpeedup,
+                tr.bytesPerRecord, tr.compressionRatio,
+                tr.identicalResults ? "" : " [RESULTS DIVERGE!]");
 
     obs::prof::Report p = selfProfileBench(quick);
     std::printf("  self-profile: %.1f%% of %.3f ms attributed to "
@@ -679,6 +801,29 @@ main(int argc, char **argv)
                  ba.speedupVsScalar);
     std::fprintf(f, "    \"identical_results\": %s\n",
                  ba.identicalResults ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"trace_replay\": {\n");
+    std::fprintf(f, "    \"workload\": \"microbench\",\n");
+    std::fprintf(f, "    \"local_mem_ratio\": 0.5,\n");
+    std::fprintf(f, "    \"records\": %llu,\n",
+                 (unsigned long long)tr.records);
+    std::fprintf(f, "    \"trace_bytes\": %llu,\n",
+                 (unsigned long long)tr.traceBytes);
+    std::fprintf(f, "    \"cells\": %llu,\n",
+                 (unsigned long long)tr.cells);
+    std::fprintf(f, "    \"bytes_per_record\": %.3f,\n",
+                 tr.bytesPerRecord);
+    std::fprintf(f, "    \"compression_ratio\": %.3f,\n",
+                 tr.compressionRatio);
+    std::fprintf(f, "    \"live_wall_sec\": %.3f,\n", tr.liveWallSec);
+    std::fprintf(f, "    \"live_records_per_sec\": %.0f,\n",
+                 tr.liveRecordsPerSec);
+    std::fprintf(f, "    \"replay_records_per_sec\": %.0f,\n",
+                 tr.replayRecordsPerSec);
+    std::fprintf(f, "    \"replay_speedup\": %.3f,\n",
+                 tr.replaySpeedup);
+    std::fprintf(f, "    \"identical_results\": %s\n",
+                 tr.identicalResults ? "true" : "false");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"self_profile\": {\n");
     std::fprintf(f, "    \"wall_ns\": %llu,\n",

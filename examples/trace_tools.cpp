@@ -55,7 +55,13 @@ main()
 
     // 3. Reload and analyse: page-level stride census of READ misses,
     //    the raw material of the paper's stream-pattern taxonomy.
-    auto loaded = trace::readTraceFile(path);
+    std::vector<trace::HmttRecord> loaded;
+    if (auto st = trace::readTraceFile(path, loaded);
+        st != trace::TraceIoStatus::Ok) {
+        std::fprintf(stderr, "cannot read %s back: %s\n", path.c_str(),
+                     trace::traceIoStatusName(st));
+        return 1;
+    }
     std::map<std::int64_t, std::uint64_t> stride_census;
     std::uint64_t reads = 0;
     Ppn last{};

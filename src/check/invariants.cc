@@ -212,6 +212,12 @@ class Access
                                   (unsigned long long)e.length,
                                   e.vpns.size()));
             }
+            if (!e.vpns.empty() && e.lastVpn != e.vpns.back()) {
+                r.fail("stt", formatMessage(
+                                  "stream %llu cached last VPN "
+                                  "diverges from its history",
+                                  (unsigned long long)e.id));
+            }
         }
         const core::SttStats &s = stt.stats();
         if (valid > stt.config().entries) {

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <unordered_map>
-#include <vector>
+
+#include "common/logging.hh"
 
 namespace hopp::core
 {
@@ -11,18 +11,32 @@ namespace hopp::core
 namespace
 {
 
-/** Most frequent value of a non-empty vector and its count. */
+// These algorithms run on every full-view hot page of every training
+// backend, so their scratch lives on the stack: histories are capped
+// at maxTrainHistory VPNs (asserted in the Stt constructor), and with
+// at most L-1 strides a quadratic re-count is far cheaper than the
+// hash map it replaces — the decisions are identical, because the
+// running count of s[i] over s[0..i] is exactly what the map held
+// when it visited position i.
+constexpr std::size_t maxTrainStrides = maxTrainHistory - 1;
+
+/**
+ * Most frequent value of values[0..n-1] and its count; ties break
+ * toward the value that reached the winning count first, matching the
+ * insertion-ordered accumulation the trainer has always used.
+ */
 std::pair<std::int64_t, unsigned>
-mode(const std::vector<std::int64_t> &values)
+mode(const std::int64_t *values, std::size_t n)
 {
-    std::unordered_map<std::int64_t, unsigned> counts;
-    std::int64_t best = values.front();
+    std::int64_t best = values[0];
     unsigned best_count = 0;
-    for (auto v : values) {
-        unsigned c = ++counts[v];
+    for (std::size_t i = 0; i < n; ++i) {
+        unsigned c = 0;
+        for (std::size_t j = 0; j <= i; ++j)
+            c += values[j] == values[i];
         if (c > best_count) {
             best_count = c;
-            best = v;
+            best = values[i];
         }
     }
     return {best, best_count};
@@ -35,12 +49,15 @@ runSsp(const StreamView &view)
 {
     const auto &s = *view.strides;
     // Dominant stride: a value occurring >= L/2 times among the L-1
-    // strides (§III-D2).
+    // strides (§III-D2). First position whose running count reaches
+    // the majority wins, as with the accumulating count it replaces.
     unsigned need = (static_cast<unsigned>(s.size()) + 1) / 2;
-    std::unordered_map<std::int64_t, unsigned> counts;
-    for (auto v : s) {
-        if (++counts[v] >= need && v != 0)
-            return Prediction{Tier::Ssp, view.vpnA(), v};
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        unsigned c = 0;
+        for (std::size_t j = 0; j <= i; ++j)
+            c += s[j] == s[i];
+        if (c >= need && s[i] != 0)
+            return Prediction{Tier::Ssp, view.vpnA(), s[i]};
     }
     return std::nullopt;
 }
@@ -59,14 +76,14 @@ runLsp(const StreamView &view)
     std::size_t n = s.size();
     if (n < 4)
         return std::nullopt;
+    hopp_assert(n <= maxTrainStrides, "history exceeds training cap");
     std::int64_t pt0 = s[n - 2];
     std::int64_t pt1 = s[n - 1];
     // Trainer-side scratch, bounded by the per-page history length and
-    // live only for this software-plane training call — never on the
-    // simulated memory-access fast path.
-    // hopp-analyze: allow-file(hotpath-alloc)
-    std::vector<std::int64_t> next_stride;
-    std::vector<std::int64_t> stride_sum;
+    // live only for this software-plane training call.
+    std::int64_t next_stride[maxTrainStrides];
+    std::int64_t stride_sum[maxTrainStrides];
+    std::size_t candidates = 0;
     // The VPN ending the most recent pattern occurrence; v has n+1
     // entries, so v[n] is VPN_A (the target pattern's end).
     std::size_t last_end = n;
@@ -76,25 +93,24 @@ runLsp(const StreamView &view)
          --si) {
         auto i = static_cast<std::size_t>(si);
         if (s[i] == pt0 && s[i + 1] == pt1) {
-            next_stride.push_back(s[i + 2]);
+            next_stride[candidates] = s[i + 2];
             // v[i+2] ends the candidate occurrence.
-            stride_sum.push_back(signedDelta(v[i + 2], v[last_end]));
+            stride_sum[candidates] = signedDelta(v[i + 2], v[last_end]);
+            ++candidates;
             last_end = i + 2;
         }
     }
-    if (next_stride.empty())
+    if (candidates == 0)
         return std::nullopt;
     // A genuine ladder yields *consistent* continuations: require the
     // dominant next stride and repetition distance to be a majority of
     // the candidates, or the "repetition" is just noise from a small
     // stride alphabet (e.g. ripple jitter) and must fall through to
     // RSP.
-    auto [stride_target, st_count] = mode(next_stride);
-    auto [pattern_stride, ps_count] = mode(stride_sum);
-    if (st_count * 2 <= next_stride.size() ||
-        ps_count * 2 <= stride_sum.size()) {
+    auto [stride_target, st_count] = mode(next_stride, candidates);
+    auto [pattern_stride, ps_count] = mode(stride_sum, candidates);
+    if (st_count * 2 <= candidates || ps_count * 2 <= candidates)
         return std::nullopt;
-    }
     if (pattern_stride == 0)
         return std::nullopt;
     if (stride_target < 0 &&

@@ -14,6 +14,7 @@
 
 #include "hopp/algorithms.hh"
 #include "hopp/policy.hh"
+#include "hopp/prefetch_sink.hh"
 #include "prefetch/prefetcher.hh"
 #include "vm/page.hh"
 #include "vm/vms.hh"
@@ -40,9 +41,9 @@ struct TierStats
 };
 
 /**
- * The execution engine.
+ * The execution engine: the live-simulation PrefetchSink.
  */
-class ExecEngine
+class ExecEngine : public PrefetchSink
 {
   public:
     ExecEngine(vm::Vms &vms, PolicyEngine &policy)
@@ -53,7 +54,7 @@ class ExecEngine
     /** Request a prefetch of (pid, vpn) on behalf of a stream. */
     void
     request(Pid pid, Vpn vpn, std::uint64_t stream_id, Tier tier,
-            Tick now)
+            Tick now) override
     {
         TierStats &ts = tierStats_[static_cast<unsigned>(tier)];
         ++ts.requested;
@@ -84,7 +85,7 @@ class ExecEngine
      */
     unsigned
     requestBatch(Pid pid, Vpn vpn, unsigned count,
-                 std::uint64_t stream_id, Tier tier, Tick now)
+                 std::uint64_t stream_id, Tier tier, Tick now) override
     {
         TierStats &ts = tierStats_[static_cast<unsigned>(tier)];
         ts.requested += count;
@@ -154,7 +155,11 @@ class ExecEngine
     std::uint64_t deduped() const { return deduped_; }
 
     /** Prefetches in flight or injected-unreferenced. */
-    std::size_t outstanding() const { return outstanding_.size(); }
+    std::size_t
+    outstanding() const override
+    {
+        return outstanding_.size();
+    }
 
     /** Zero the counters (outstanding requests are untouched). */
     void

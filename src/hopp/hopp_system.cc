@@ -1,9 +1,5 @@
 #include "hopp/hopp_system.hh"
 
-#include <algorithm>
-
-#include "obs/blackbox.hh"
-#include "obs/profiler.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace hopp::core
@@ -11,61 +7,9 @@ namespace hopp::core
 
 HoppSystem::HoppSystem(sim::EventQueue &eq, vm::Vms &vms,
                        mem::MemCtrl &mc, const HoppConfig &cfg)
-    : eq_(eq), vms_(vms), mc_(mc), cfg_(cfg), ring_(cfg.ringCapacity),
-      stt_(cfg.stt), policy_(cfg.policy), exec_(vms, policy_),
-      trainer_(stt_, policy_, exec_, cfg.tierMask, cfg.batch,
-               cfg.markov)
+    : vms_(vms), mc_(mc), policy_(cfg.policy), exec_(vms, policy_),
+      pipeline_(eq, mc.dram(), policy_, exec_, cfg)
 {
-    hopp_assert(cfg_.channels >= 1, "need at least one channel");
-    hopp_assert((cfg_.channels & (cfg_.channels - 1)) == 0,
-                "channel count must be a power of two");
-    HpdConfig hpd_cfg = cfg_.hpd;
-    if (cfg_.channelInterleaved && cfg_.scaleThresholdWithChannels &&
-        cfg_.channels > 1) {
-        // §III-B: with interleaving every MC sees only 1/channels of a
-        // page's lines, so N must shrink to keep extraction timely.
-        hpd_cfg.threshold =
-            std::max(1u, cfg_.hpd.threshold / cfg_.channels);
-    }
-    // Reserve up front: RptCache holds reference members, so it is
-    // move-constructible but not assignable — the vectors must never
-    // relocate after this.
-    hpds_.reserve(cfg_.channels);
-    rptCaches_.reserve(cfg_.channels);
-    for (unsigned c = 0; c < cfg_.channels; ++c) {
-        hpds_.emplace_back(hpd_cfg);
-        rptCaches_.emplace_back(rpt_, mc.dram(), cfg_.rptCache);
-    }
-    warmPruneAt_ = cfg_.warmEntriesCap;
-}
-
-unsigned
-HoppSystem::channelOf(PhysAddr pa) const
-{
-    if (cfg_.channels == 1)
-        return 0;
-    // Interleaved: consecutive cachelines round-robin the channels.
-    // Non-interleaved: a whole page lives in one channel.
-    // Channel steering hashes the line/frame number's low bits.
-    std::uint64_t unit = cfg_.channelInterleaved
-                             ? lineOf(pa)
-                             : pageOf(pa).raw(); // hopp-lint: allow(raw)
-    return static_cast<unsigned>(unit & (cfg_.channels - 1));
-}
-
-HpdStats
-HoppSystem::hpdTotals() const
-{
-    HpdStats total;
-    for (const Hpd &h : hpds_) {
-        const HpdStats &s = h.stats();
-        total.reads += s.reads;
-        total.writesIgnored += s.writesIgnored;
-        total.hotPages += s.hotPages;
-        total.suppressed += s.suppressed;
-        total.evictions += s.evictions;
-    }
-    return total;
 }
 
 void
@@ -76,151 +20,16 @@ HoppSystem::start()
     // Initial RPT build: traverse all existing page tables (§III-C).
     vms_.pageTable().forEachPresent(
         [this](Pid pid, Vpn vpn, const vm::PageInfo &pi) {
-            rpt_.store(pi.ppn, RptEntry{pid, vpn, pi.shared,
-                                        static_cast<std::uint8_t>(
-                                            pi.huge ? 1 : 0)});
+            pipeline_.rpt().store(
+                pi.ppn, RptEntry{pid, vpn, pi.shared,
+                                 static_cast<std::uint8_t>(
+                                     pi.huge ? 1 : 0)});
         });
     mc_.attach(this);
     vms_.addPteHook(this);
     vms_.addListener(this);
-    if (cfg_.evictionAdvisor)
+    if (config().evictionAdvisor)
         vms_.setEvictionAdvisor(this);
-}
-
-bool
-HoppSystem::keepWarm(Pid pid, Vpn vpn, Tick now)
-{
-    // Recency alone would pin every page of a hot stream; require
-    // *repeated* hotness within the window, which only reuse-heavy
-    // pages (graph vertex sets, recursion working sets) exhibit.
-    const Hotness *h = lastHot_.find(vm::pageKey(pid, vpn));
-    if (!h)
-        return false;
-    return h->prev != Tick{} && now - h->last < cfg_.warmWindow &&
-           h->last - h->prev < cfg_.warmWindow;
-}
-
-void
-HoppSystem::onMcAccess(PhysAddr pa, bool is_write, Tick now)
-{
-    unsigned channel = channelOf(pa);
-    auto hot = hpds_[channel].access(pa, is_write);
-    if (!hot)
-        return;
-    auto entry = rptCaches_[channel].lookup(*hot);
-    if (!entry) {
-        // Frame not (or no longer) mapped: nothing to tell software.
-        ++unmapped_;
-        return;
-    }
-    HotPage hp;
-    hp.pid = entry->pid;
-    hp.vpn = entry->vpn;
-    hp.ppn = *hot;
-    hp.shared = entry->shared;
-    hp.huge = entry->hugeBits != 0;
-    hp.time = now;
-    ring_.push(hp);
-    ++hotPagesSeen_;
-    if (trace_ && hotPagesSeen_ % 64 == 0) {
-        trace_->counter("hopp", "hot_pages", now, hotPagesSeen_);
-        trace_->counter("hopp", "rpt_unmapped", now, unmapped_);
-        trace_->counter("hopp", "ring_occupancy", now, ring_.size());
-    }
-    mc_.dram().recordTraffic(mem::TrafficSource::HotPageWrite,
-                             hotPageRecordBytes);
-    if (!drainScheduled_) {
-        drainScheduled_ = true;
-        Tick when = std::max(now, eq_.now()) + cfg_.trainerDelay;
-        eq_.schedule(when, [this] { drainRing(); });
-    }
-}
-
-void
-HoppSystem::drainRing()
-{
-    HOPP_PROF(HoppDrain);
-    drainScheduled_ = false;
-    // The drain runs inside one event callback, so eq_.now() is fixed
-    // for its duration and the B/E pair below is trivially balanced.
-    std::uint64_t drained = ring_.size();
-    if (drained != 0) {
-        // Black box: one entry per drain batch (a = batch size).
-        obs::blackbox().record(obs::BbKind::HoppDrain, eq_.now(), 0,
-                               drained, 0);
-    }
-    if (trace_ && drained)
-        trace_->begin("hopp", "trainer.drain", eq_.now(),
-                      obs::track::hopp);
-    while (auto hp = ring_.pop()) {
-        if (cfg_.evictionAdvisor) {
-            Hotness &h = lastHot_[vm::pageKey(hp->pid, hp->vpn)];
-            h.prev = h.last;
-            h.last = hp->time;
-            if (lastHot_.size() >= warmPruneAt_)
-                pruneWarm(eq_.now());
-        }
-        trainer_.onHotPage(*hp, eq_.now());
-    }
-    if (trace_ && drained) {
-        trace_->end("hopp", "trainer.drain", eq_.now(),
-                    obs::track::hopp);
-        trace_->counter("hopp", "drain_batch", eq_.now(), drained);
-        trace_->counter("hopp", "exec_outstanding", eq_.now(),
-                        exec_.outstanding());
-    }
-}
-
-void
-HoppSystem::pruneWarm(Tick now)
-{
-    // Age-based prune (instead of a wholesale clear, which would
-    // silently disable keepWarm for every stream at once): an entry
-    // whose last hot extraction fell out of the warm window can never
-    // satisfy keepWarm again until re-extracted, so dropping exactly
-    // those is behaviour-preserving. One O(n) rebuild per pass.
-    ++warmPrunePasses_;
-    warmPruned_ += lastHot_.eraseIf(
-        [this, now](std::uint64_t, const Hotness &h) {
-            return now - h.last >= cfg_.warmWindow;
-        });
-    // If (nearly) everything is genuinely warm the table legitimately
-    // exceeds the cap; back the next trigger off so a hot phase does
-    // not rescan the table on every insertion.
-    warmPruneAt_ = std::max(cfg_.warmEntriesCap, lastHot_.size() * 2);
-}
-
-void
-HoppSystem::onPteSet(Pid pid, Vpn vpn, Ppn ppn, bool shared, bool huge,
-                     Tick)
-{
-    RptEntry entry{pid, vpn, shared,
-                   static_cast<std::uint8_t>(huge ? 1 : 0)};
-    if (cfg_.channelInterleaved) {
-        // Any channel's HPD can extract this page: every MC's RPT
-        // cache receives the update.
-        for (RptCache &cache : rptCaches_)
-            cache.update(ppn, entry);
-    } else {
-        rptCaches_[channelOf(pageBase(ppn))].update(ppn, entry);
-    }
-}
-
-void
-HoppSystem::onPteClear(Pid, Vpn, Ppn ppn, Tick)
-{
-    if (cfg_.channelInterleaved) {
-        for (unsigned c = 0; c < cfg_.channels; ++c) {
-            rptCaches_[c].invalidate(ppn);
-            // The frame will be recycled: a stale send bit must not
-            // suppress hot-page detection of its next tenant.
-            hpds_[c].invalidate(ppn);
-        }
-    } else {
-        unsigned c = channelOf(pageBase(ppn));
-        rptCaches_[c].invalidate(ppn);
-        hpds_[c].invalidate(ppn);
-    }
 }
 
 void
@@ -249,19 +58,9 @@ HoppSystem::onPrefetchEvicted(Pid pid, Vpn vpn, vm::Origin o, Tick)
 void
 HoppSystem::resetStats()
 {
-    for (unsigned c = 0; c < cfg_.channels; ++c) {
-        hpds_[c].resetStats();
-        rptCaches_[c].resetStats();
-    }
-    stt_.resetStats();
-    trainer_.resetStats();
+    pipeline_.resetStats();
     policy_.resetStats();
     exec_.resetStats();
-    ring_.resetStats();
-    unmapped_ = 0;
-    hotPagesSeen_ = 0;
-    warmPruned_ = 0;
-    warmPrunePasses_ = 0;
 }
 
 } // namespace hopp::core

@@ -1,97 +1,22 @@
 /**
  * @file
- * The full HoPP system (Figure 4): hardware modules (HPD + RPT cache)
- * tapped into the memory controller, the reserved-DRAM hot-page ring,
- * and the software plane (trainer + policy + execution engines)
- * running asynchronously as a separate data path alongside the
- * kernel's fault-driven swap path.
+ * The full HoPP system (Figure 4): the MC-side HotPagePipeline
+ * (HPD + RPT cache + ring + trainer) wired to a live machine — the
+ * VMS page-table hooks feed the RPT, the ExecEngine injects prefetched
+ * PTEs, and VMS listener callbacks close the timeliness feedback loop.
+ * The pipeline itself lives in pipeline.hh so trace replay can drive
+ * the identical hardware/trainer chain without a VMS.
  */
 
 #pragma once
 
-#include <vector>
-
-#include "common/flat_map.hh"
 #include "hopp/exec_engine.hh"
-#include "hopp/hot_page.hh"
-#include "hopp/hpd.hh"
-#include "hopp/policy.hh"
-#include "hopp/rpt.hh"
-#include "hopp/stt.hh"
-#include "hopp/trainer.hh"
+#include "hopp/pipeline.hh"
 #include "mem/memctrl.hh"
-#include "obs/tracer.hh"
-#include "sim/event_queue.hh"
 #include "vm/vms.hh"
 
 namespace hopp::core
 {
-
-/** Assembly-level configuration of the whole HoPP system. */
-struct HoppConfig
-{
-    HpdConfig hpd;
-    RptCacheConfig rptCache;
-    SttConfig stt;
-    PolicyConfig policy;
-
-    /** Enabled prefetch tiers (Fig. 18-20 ablations). */
-    unsigned tierMask = tiers::all;
-
-    /**
-     * Memory channels (§III-B "impact of multiple memory channels").
-     * Each channel's MC carries its own HPD table and RPT cache; the
-     * prefetch training framework merges (non-interleaved) or
-     * de-duplicates (interleaved) their hot-page outputs.
-     */
-    unsigned channels = 1;
-
-    /**
-     * Interleaved channels: consecutive cachelines of a page live in
-     * distinct channels, so each HPD sees only 64/channels lines of a
-     * page — the paper notes N must shrink accordingly.
-     */
-    bool channelInterleaved = true;
-
-    /**
-     * Divide the HPD threshold by the channel count under
-     * interleaving, as §III-B prescribes ("we need to reduce N").
-     */
-    bool scaleThresholdWithChannels = true;
-
-    /** Huge-batch prefetching of long streams (§IV extension). */
-    BatchConfig batch;
-
-    /**
-     * Correlation (Markov) tier parameters; enable it by adding
-     * tiers::markov to tierMask. The §III-D "ML-based designs enabled
-     * by full trace" direction.
-     */
-    MarkovConfig markov;
-
-    /**
-     * Use the hot-page trace to advise kernel reclaim (§IV: improving
-     * page eviction with full memory traces).
-     */
-    bool evictionAdvisor = false;
-
-    /** Pages hot within this window are kept from eviction. */
-    Duration warmWindow = 2'000'000; // 2 ms
-
-    /**
-     * Advisor hotness-table size that triggers an age-based prune:
-     * entries whose last hot extraction fell out of warmWindow are
-     * dropped (they can no longer satisfy keepWarm), fresh ones
-     * survive. Sized so prunes are rare outside adversarial sweeps.
-     */
-    std::size_t warmEntriesCap = 1 << 20;
-
-    /** Latency from hot-page extraction to software processing. */
-    Duration trainerDelay = 500;
-
-    /** Hot-page ring capacity (reserved DRAM area). */
-    std::size_t ringCapacity = 1 << 16;
-};
 
 /**
  * HoPP: hardware + software, wired into one machine.
@@ -113,12 +38,24 @@ class HoppSystem : public mem::McObserver,
     void start();
 
     // --- hardware data path -------------------------------------
-    void onMcAccess(PhysAddr pa, bool is_write, Tick now) override;
+    void
+    onMcAccess(PhysAddr pa, bool is_write, Tick now) override
+    {
+        pipeline_.onMcAccess(pa, is_write, now);
+    }
 
     // --- RPT maintenance hooks (§V: set_pte_at / pte_clear) ------
-    void onPteSet(Pid pid, Vpn vpn, Ppn ppn, bool shared, bool huge,
-                  Tick now) override;
-    void onPteClear(Pid pid, Vpn vpn, Ppn ppn, Tick now) override;
+    void
+    onPteSet(Pid pid, Vpn vpn, Ppn ppn, bool shared, bool huge,
+             Tick now) override
+    {
+        pipeline_.onPteSet(pid, vpn, ppn, shared, huge, now);
+    }
+    void
+    onPteClear(Pid pid, Vpn vpn, Ppn ppn, Tick now) override
+    {
+        pipeline_.onPteClear(pid, vpn, ppn, now);
+    }
 
     // --- feedback from the VMS on injected pages -----------------
     void onPrefetchCompleted(Pid pid, Vpn vpn, vm::Origin o, Tick now,
@@ -129,103 +66,88 @@ class HoppSystem : public mem::McObserver,
                            Tick now) override;
 
     // --- trace-informed eviction advice (§IV) --------------------
-    bool keepWarm(Pid pid, Vpn vpn, Tick now) override;
+    bool
+    keepWarm(Pid pid, Vpn vpn, Tick now) override
+    {
+        return pipeline_.keepWarm(pid, vpn, now);
+    }
 
     /** Channel an MC access routes to. */
-    unsigned channelOf(PhysAddr pa) const;
+    unsigned
+    channelOf(PhysAddr pa) const
+    {
+        return pipeline_.channelOf(pa);
+    }
+
+    /** The MC-side pipeline (replay shares this exact class). */
+    HotPagePipeline &pipeline() { return pipeline_; }
 
     /** Component access for tests and benches (channel 0 views). */
-    Hpd &hpd() { return hpds_[0]; }
-    Rpt &rpt() { return rpt_; }
-    RptCache &rptCache() { return rptCaches_[0]; }
+    Hpd &hpd() { return pipeline_.hpd(); }
+    Rpt &rpt() { return pipeline_.rpt(); }
+    RptCache &rptCache() { return pipeline_.rptCache(); }
 
     /** Per-channel hardware (size = config().channels). */
-    Hpd &hpd(unsigned channel) { return hpds_.at(channel); }
+    Hpd &hpd(unsigned channel) { return pipeline_.hpd(channel); }
     RptCache &rptCache(unsigned channel)
     {
-        return rptCaches_.at(channel);
+        return pipeline_.rptCache(channel);
     }
 
     /** Aggregate HPD statistics over all channels. */
-    HpdStats hpdTotals() const;
+    HpdStats hpdTotals() const { return pipeline_.hpdTotals(); }
 
     /** The configuration in effect. */
-    const HoppConfig &config() const { return cfg_; }
-    Stt &stt() { return stt_; }
+    const HoppConfig &config() const { return pipeline_.config(); }
+    Stt &stt() { return pipeline_.stt(); }
     PolicyEngine &policy() { return policy_; }
     ExecEngine &exec() { return exec_; }
-    Trainer &trainer() { return trainer_; }
-    HotPageRing &ring() { return ring_; }
+    Trainer &trainer() { return pipeline_.trainer(); }
+    HotPageRing &ring() { return pipeline_.ring(); }
 
     /** Hot pages whose PPN the RPT could not map (dropped). */
-    std::uint64_t unmappedHotPages() const { return unmapped_; }
+    std::uint64_t unmappedHotPages() const
+    {
+        return pipeline_.unmappedHotPages();
+    }
 
     /** Live advisor hotness entries (gauge). */
-    std::uint64_t warmEntriesLive() const { return lastHot_.size(); }
+    std::uint64_t warmEntriesLive() const
+    {
+        return pipeline_.warmEntriesLive();
+    }
 
     /** Stale advisor entries aged out by pruning (counter). */
-    std::uint64_t warmPruned() const { return warmPruned_; }
+    std::uint64_t warmPruned() const { return pipeline_.warmPruned(); }
 
     /** Advisor prune passes executed (counter). */
-    std::uint64_t warmPrunePasses() const { return warmPrunePasses_; }
+    std::uint64_t warmPrunePasses() const
+    {
+        return pipeline_.warmPrunePasses();
+    }
 
     /**
-     * Reset every statistic this system owns: the per-channel HPD and
-     * RPT-cache counters, the software pipeline stats, and the
-     * system-level counters (unmapped drops, hot pages seen, advisor
-     * prune totals). Structural state — the RPT, the advisor hotness
-     * table, stream state — is untouched: resetting stats must not
-     * change simulated behaviour.
+     * Reset every statistic this system owns: the pipeline's (HPD,
+     * RPT cache, STT, trainer, ring, advisor) plus the live-side
+     * policy and execution engines. Structural state is untouched:
+     * resetting stats must not change simulated behaviour.
      */
     void resetStats();
 
-    /**
-     * Attach the flight recorder: ring-drain batch spans on the HoPP
-     * software track, hot-page extraction counters and RPT-lookup
-     * outcome counters. nullptr detaches.
-     */
-    void setTracer(obs::Tracer *tracer) { trace_ = tracer; }
+    /** Attach the flight recorder (nullptr detaches). */
+    void setTracer(obs::Tracer *tracer)
+    {
+        pipeline_.setTracer(tracer);
+    }
 
   private:
-    void drainRing();
-    void pruneWarm(Tick now);
-
-    sim::EventQueue &eq_;
     vm::Vms &vms_;
     mem::MemCtrl &mc_;
-    HoppConfig cfg_;
-    // By-value per-channel hardware: channel dispatch indexes straight
-    // into contiguous storage instead of chasing unique_ptrs.
-    std::vector<Hpd> hpds_;            // one per channel
-    Rpt rpt_;
-    std::vector<RptCache> rptCaches_;  // one per MC
-    HotPageRing ring_;
-    Stt stt_;
+    // Order matters: exec_ consumes policy_, pipeline_ consumes both.
     PolicyEngine policy_;
     ExecEngine exec_;
-    Trainer trainer_;
-    bool drainScheduled_ = false;
+    HotPagePipeline pipeline_;
     bool started_ = false;
-    std::uint64_t unmapped_ = 0;
-    obs::Tracer *trace_ = nullptr;
-    std::uint64_t hotPagesSeen_ = 0;
-
-    /** Advisor state: last two hot-extraction times per page. */
-    struct Hotness
-    {
-        Tick last;
-        Tick prev;
-    };
-
-    /// Keyed by pageKey(pid, vpn); open-addressed so the per-hot-page
-    /// advisor update is a flat probe, not a node allocation.
-    FlatU64Map<Hotness> lastHot_;
-    std::uint64_t warmPruned_ = 0;
-    std::uint64_t warmPrunePasses_ = 0;
-    /// Next prune trigger; starts at cfg_.warmEntriesCap and backs off
-    /// when the table is genuinely warm (see pruneWarm).
-    std::size_t warmPruneAt_ = 0;
 };
 
 } // namespace hopp::core
-

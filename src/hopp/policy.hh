@@ -16,12 +16,51 @@
 #include <algorithm>
 #include <cstdint>
 #include <unordered_map>
-#include <vector>
 
 #include "common/types.hh"
 
 namespace hopp::core
 {
+
+/**
+ * The offsets to prefetch for one hot page: `intensity` consecutive
+ * values starting at the stream's current i. Always a contiguous run,
+ * so it is generated on the fly instead of materialized — offsets()
+ * sits on the per-hot-page training path of every backend and must
+ * not allocate.
+ */
+struct OffsetRange
+{
+    std::uint64_t first = 1;
+    unsigned count = 1;
+
+    struct iterator
+    {
+        std::uint64_t value;
+        std::uint64_t operator*() const { return value; }
+        iterator &
+        operator++()
+        {
+            ++value;
+            return *this;
+        }
+        bool
+        operator!=(const iterator &o) const
+        {
+            return value != o.value;
+        }
+    };
+
+    iterator begin() const { return {first}; }
+    iterator end() const { return {first + count}; }
+    std::size_t size() const { return count; }
+    std::uint64_t front() const { return first; }
+    std::uint64_t
+    operator[](std::size_t k) const
+    {
+        return first + k;
+    }
+};
 
 /** Policy knobs (paper defaults: alpha=0.2, i_max=1K, T in [40us,5ms]). */
 struct PolicyConfig
@@ -66,18 +105,14 @@ class PolicyEngine
      * Offsets to prefetch for one hot page of a stream: `intensity`
      * consecutive offsets starting at the stream's current i.
      */
-    std::vector<std::uint64_t>
-    offsets(std::uint64_t stream_id)
+    OffsetRange
+    offsets(std::uint64_t stream_id) const
     {
         double i = offsetOf(stream_id);
         auto first = static_cast<std::uint64_t>(i + 0.5);
         if (first < 1)
             first = 1;
-        std::vector<std::uint64_t> out;
-        out.reserve(cfg_.intensity);
-        for (unsigned k = 0; k < cfg_.intensity; ++k)
-            out.push_back(first + k);
-        return out;
+        return OffsetRange{first, cfg_.intensity};
     }
 
     /** Timeliness feedback for one prefetched page of a stream. */

@@ -11,6 +11,8 @@ Stt::Stt(const SttConfig &cfg) : cfg_(cfg), table_(cfg.entries)
 {
     hopp_assert(cfg_.entries > 0, "STT needs entries");
     hopp_assert(cfg_.historyLen >= 4, "history too short to train");
+    hopp_assert(cfg_.historyLen <= maxTrainHistory,
+                "history exceeds the stack-scratch training cap");
     for (auto &e : table_) {
         e.vpns.reserve(cfg_.historyLen);
         e.strides.reserve(cfg_.historyLen - 1);
@@ -30,7 +32,7 @@ std::optional<StreamView>
 Stt::append(Entry &e, Vpn vpn)
 {
     e.lastUse = ++clock_;
-    Vpn last = e.vpns.back();
+    Vpn last = e.lastVpn;
     if (vpn == last) {
         // Repeated extraction of the same page (multi-channel dedup,
         // §III-B): refresh recency only.
@@ -44,6 +46,7 @@ Stt::append(Entry &e, Vpn vpn)
     }
     e.vpns.push_back(vpn);
     e.strides.push_back(stride);
+    e.lastVpn = vpn;
     ++e.length;
     ++stats_.appended;
     if (e.vpns.size() == cfg_.historyLen) {
@@ -73,9 +76,8 @@ Stt::feed(Pid pid, Vpn vpn)
             lru = &e;
         if (e.pid != pid)
             continue;
-        std::uint64_t dist = vpn > e.vpns.back()
-                                 ? vpn - e.vpns.back()
-                                 : e.vpns.back() - vpn;
+        std::uint64_t dist = vpn > e.lastVpn ? vpn - e.lastVpn
+                                             : e.lastVpn - vpn;
         if (dist <= cfg_.streamDelta && dist < best_dist) {
             best = &e;
             best_dist = dist;
@@ -97,6 +99,7 @@ Stt::feed(Pid pid, Vpn vpn)
     lru->vpns.clear();
     lru->strides.clear();
     lru->vpns.push_back(vpn);
+    lru->lastVpn = vpn;
     return std::nullopt;
 }
 

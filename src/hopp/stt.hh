@@ -27,17 +27,30 @@ class Access; // invariant-checker introspection (src/check)
 namespace hopp::core
 {
 
+/**
+ * Upper bound on SttConfig::historyLen: the three-tier algorithms
+ * keep their per-view training scratch on the stack, sized by this
+ * (they run once per full-view hot page per backend, so heap scratch
+ * there is measurable across a policy fan-out).
+ */
+inline constexpr std::size_t maxTrainHistory = 64;
+
 /** STT geometry (paper defaults). */
 struct SttConfig
 {
     /** Number of stream entries. */
     std::size_t entries = 64;
 
-    /** History length L; larger L = stricter identification. */
+    /** History length L; larger L = stricter identification (at most
+     *  maxTrainHistory). */
     unsigned historyLen = 16;
 
     /** Δ_stream: max |VPN - last VPN| for clustering into a stream. */
     std::uint64_t streamDelta = 64;
+
+    /** Same geometry = same behaviour: backends with equal configs
+     *  can share one table (HotPagePipeline's STT groups). */
+    bool operator==(const SttConfig &) const = default;
 };
 
 /**
@@ -119,6 +132,11 @@ class Stt
         std::uint64_t id = 0;
         std::uint64_t lastUse = 0;
         std::uint64_t length = 0; //!< pages appended over the lifetime
+        /// Cached vpns.back(): the clustering scan in feed() reads
+        /// every entry's last VPN, and an inline copy keeps that scan
+        /// inside the contiguous entry array instead of chasing each
+        /// entry's history vector.
+        Vpn lastVpn;
         std::vector<Vpn> vpns;
         std::vector<std::int64_t> strides;
     };

@@ -12,10 +12,10 @@
 #include <unordered_map>
 
 #include "hopp/algorithms.hh"
-#include "hopp/exec_engine.hh"
 #include "hopp/hot_page.hh"
 #include "hopp/markov.hh"
 #include "hopp/policy.hh"
+#include "hopp/prefetch_sink.hh"
 #include "hopp/stt.hh"
 
 namespace hopp::core
@@ -65,7 +65,7 @@ struct BatchConfig
 class Trainer
 {
   public:
-    Trainer(Stt &stt, PolicyEngine &policy, ExecEngine &exec,
+    Trainer(Stt &stt, PolicyEngine &policy, PrefetchSink &exec,
             unsigned tier_mask = tiers::all, BatchConfig batch = {},
             MarkovConfig markov = {})
         : stt_(stt), policy_(policy), exec_(exec), tierMask_(tier_mask),
@@ -77,10 +77,23 @@ class Trainer
     void
     onHotPage(const HotPage &hp, Tick now)
     {
+        onHotPage(hp, stt_.feed(hp.pid, hp.vpn), now);
+    }
+
+    /**
+     * Process one hot-page record whose STT feed already happened —
+     * the shared-STT fan-out path: backends with equal STT configs see
+     * identical tables, so the pipeline feeds each distinct table once
+     * per hot page and hands every trainer of the group the same view.
+     * Identical to each trainer feeding a private copy.
+     */
+    void
+    onHotPage(const HotPage &hp, const std::optional<StreamView> &view,
+              Tick now)
+    {
         ++stats_.hotPages;
         if (tierMask_ & tiers::markov)
             trainMarkov(hp);
-        auto view = stt_.feed(hp.pid, hp.vpn);
         if (!view) {
             // No stream context yet; the correlation tier can still
             // act on a learned transition.
@@ -200,7 +213,7 @@ class Trainer
 
     Stt &stt_;
     PolicyEngine &policy_;
-    ExecEngine &exec_;
+    PrefetchSink &exec_;
     unsigned tierMask_;
     BatchConfig batch_;
     MarkovTable markov_;

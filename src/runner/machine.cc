@@ -167,6 +167,19 @@ Machine::build()
     if (hoppSystem_)
         hoppSystem_->start();
 
+    if (!cfg_.recordTracePath.empty()) {
+        // The HMTT tap persisted: snapshot the page table exactly when
+        // HoppSystem::start() walked it (just above), then observe the
+        // same MC access and PTE event feeds the pipeline consumes.
+        traceWriter_ = std::make_unique<trace::TraceWriter>(
+            cfg_.recordTracePath);
+        traceRecordOk_ = traceWriter_->ok();
+        recorder_ = std::make_unique<TraceRecorder>(*traceWriter_);
+        recorder_->snapshot(vms_->pageTable());
+        mc_->attach(recorder_.get());
+        vms_->addPteHook(recorder_.get());
+    }
+
     // Observability plane. Latency histograms are always on (their
     // cost is one sample per fault); the tracer and sampler only when
     // asked for.
@@ -425,6 +438,8 @@ Machine::run()
         // Final audit over the drained machine.
         checkInvariants().enforce();
     }
+    if (traceWriter_)
+        traceRecordOk_ = traceWriter_->finish() && traceRecordOk_;
 
     RunResult r;
     for (std::size_t i = 0; i < apps_.size(); ++i) {

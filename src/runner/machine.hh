@@ -26,7 +26,9 @@
 #include "prefetch/stats.hh"
 #include "prefetch/vma.hh"
 #include "remote/swap_backend.hh"
+#include "runner/trace_recorder.hh"
 #include "sim/event_queue.hh"
+#include "trace/trace_file.hh"
 #include "vm/vms.hh"
 #include "workloads/apps.hh"
 
@@ -126,6 +128,14 @@ struct MachineConfig
     std::uint64_t checkInterval = 0;
 
     /**
+     * When non-empty, record the MC-side input stream (initial
+     * page-table snapshot, every MC access, every PTE event) to this
+     * path in the blocked replay-trace format, for later offline
+     * policy sweeps with hopp-replay (DESIGN.md §15).
+     */
+    std::string recordTracePath;
+
+    /**
      * Test hook for the forensics pipeline: once this many events
      * have executed, deliberately corrupt LLC occupancy accounting so
      * the next checkInterval pass fails and the black-box ring dumps
@@ -217,6 +227,12 @@ class Machine
     /** The metrics sampler (nullptr unless cfg.metricsPeriod > 0). */
     obs::MetricsSampler *metricsSampler() { return metrics_.get(); }
 
+    /** The trace writer (nullptr unless cfg.recordTracePath is set). */
+    trace::TraceWriter *traceWriter() { return traceWriter_.get(); }
+
+    /** False when recording was requested but writing/closing failed. */
+    bool traceRecordOk() const { return traceRecordOk_; }
+
     /** Fault-path latency histograms (always collected). */
     obs::FaultLatency &faultLatency() { return latency_; }
 
@@ -301,6 +317,9 @@ class Machine
     std::unique_ptr<core::HoppSystem> hoppSystem_;
     prefetch::PrefetchStats stats_;
     obs::Tracer tracer_;
+    std::unique_ptr<trace::TraceWriter> traceWriter_;
+    std::unique_ptr<TraceRecorder> recorder_;
+    bool traceRecordOk_ = true;
     std::unique_ptr<obs::MetricsSampler> metrics_;
     obs::FaultLatency latency_;
     std::vector<std::unique_ptr<Thread>> threads_;

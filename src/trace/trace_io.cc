@@ -26,6 +26,26 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 } // namespace
 
+const char *
+traceIoStatusName(TraceIoStatus s)
+{
+    switch (s) {
+      case TraceIoStatus::Ok:
+        return "ok";
+      case TraceIoStatus::OpenFailed:
+        return "open failed";
+      case TraceIoStatus::WriteFailed:
+        return "write failed";
+      case TraceIoStatus::BadHeader:
+        return "bad header";
+      case TraceIoStatus::Truncated:
+        return "truncated";
+      case TraceIoStatus::Corrupt:
+        return "corrupt";
+    }
+    return "unknown";
+}
+
 bool
 writeTraceFile(const std::string &path,
                const std::vector<HmttRecord> &records)
@@ -41,22 +61,29 @@ writeTraceFile(const std::string &path,
     return true;
 }
 
-std::vector<HmttRecord>
-readTraceFile(const std::string &path)
+TraceIoStatus
+readTraceFile(const std::string &path, std::vector<HmttRecord> &out)
 {
-    std::vector<HmttRecord> out;
+    out.clear();
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f)
-        return out;
+        return TraceIoStatus::OpenFailed;
     std::uint64_t words[2];
-    while (std::fread(words, sizeof(words), 1, f.get()) == 1) {
+    std::size_t got;
+    while ((got = std::fread(words, sizeof(std::uint64_t), 2,
+                             f.get())) == 2) {
         HmttRecord r = HmttRecord::unpack(words[0]);
         r.fullTime = Tick{words[1]};
         r.fullAddr =
             PhysAddr{static_cast<std::uint64_t>(r.addr29) << lineShift};
         out.push_back(r);
     }
-    return out;
+    // A trailing partial record means the writer died mid-record (or
+    // the file is not a trace at all) — report it instead of silently
+    // dropping the tail.
+    if (got != 0 || std::ferror(f.get()))
+        return TraceIoStatus::Truncated;
+    return TraceIoStatus::Ok;
 }
 
 } // namespace hopp::trace

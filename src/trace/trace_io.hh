@@ -16,12 +16,39 @@
 namespace hopp::trace
 {
 
+/**
+ * Outcome of a trace file operation. Distinguishes "the file has no
+ * records" (Ok, empty output) from "the file could not be opened or is
+ * damaged" — callers must branch on the status, not the record count.
+ */
+enum class TraceIoStatus
+{
+    Ok = 0,
+    /** fopen failed (missing file, permissions, bad path). */
+    OpenFailed,
+    /** fwrite/fclose failed (disk full, IO error). */
+    WriteFailed,
+    /** File magic/version/codec field is not a trace file's. */
+    BadHeader,
+    /** File ends mid-record or mid-block. */
+    Truncated,
+    /** Structurally valid framing but undecodable payload. */
+    Corrupt,
+};
+
+/** Human-readable name of @p s for error messages. */
+const char *traceIoStatusName(TraceIoStatus s);
+
 /** Write records to @p path. @return false on IO failure. */
 bool writeTraceFile(const std::string &path,
                     const std::vector<HmttRecord> &records);
 
-/** Read records from @p path. @return empty vector on IO failure. */
-std::vector<HmttRecord> readTraceFile(const std::string &path);
+/**
+ * Read all records of @p path into @p out (cleared first).
+ * @return Ok (possibly zero records), OpenFailed, or Truncated when
+ * the file ends inside a 16-byte record.
+ */
+TraceIoStatus readTraceFile(const std::string &path,
+                            std::vector<HmttRecord> &out);
 
 } // namespace hopp::trace
-

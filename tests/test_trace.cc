@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "trace/hmtt.hh"
@@ -134,7 +136,8 @@ TEST(TraceIo, WriteReadRoundTrip)
     }
     std::string path = ::testing::TempDir() + "/hopp_trace_test.bin";
     ASSERT_TRUE(writeTraceFile(path, recs));
-    auto back = readTraceFile(path);
+    std::vector<HmttRecord> back;
+    ASSERT_EQ(readTraceFile(path, back), TraceIoStatus::Ok);
     ASSERT_EQ(back.size(), recs.size());
     for (std::size_t i = 0; i < recs.size(); ++i) {
         EXPECT_EQ(back[i].seq, recs[i].seq);
@@ -145,7 +148,32 @@ TEST(TraceIo, WriteReadRoundTrip)
     std::remove(path.c_str());
 }
 
-TEST(TraceIo, MissingFileGivesEmpty)
+TEST(TraceIo, MissingFileReportsOpenFailure)
 {
-    EXPECT_TRUE(readTraceFile("/nonexistent/zzz.bin").empty());
+    std::vector<HmttRecord> out;
+    EXPECT_EQ(readTraceFile("/nonexistent/zzz.bin", out),
+              TraceIoStatus::OpenFailed);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(TraceIo, EmptyFileIsOkAndEmpty)
+{
+    std::string path = ::testing::TempDir() + "/hopp_trace_empty.bin";
+    ASSERT_TRUE(writeTraceFile(path, {}));
+    std::vector<HmttRecord> out;
+    EXPECT_EQ(readTraceFile(path, out), TraceIoStatus::Ok);
+    EXPECT_TRUE(out.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, PartialRecordReportsTruncation)
+{
+    std::vector<HmttRecord> recs(3);
+    std::string path = ::testing::TempDir() + "/hopp_trace_trunc.bin";
+    ASSERT_TRUE(writeTraceFile(path, recs));
+    ASSERT_EQ(::truncate(path.c_str(), 3 * 16 - 5), 0);
+    std::vector<HmttRecord> out;
+    EXPECT_EQ(readTraceFile(path, out), TraceIoStatus::Truncated);
+    EXPECT_EQ(out.size(), 2u); // the complete prefix is still returned
+    std::remove(path.c_str());
 }

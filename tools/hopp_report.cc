@@ -25,9 +25,11 @@
  * direction-aware bench metric moved more than the threshold the
  * wrong way vs the baseline. Direction comes from the metric name:
  * throughput-like suffixes (_per_sec, speedup, hit_rate, accuracy,
- * coverage, fraction) must not drop; cost-like suffixes (wall_sec,
- * wall_ns_per_sim_ms, miss_rate) must not rise; anything else
- * (counts, configs) is reported but never gates.
+ * coverage, fraction, compression_ratio, identical_results — booleans
+ * diff as 0/1, so a fidelity flag flipping false regresses by 100%)
+ * must not drop; cost-like suffixes (wall_sec, wall_ns_per_sim_ms,
+ * miss_rate, bytes_per_record) must not rise; anything else (counts,
+ * configs) is reported but never gates.
  */
 
 #include <algorithm>
@@ -119,6 +121,13 @@ flatten(const json::Value &v, const std::string &prefix,
         out.push_back({prefix, v.number()});
         return;
     }
+    if (v.isBool()) {
+        // Booleans diff as 0/1 so a flipped acceptance flag (e.g. a
+        // replay's identical_results going false) shows up as a 100%
+        // move instead of silently vanishing from the report.
+        out.push_back({prefix, v.boolean() ? 1.0 : 0.0});
+        return;
+    }
     if (v.isObject()) {
         for (const auto &[k, m] : v.members())
             flatten(m, prefix.empty() ? k : prefix + "." + k, out);
@@ -129,7 +138,7 @@ flatten(const json::Value &v, const std::string &prefix,
             flatten(v.items()[i], prefix + "[" + std::to_string(i) + "]",
                     out);
     }
-    // Strings/bools/null carry no comparable magnitude.
+    // Strings/null carry no comparable magnitude.
 }
 
 bool
@@ -145,11 +154,14 @@ direction(const std::string &metric)
 {
     if (endsWith(metric, "wall_sec") ||
         endsWith(metric, "wall_ns_per_sim_ms") ||
-        endsWith(metric, "miss_rate"))
+        endsWith(metric, "miss_rate") ||
+        endsWith(metric, "bytes_per_record"))
         return -1;
     if (endsWith(metric, "_per_sec") || endsWith(metric, "speedup") ||
         endsWith(metric, "hit_rate") || endsWith(metric, "accuracy") ||
-        endsWith(metric, "coverage") || endsWith(metric, "fraction"))
+        endsWith(metric, "coverage") || endsWith(metric, "fraction") ||
+        endsWith(metric, "compression_ratio") ||
+        endsWith(metric, "identical_results"))
         return 1;
     return 0;
 }

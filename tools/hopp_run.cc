@@ -10,6 +10,7 @@
  *            [--metrics-out FILE] [--metrics-period NS]
  *            [--stats-json FILE] [--profile-out FILE]
  *            [--blackbox-out FILE] [--inject-corruption N]
+ *            [--record-trace FILE] [--mc-stats-json FILE]
  *
  * Examples:
  *   hopp-run --workload npb-mg --system hopp --ratio 0.5 --dump-hopp
@@ -81,6 +82,10 @@ usage(const char *argv0)
         " after the run\n"
         "  --inject-corruption N  test hook: corrupt LLC accounting"
         " after N events so --check fails and dumps forensics\n"
+        "  --record-trace FILE record the MC-side input stream in the"
+        " replay format (feed to hopp-replay)\n"
+        "  --mc-stats-json FILE  write the MC-side pipeline stats"
+        " (the replay fidelity contract document)\n"
         "  --list              list workloads and exit\n",
         argv0);
 }
@@ -169,7 +174,7 @@ main(int argc, char **argv)
     bool dump_hopp = false;
     bool dump_stats = false;
     std::string trace_out, trace_jsonl, metrics_out, stats_json;
-    std::string profile_out, blackbox_out;
+    std::string profile_out, blackbox_out, mc_stats_json;
     Duration metrics_period = 100'000; // 100 us of simulated time
 
     auto need = [&](int &i) -> const char * {
@@ -233,6 +238,10 @@ main(int argc, char **argv)
             profile_out = need(i);
         } else if (arg == "--blackbox-out") {
             blackbox_out = need(i);
+        } else if (arg == "--record-trace") {
+            cfg.recordTracePath = need(i);
+        } else if (arg == "--mc-stats-json") {
+            mc_stats_json = need(i);
         } else if (arg == "--inject-corruption") {
             cfg.corruptAfterEvents =
                 static_cast<std::uint64_t>(std::atoll(need(i)));
@@ -335,5 +344,20 @@ main(int argc, char **argv)
     }
     if (!blackbox_out.empty())
         io_ok &= machine.dumpForensics(blackbox_out);
+    if (!mc_stats_json.empty()) {
+        if (auto *h = machine.hoppSystem()) {
+            io_ok &= obs::writeFile(
+                mc_stats_json, core::mcSideStatsJson(h->pipeline()));
+        } else {
+            std::fprintf(stderr, "--mc-stats-json needs a hopp/"
+                                 "hopp-only system\n");
+            io_ok = false;
+        }
+    }
+    if (!cfg.recordTracePath.empty() && !machine.traceRecordOk()) {
+        std::fprintf(stderr, "trace recording to '%s' failed\n",
+                     cfg.recordTracePath.c_str());
+        io_ok = false;
+    }
     return io_ok ? 0 : 1;
 }
